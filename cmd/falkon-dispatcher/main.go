@@ -1,0 +1,81 @@
+// Command falkon-dispatcher runs a standalone Falkon dispatcher service.
+//
+// Usage:
+//
+//	falkon-dispatcher -addr :7523
+//	falkon-dispatcher -addr :7523 -secure -psk-file key.txt
+//
+// Executors (cmd/falkon-executor) and clients (cmd/falkon-submit) connect
+// to the printed address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"falkon/internal/dispatch"
+	"falkon/internal/wsrpc"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":7523", "listen address")
+		secure        = flag.Bool("secure", false, "require the secure-conversation transport profile")
+		pskFile       = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
+		replayTimeout = flag.Duration("replay-timeout", 0, "re-dispatch tasks unacknowledged for this long (0 = disconnect-based only)")
+		maxRetries    = flag.Int("max-retries", 3, "per-task re-dispatch bound")
+		statsEvery    = flag.Duration("stats-every", 10*time.Second, "periodic stats log interval (0 = off)")
+		quiet         = flag.Bool("quiet", false, "suppress per-event logs")
+	)
+	flag.Parse()
+
+	opts := dispatch.Options{
+		ReplayTimeout: *replayTimeout,
+		MaxRetries:    *maxRetries,
+	}
+	if !*quiet {
+		opts.Logf = log.Printf
+	}
+	if *secure {
+		if *pskFile == "" {
+			log.Fatal("falkon-dispatcher: -secure requires -psk-file")
+		}
+		key, err := os.ReadFile(*pskFile)
+		if err != nil {
+			log.Fatalf("falkon-dispatcher: read psk: %v", err)
+		}
+		opts.Security = wsrpc.SecuritySecureConversation
+		opts.PSK = key
+	}
+
+	d := dispatch.New(opts)
+	if err := d.Listen(*addr); err != nil {
+		log.Fatalf("falkon-dispatcher: %v", err)
+	}
+	fmt.Printf("falkon-dispatcher listening on %s (security=%v)\n", d.Addr(), opts.Security)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := d.Stats()
+				log.Printf("stats: queued=%d outstanding=%d executors=%d (busy=%d) submitted=%d completed=%d failed=%d retried=%d",
+					st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
+					st.Submitted, st.Completed, st.Failed, st.Retried)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("falkon-dispatcher: draining (up to 30s)")
+	if !d.Drain(30 * time.Second) {
+		log.Println("falkon-dispatcher: drain timed out; closing with work in flight")
+	}
+	d.Close()
+}

@@ -1,0 +1,100 @@
+// Command falkon-executor runs one or more Falkon executors against a
+// dispatcher, the way the provisioner's GRAM requests would start them on
+// compute nodes.
+//
+// Usage:
+//
+//	falkon-executor -dispatcher host:7523                 # one executor
+//	falkon-executor -dispatcher host:7523 -n 8 -slots 2   # eight dual-slot executors
+//	falkon-executor -dispatcher host:7523 -idle 60s       # distributed release
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"falkon/internal/executor"
+	"falkon/internal/wsrpc"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "127.0.0.1:7523", "dispatcher address")
+		name       = flag.String("name", "", "executor id prefix (default: host-pid)")
+		n          = flag.Int("n", 1, "number of executors to run in this process")
+		slots      = flag.Int("slots", 1, "concurrent tasks per executor (one per processor in the paper)")
+		idle       = flag.Duration("idle", 0, "distributed release: deregister after this idle time (0 = never)")
+		prefetch   = flag.Int("prefetch", 1, "max tasks per work pull")
+		secure     = flag.Bool("secure", false, "use the secure-conversation transport profile")
+		pskFile    = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
+		execT      = flag.Duration("exec-timeout", 0, "kill exec-engine tasks after this long (0 = never)")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	opts := executor.Options{
+		DispatcherAddr: *dispatcher,
+		Slots:          *slots,
+		IdleTimeout:    *idle,
+		Prefetch:       *prefetch,
+		ExecTimeout:    *execT,
+		Logf:           log.Printf,
+	}
+	if *secure {
+		if *pskFile == "" {
+			log.Fatal("falkon-executor: -secure requires -psk-file")
+		}
+		key, err := os.ReadFile(*pskFile)
+		if err != nil {
+			log.Fatalf("falkon-executor: read psk: %v", err)
+		}
+		opts.Security = wsrpc.SecuritySecureConversation
+		opts.PSK = key
+	}
+
+	var wg sync.WaitGroup
+	execs := make([]*executor.Executor, 0, *n)
+	for i := 0; i < *n; i++ {
+		o := opts
+		o.ID = fmt.Sprintf("%s-%d", *name, i)
+		ex, err := executor.Start(o)
+		if err != nil {
+			log.Fatalf("falkon-executor: start %s: %v", o.ID, err)
+		}
+		log.Printf("executor %s registered with %s", o.ID, *dispatcher)
+		execs = append(execs, ex)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ex.Done()
+			log.Printf("executor %s stopped after %d tasks", ex.ID(), ex.TasksRun())
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-sig:
+		log.Println("falkon-executor: stopping")
+		for _, ex := range execs {
+			ex.Stop()
+		}
+		// Bounded wait for clean deregistration.
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+		}
+	case <-done: // all executors idle-released
+	}
+}

@@ -1,0 +1,62 @@
+// Command falkon-forwarder runs the 3-tier architecture's middle tier
+// (paper §6, Figure 16): a public-facing relay that spreads client
+// instances across one or more dispatchers, letting executors live in
+// private IP space behind cluster manager nodes.
+//
+// Usage:
+//
+//	falkon-forwarder -addr :7524 -dispatchers host1:7523,host2:7523
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"falkon/internal/forward"
+	"falkon/internal/wsrpc"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7524", "listen address for clients")
+		dispatchers = flag.String("dispatchers", "127.0.0.1:7523", "comma-separated dispatcher addresses")
+		secure      = flag.Bool("secure", false, "use the secure-conversation transport profile on both tiers")
+		pskFile     = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
+	)
+	flag.Parse()
+
+	opts := forward.Options{
+		Dispatchers: strings.Split(*dispatchers, ","),
+		Logf:        log.Printf,
+	}
+	if *secure {
+		if *pskFile == "" {
+			log.Fatal("falkon-forwarder: -secure requires -psk-file")
+		}
+		key, err := os.ReadFile(*pskFile)
+		if err != nil {
+			log.Fatalf("falkon-forwarder: read psk: %v", err)
+		}
+		opts.Security = wsrpc.SecuritySecureConversation
+		opts.PSK = key
+	}
+
+	f, err := forward.New(opts)
+	if err != nil {
+		log.Fatalf("falkon-forwarder: %v", err)
+	}
+	if err := f.Listen(*addr); err != nil {
+		log.Fatalf("falkon-forwarder: %v", err)
+	}
+	fmt.Printf("falkon-forwarder on %s relaying to %v\n", f.Addr(), opts.Dispatchers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	f.Close()
+}

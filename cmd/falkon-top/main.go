@@ -1,0 +1,56 @@
+// Command falkon-top is a minimal operational dashboard: it polls a
+// dispatcher's (or forwarder's) stats and prints a refreshing status line —
+// queue depth, executor states, completion counters, throughput.
+//
+// Usage:
+//
+//	falkon-top -dispatcher host:7523
+//	falkon-top -dispatcher host:7524 -interval 2s   # against a forwarder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"falkon/internal/client"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "127.0.0.1:7523", "dispatcher or forwarder address")
+		interval   = flag.Duration("interval", time.Second, "poll interval")
+		once       = flag.Bool("once", false, "print one snapshot and exit")
+	)
+	flag.Parse()
+
+	c, err := client.Connect(client.Options{DispatcherAddr: *dispatcher, Name: "falkon-top"})
+	if err != nil {
+		log.Fatalf("falkon-top: %v", err)
+	}
+	defer c.Close()
+
+	var lastCompleted int64
+	lastAt := time.Now()
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			log.Fatalf("falkon-top: %v", err)
+		}
+		now := time.Now()
+		rate := float64(st.Completed-lastCompleted) / now.Sub(lastAt).Seconds()
+		if lastCompleted == 0 {
+			rate = 0
+		}
+		lastCompleted, lastAt = st.Completed, now
+		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) done=%d failed=%d retried=%d rate=%.0f/s",
+			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
+			st.Completed, st.Failed, st.Retried, rate)
+		if *once {
+			fmt.Println()
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

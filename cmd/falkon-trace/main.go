@@ -1,0 +1,106 @@
+// Command falkon-trace generates, inspects, and replays grid workload
+// traces (internal/trace): the batched, heavy-tailed submission structure
+// the paper cites from real grid studies [36, 37].
+//
+// Usage:
+//
+//	falkon-trace -generate -jobs 2000 -span 1h -out grid.trace
+//	falkon-trace -stats grid.trace
+//	falkon-trace -replay grid.trace -executors 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/sim"
+	"falkon/internal/simfalkon"
+	"falkon/internal/trace"
+)
+
+func main() {
+	var (
+		generate  = flag.Bool("generate", false, "generate a synthetic trace")
+		jobs      = flag.Int("jobs", 2000, "job count for -generate")
+		span      = flag.Duration("span", time.Hour, "submission window for -generate")
+		batchMean = flag.Float64("batch-mean", 20, "mean batch size for -generate")
+		median    = flag.Duration("runtime-median", 30*time.Second, "median runtime for -generate")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "output file for -generate (default stdout)")
+		stats     = flag.String("stats", "", "print statistics for a trace file")
+		replay    = flag.String("replay", "", "replay a trace file on the virtual-time models")
+		executors = flag.Int("executors", 128, "executor/node count for -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *generate:
+		tr := trace.Generate(trace.GenConfig{
+			Jobs:          *jobs,
+			Span:          *span,
+			BatchMean:     *batchMean,
+			RuntimeMedian: *median,
+			RuntimeSigma:  1.2,
+			Seed:          *seed,
+		})
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatalf("falkon-trace: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.Write(w); err != nil {
+			log.Fatalf("falkon-trace: %v", err)
+		}
+		if *out != "" {
+			fmt.Printf("wrote %d jobs in %d batches to %s\n", len(tr.Jobs), tr.Batches(), *out)
+		}
+	case *stats != "":
+		tr := load(*stats)
+		st := tr.Summarize()
+		fmt.Printf("trace %s: %d jobs, %d batches (mean %.1f, max %d per batch)\n",
+			tr.Name, st.Jobs, st.Batches, st.MeanBatchSize, st.MaxBatchSize)
+		fmt.Printf("submission span: %v\n", tr.Span())
+		fmt.Printf("total runtime:   %v (mean %v/job)\n", tr.TotalRuntime(),
+			(tr.TotalRuntime() / time.Duration(len(tr.Jobs))).Round(time.Millisecond))
+		fmt.Printf("runtime quantiles (s): p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+			st.RuntimeP50, st.RuntimeP90, st.RuntimeP99, st.RuntimeMax)
+	case *replay != "":
+		tr := load(*replay)
+		eF := sim.New(1)
+		mF := simfalkon.New(eF, simfalkon.NoSecurity())
+		falkon := trace.ReplayFalkon(eF, mF, tr, *executors)
+		eL := sim.New(1)
+		l := lrm.New(eL, lrm.PBS(), *executors)
+		gw := lrm.NewGateway(eL, l, lrm.GRAM4())
+		pbs := trace.ReplayLRM(eL, gw, tr)
+		fmt.Printf("%-18s %12s %12s %12s\n", "system", "avg wait", "max wait", "makespan")
+		fmt.Printf("%-18s %12v %12v %12v\n", "Falkon",
+			falkon.AvgWait.Round(time.Millisecond), falkon.MaxWait.Round(time.Millisecond), falkon.Makespan.Round(time.Second))
+		fmt.Printf("%-18s %12v %12v %12v\n", "GRAM4+PBS",
+			pbs.AvgWait.Round(time.Millisecond), pbs.MaxWait.Round(time.Millisecond), pbs.Makespan.Round(time.Second))
+	default:
+		log.Fatal("falkon-trace: pass -generate, -stats <file>, or -replay <file>")
+	}
+}
+
+// load reads a trace file or dies.
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("falkon-trace: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(path, f)
+	if err != nil {
+		log.Fatalf("falkon-trace: %v", err)
+	}
+	return tr
+}

@@ -1,0 +1,237 @@
+package falkon_test
+
+// End-to-end tests of the command binaries: build them once, then run a
+// real multi-process deployment — dispatcher, executor agents, client CLI,
+// forwarder — over localhost TCP, exactly as the README describes.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildBinaries compiles every cmd once per test run.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX process management")
+	}
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "falkon-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, c := range []string{"falkon-dispatcher", "falkon-executor", "falkon-submit", "falkon-forwarder", "falkon-bench", "falkon-trace", "falkon-workflow"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, c), "./cmd/"+c)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("build %s: %v\n%s", c, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+// freePort reserves an ephemeral port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startProc launches a binary and registers cleanup.
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// waitListening blocks until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never started listening", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr := freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0")
+	waitListening(t, dispAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr, "-n", "2")
+
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-sleep0", "200", "-bundle", "20", "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-submit: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completed 200 tasks (0 failed)") {
+		t.Fatalf("submit output: %s", out)
+	}
+}
+
+func TestBinariesExecEngine(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr := freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0")
+	waitListening(t, dispAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr)
+
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-exec", "/bin/echo hello-falkon", "-count", "3", "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-submit: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completed 3 tasks (0 failed)") {
+		t.Fatalf("submit output: %s", out)
+	}
+}
+
+func TestBinariesThreeTier(t *testing.T) {
+	bin := buildBinaries(t)
+	d1, d2 := freePort(t), freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", d1, "-quiet", "-stats-every", "0")
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", d2, "-quiet", "-stats-every", "0")
+	waitListening(t, d1)
+	waitListening(t, d2)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", d1)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", d2)
+	fwd := freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-forwarder"), "-addr", fwd, "-dispatchers", d1+","+d2)
+	waitListening(t, fwd)
+
+	// The unmodified client CLI talks to the forwarder.
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", fwd, "-sleep0", "50", "-bundle", "10", "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-submit via forwarder: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completed 50 tasks (0 failed)") {
+		t.Fatalf("submit output: %s", out)
+	}
+}
+
+func TestBinariesSecureDeployment(t *testing.T) {
+	bin := buildBinaries(t)
+	psk := filepath.Join(t.TempDir(), "psk")
+	if err := os.WriteFile(psk, []byte("e2e-shared-key"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	dispAddr := freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0", "-secure", "-psk-file", psk)
+	waitListening(t, dispAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr, "-secure", "-psk-file", psk)
+
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-sleep0", "30", "-secure", "-psk-file", psk, "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("secure falkon-submit: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completed 30 tasks (0 failed)") {
+		t.Fatalf("submit output: %s", out)
+	}
+}
+
+func TestBinariesWorkloadFile(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr := freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0")
+	waitListening(t, dispAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr)
+
+	wl := filepath.Join(t.TempDir(), "tasks.jsonl")
+	lines := []string{
+		`# demo workload`,
+		`{"engine": 0, "command": "sleep"}`,
+		`{"engine": 2, "command": "/bin/true"}`,
+	}
+	if err := os.WriteFile(wl, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-workload", wl, "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-submit -workload: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completed 2 tasks (0 failed)") {
+		t.Fatalf("submit output: %s", out)
+	}
+}
+
+func TestBinariesBenchAndTrace(t *testing.T) {
+	bin := buildBinaries(t)
+	out, err := exec.Command(filepath.Join(bin, "falkon-bench"), "-experiment", "fig11").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-bench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1000 tasks, 17820 CPU seconds") {
+		t.Fatalf("bench output: %s", out)
+	}
+	tr := filepath.Join(t.TempDir(), "g.trace")
+	if out, err := exec.Command(filepath.Join(bin, "falkon-trace"), "-generate", "-jobs", "100", "-out", tr).CombinedOutput(); err != nil {
+		t.Fatalf("falkon-trace -generate: %v\n%s", err, out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "falkon-trace"), "-stats", tr).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "100 jobs") {
+		t.Fatalf("falkon-trace -stats: %v\n%s", err, out)
+	}
+}
+
+func TestBinariesWorkflow(t *testing.T) {
+	bin := buildBinaries(t)
+	dag := filepath.Join(t.TempDir(), "dag.json")
+	body := `{"name": "e2e", "nodes": [
+		{"id": "a", "stage": "one", "duration_ms": 10},
+		{"id": "b", "stage": "two", "duration_ms": 10, "deps": ["a"]}
+	]}`
+	if err := os.WriteFile(dag, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(filepath.Join(bin, "falkon-workflow"), "-dag", dag, "-executors", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-workflow: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completed 2 tasks") {
+		t.Fatalf("workflow output: %s", out)
+	}
+}

@@ -1,0 +1,96 @@
+package falkon_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"falkon"
+)
+
+// Example runs the paper's basic scenario: an in-process Falkon system
+// dispatching a batch of tasks through the bundled, piggy-backed protocol.
+func Example() {
+	sys, err := falkon.Start(falkon.Config{Executors: 4, BundleSize: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	var gen falkon.IDGen
+	if err := sys.Submit(falkon.SleepBatch(&gen, 100, 0)); err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.WaitN(100, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Failed() {
+			failed++
+		}
+	}
+	fmt.Printf("completed %d tasks, %d failed\n", len(results), failed)
+	// Output: completed 100 tasks, 0 failed
+}
+
+// ExampleStart_provisioned shows dynamic resource provisioning: the pool
+// grows on demand and shrinks through the distributed idle-release policy
+// (the paper's §4.6 configuration, compressed in time).
+func ExampleStart_provisioned() {
+	sys, err := falkon.Start(falkon.Config{
+		SleepScale: 0.001, // compress synthetic seconds
+		BundleSize: 16,
+		Provisioning: &falkon.ProvisioningConfig{
+			MaxExecutors: 4,
+			IdleTimeout:  200 * time.Millisecond,
+			Release:      falkon.ReleaseDistributed,
+			Acquisition:  falkon.AllAtOnce(),
+			PollInterval: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	var gen falkon.IDGen
+	if err := sys.Submit(falkon.SleepBatch(&gen, 32, time.Second)); err != nil {
+		log.Fatal(err)
+	}
+	results, err := sys.WaitN(32, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d tasks with dynamic provisioning\n", len(results))
+	// Output: completed 32 tasks with dynamic provisioning
+}
+
+// ExampleStart_funcTasks runs Go functions as task bodies — the quickest
+// way to use Falkon as an in-process task pool.
+func ExampleStart_funcTasks() {
+	sys, err := falkon.Start(falkon.Config{
+		Executors: 2,
+		Funcs: map[string]falkon.Func{
+			"shout": func(t falkon.Task) (string, int, error) {
+				return t.Args[0] + "!", 0, nil
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	err = sys.Submit([]falkon.Task{{ID: 1, Engine: falkon.EngineFunc, Command: "shout", Args: []string{"falkon"}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := sys.WaitN(1, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rs[0].Stdout)
+	// Output: falkon!
+}

@@ -1,0 +1,82 @@
+// Montage: execute the §5.2 astronomy mosaic DAG (3°x3° around M16: 487
+// reprojections, 2,200 difference/fit pairs, background correction, split
+// co-add) on the virtual-time Falkon model and print per-stage times
+// against the MPI model — Figure 15's comparison.
+//
+// The full graph is 3,296 nodes; the data-driven engine overlaps stages
+// where dependencies allow, exactly as Swift over Falkon did.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/sim"
+	"falkon/internal/simfalkon"
+	"falkon/internal/workflow"
+	"falkon/internal/workloads"
+)
+
+const procs = 32
+
+func main() {
+	g := workflow.MontageGraph()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Montage M16 3x3deg: %d tasks, critical path %v\n\n", g.Len(), cp)
+
+	falkonRep := runFalkon(g)
+	gramRep := runClusteredGram(g)
+
+	fmt.Printf("%-12s  %12s  %12s  %12s\n", "stage", "GRAM4+PBS(c)", "Falkon", "MPI model")
+	var prevF, prevG time.Duration
+	var falkonExAdd, mpiExAdd time.Duration
+	w := workloads.Montage()
+	for i, name := range workloads.MontageStageNames {
+		fEnd, gEnd := falkonRep.StageEnd[name], gramRep.StageEnd[name]
+		fDur, gDur := fEnd-prevF, gEnd-prevG
+		prevF, prevG = fEnd, gEnd
+		single := workloads.Workload{Stages: []workloads.Stage{w.Stages[i]}}
+		mpi := single.IdealMakespan(procs) + 35*time.Second
+		fmt.Printf("%-12s  %11.0fs  %11.0fs  %11.0fs\n", name, gDur.Seconds(), fDur.Seconds(), mpi.Seconds())
+		if name != "mAdd" {
+			falkonExAdd += fDur
+			mpiExAdd += mpi
+		}
+	}
+	fmt.Printf("\nexcluding the final co-add: Falkon %.0f s vs MPI %.0f s\n", falkonExAdd.Seconds(), mpiExAdd.Seconds())
+	fmt.Println("(paper: Swift+Falkon 1,067 s vs MPI 1,120 s — Falkon ~5% faster; the final")
+	fmt.Println(" mAdd is parallelized only in the MPI version, so Falkon loses that stage)")
+}
+
+// runFalkon executes the DAG on the Falkon model with 32 executors.
+func runFalkon(g *workflow.Graph) workflow.Report {
+	e := sim.New(1)
+	m := simfalkon.New(e, simfalkon.NoSecurity())
+	for i := 0; i < procs; i++ {
+		m.AddExecutor(0, nil)
+	}
+	var rep workflow.Report
+	if err := workflow.Run(g, &workflow.FalkonProvider{Model: m, Bundle: 32}, func(r workflow.Report) { rep = r }); err != nil {
+		log.Fatal(err)
+	}
+	e.Run()
+	return rep
+}
+
+// runClusteredGram executes the DAG through GRAM4+PBS with clustering.
+func runClusteredGram(g *workflow.Graph) workflow.Report {
+	e := sim.New(1)
+	l := lrm.New(e, lrm.PBS(), procs)
+	gw := lrm.NewGateway(e, l, lrm.GRAM4())
+	var rep workflow.Report
+	if err := workflow.Run(g, &workflow.ClusteredGramProvider{Gateway: gw, Clusters: procs}, func(r workflow.Report) { rep = r }); err != nil {
+		log.Fatal(err)
+	}
+	e.Run()
+	return rep
+}

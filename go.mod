@@ -1,0 +1,3 @@
+module falkon
+
+go 1.22

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryExperimentRunsAtSmallScale(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Fatalf("result id = %q", res.ID)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range res.Rows {
+				if len(row) != len(res.Header) {
+					t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(res.Header))
+				}
+			}
+			out := res.Render()
+			if !strings.Contains(out, res.Title) {
+				t.Fatal("render missing title")
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", 1); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunScaleValidation(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		if _, err := Run("fig11", s); err == nil {
+			t.Fatalf("scale %v accepted", s)
+		}
+	}
+}
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15",
+		"table2", "table3", "table4", "table5",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	r := &Result{
+		ID:     "x",
+		Title:  "T",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"wide-cell", "1"}},
+		Notes:  []string{"n1"},
+	}
+	out := r.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("render lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[4], "note: n1") {
+		t.Fatalf("notes line = %q", lines[4])
+	}
+	// Header and row columns align.
+	if len(lines[1]) < len("wide-cell  bbbb") {
+		t.Fatalf("header not padded: %q", lines[1])
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if got := scaled(100, 0.5, 1); got != 50 {
+		t.Fatalf("scaled = %d", got)
+	}
+	if got := scaled(100, 0.001, 10); got != 10 {
+		t.Fatalf("scaled floor = %d", got)
+	}
+}

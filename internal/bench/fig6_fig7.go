@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/sim"
+	"falkon/internal/simfalkon"
+)
+
+func init() {
+	register("fig6", fig6)
+	register("fig7", fig7)
+}
+
+// falkonMakespan simulates nTasks sleep tasks of length dur on nExec
+// executors (bundled submission, piggy-backing on) and returns completion
+// time.
+func falkonMakespan(nExec, nTasks int, dur time.Duration) time.Duration {
+	e := sim.New(21)
+	m := simfalkon.New(e, simfalkon.NoSecurity())
+	for i := 0; i < nExec; i++ {
+		m.AddExecutor(0, nil)
+	}
+	m.SubmitSleepStream(nTasks, dur, 100)
+	return e.Run()
+}
+
+// fig6 regenerates Figure 6: efficiency for varying task lengths and
+// executor counts. Efficiency is Ep = Sp/P with Sp = T1/Tp, T1 being the
+// single-executor time for the same task set.
+func fig6(scale float64) *Result {
+	res := &Result{
+		ID:     "fig6",
+		Title:  "Efficiency vs executors for task lengths 1-64 s",
+		Header: []string{"executors", "1s", "2s", "4s", "8s", "16s", "32s", "64s"},
+	}
+	waves := scaled(32, scale, 8)
+	p := simfalkon.NoSecurity()
+	perTask := p.ExecOverhead + p.DeliverCost
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		row := []string{fmt.Sprint(n)}
+		for _, L := range []time.Duration{1, 2, 4, 8, 16, 32, 64} {
+			dur := L * time.Second
+			nTasks := n * waves
+			tp := falkonMakespan(n, nTasks, dur)
+			// T1: the same tasks back-to-back on one executor (the model's
+			// single-executor cycle is exactly dur + overhead + deliver).
+			t1 := time.Duration(nTasks) * (dur + perTask)
+			eff := t1.Seconds() / (float64(n) * tp.Seconds())
+			row = append(row, pct(eff))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper: >= 95% efficiency in the worst case (1 s tasks, 256 executors); < 1% loss from 1 to 256 executors",
+		"paper: speedup 242/256 for 1 s tasks, 255.5/256 for 64 s tasks")
+	return res
+}
+
+// lrmMakespan runs nTasks jobs of length dur on an LRM with nodes slots.
+func lrmMakespan(prof lrm.Profile, nodes, nTasks int, dur time.Duration) time.Duration {
+	e := sim.New(23)
+	l := lrm.New(e, prof, nodes)
+	var last time.Duration
+	for i := 0; i < nTasks; i++ {
+		l.Submit(&lrm.Job{Nodes: 1, Duration: dur, OnDone: func(*lrm.Job) { last = e.Now() }})
+	}
+	e.Run()
+	return last
+}
+
+// fig7 regenerates Figure 7: efficiency of resource usage for varying task
+// lengths on 64 processors — Falkon vs PBS v2.1.8 vs Condor v6.7.2
+// (simulated) vs Condor v6.9.3 (derived from its cited 11 tasks/s, as the
+// paper derives it).
+func fig7(_ float64) *Result {
+	res := &Result{
+		ID:     "fig7",
+		Title:  "Efficiency on 64 processors vs task length",
+		Header: []string{"task len (s)", "Falkon", "PBS v2.1.8", "Condor v6.7.2", "Condor v6.9.3 (derived)"},
+	}
+	const procs = 64
+	lengths := []time.Duration{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	for _, L := range lengths {
+		dur := L * time.Second
+		ideal := dur.Seconds()
+		fal := ideal / falkonMakespan(procs, procs, dur).Seconds()
+		pbs := ideal / lrmMakespan(lrm.PBS(), procs, procs, dur).Seconds()
+		condor := ideal / lrmMakespan(lrm.Condor(), procs, procs, dur).Seconds()
+		// Paper's derivation for Condor v6.9.3: 0.0909 s/task overhead
+		// serializing 64 tasks.
+		derived := ideal / (ideal + procs*0.0909)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(int(L)), pct(fal), pct(pbs), pct(condor), pct(derived),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: Falkon 95% at 1 s, 99% at 8 s tasks; PBS/Condor < 1% at 1 s, ~90% at 1,200 s, 95% at 3,600 s, 99% at 16,000 s",
+		"paper: Condor v6.9.3 derived reaches 90/95/99% at 50/100/1,000 s")
+	return res
+}

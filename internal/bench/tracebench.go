@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/sim"
+	"falkon/internal/simfalkon"
+	"falkon/internal/trace"
+)
+
+func init() {
+	register("abl-trace", ablTrace)
+}
+
+// ablTrace replays a synthetic grid trace — bursty batched arrivals with
+// heavy-tailed runtimes, the structure the paper's motivation cites from
+// real grid studies [36, 37] — through Falkon and through direct GRAM4+PBS
+// submission, comparing waits and makespan.
+func ablTrace(scale float64) *Result {
+	cfg := trace.DefaultGenConfig()
+	cfg.Jobs = scaled(cfg.Jobs, scale, 300)
+	tr := trace.Generate(cfg)
+
+	const nodes = 128
+	eF := sim.New(3)
+	mF := simfalkon.New(eF, simfalkon.NoSecurity())
+	falkon := trace.ReplayFalkon(eF, mF, tr, nodes)
+
+	eL := sim.New(3)
+	l := lrm.New(eL, lrm.PBS(), nodes)
+	gw := lrm.NewGateway(eL, l, lrm.GRAM4())
+	pbs := trace.ReplayLRM(eL, gw, tr)
+
+	res := &Result{
+		ID: "abl-trace",
+		Title: fmt.Sprintf("Grid-trace replay: %d jobs in %d batches over %v (128 processors)",
+			len(tr.Jobs), tr.Batches(), cfg.Span),
+		Header: []string{"system", "avg wait", "max wait", "makespan"},
+	}
+	row := func(name string, s *trace.ReplayStats) {
+		res.Rows = append(res.Rows, []string{
+			name,
+			s.AvgWait.Round(time.Millisecond).String(),
+			s.MaxWait.Round(time.Millisecond).String(),
+			s.Makespan.Round(time.Second).String(),
+		})
+	}
+	row("Falkon (128 executors)", falkon)
+	row("GRAM4+PBS direct", pbs)
+	res.Notes = append(res.Notes,
+		"the trace reproduces the cited grid-workload structure: batched submissions [37] and heavy-tailed runtimes with long queue waits under batch scheduling [36]",
+		fmt.Sprintf("Falkon cuts the average wait %.0fx on this trace", pbs.AvgWait.Seconds()/falkon.AvgWait.Seconds()))
+	return res
+}

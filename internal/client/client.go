@@ -1,0 +1,234 @@
+// Package client implements the Falkon client library: it creates a
+// dispatcher instance (factory/instance pattern), submits tasks with
+// client-dispatcher bundling, and collects results either through pushed
+// notifications (message {8} of Figure 2) or by polling.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"falkon/internal/fproto"
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// Options configures Connect.
+type Options struct {
+	// DispatcherAddr is the dispatcher's wsrpc address.
+	DispatcherAddr string
+	// Name labels the client in dispatcher logs.
+	Name string
+	// Security and PSK must match the dispatcher.
+	Security wsrpc.SecurityProfile
+	PSK      []byte
+	// BundleSize groups submissions into bundles of this many tasks
+	// (default 1 = no bundling). Figure 5 sweeps this parameter.
+	BundleSize int
+	// Poll disables pushed result notifications in favour of Collect
+	// polling (the firewall-friendly mode of §6).
+	Poll bool
+	// PollInterval is the Collect long-poll wait when Poll is set
+	// (default 50 ms).
+	PollInterval time.Duration
+}
+
+// Client is a connected Falkon client owning one dispatcher instance.
+type Client struct {
+	opts Options
+	cli  *wsrpc.Client
+	epr  string
+
+	mu        sync.Mutex
+	submitted int64
+	received  int64
+	results   chan task.Result
+	closed    bool
+
+	pollStop chan struct{}
+	pollDone chan struct{}
+}
+
+// Connect dials the dispatcher and creates a fresh instance.
+func Connect(opts Options) (*Client, error) {
+	if opts.BundleSize <= 0 {
+		opts.BundleSize = 1
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 50 * time.Millisecond
+	}
+	c := &Client{opts: opts, results: make(chan task.Result, 4096)}
+	cli, err := wsrpc.Dial(opts.DispatcherAddr, wsrpc.ClientOptions{
+		Security: opts.Security,
+		PSK:      opts.PSK,
+		OnNotify: c.onNotify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.cli = cli
+	var reply fproto.CreateInstanceReply
+	err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
+		ClientName:        opts.Name,
+		WantNotifications: !opts.Poll,
+	}, &reply)
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("client: create instance: %w", err)
+	}
+	c.epr = reply.EPR
+	if opts.Poll {
+		c.pollStop = make(chan struct{})
+		c.pollDone = make(chan struct{})
+		go c.pollLoop()
+	}
+	return c, nil
+}
+
+// EPR returns the instance endpoint reference.
+func (c *Client) EPR() string { return c.epr }
+
+// onNotify receives pushed results. It runs on the read loop; the results
+// channel is buffered, and genuine backpressure falls back to a goroutine
+// per overflow batch (rare).
+func (c *Client) onNotify(method string, body json.RawMessage) {
+	if method != fproto.NotifyResults {
+		return
+	}
+	var n fproto.ResultsNotify
+	if err := json.Unmarshal(body, &n); err != nil {
+		return
+	}
+	c.deliver(n.Results)
+}
+
+// deliver pushes results to the channel, spilling to a goroutine if full so
+// the transport read loop never stalls.
+func (c *Client) deliver(rs []task.Result) {
+	for i, r := range rs {
+		select {
+		case c.results <- r:
+		default:
+			rest := rs[i:]
+			go func() {
+				for _, r := range rest {
+					c.results <- r
+				}
+			}()
+			c.bumpReceived(len(rs))
+			return
+		}
+	}
+	c.bumpReceived(len(rs))
+}
+
+func (c *Client) bumpReceived(n int) {
+	c.mu.Lock()
+	c.received += int64(n)
+	c.mu.Unlock()
+}
+
+// pollLoop drives Collect when notifications are disabled.
+func (c *Client) pollLoop() {
+	defer close(c.pollDone)
+	for {
+		select {
+		case <-c.pollStop:
+			return
+		default:
+		}
+		var reply fproto.CollectReply
+		err := c.cli.Call(fproto.MethodCollect, fproto.CollectRequest{
+			EPR:        c.epr,
+			WaitMillis: int(c.opts.PollInterval / time.Millisecond),
+		}, &reply)
+		if err != nil {
+			return // connection gone
+		}
+		if len(reply.Results) > 0 {
+			c.deliver(reply.Results)
+		}
+	}
+}
+
+// Submit sends tasks to the dispatcher in bundles of BundleSize.
+func (c *Client) Submit(tasks []task.Task) error {
+	for len(tasks) > 0 {
+		n := c.opts.BundleSize
+		if n > len(tasks) {
+			n = len(tasks)
+		}
+		var reply fproto.SubmitReply
+		err := c.cli.Call(fproto.MethodSubmit, fproto.SubmitRequest{EPR: c.epr, Tasks: tasks[:n]}, &reply)
+		if err != nil {
+			return fmt.Errorf("client: submit: %w", err)
+		}
+		if reply.Accepted != n {
+			return fmt.Errorf("client: submitted %d tasks, dispatcher accepted %d", n, reply.Accepted)
+		}
+		c.mu.Lock()
+		c.submitted += int64(n)
+		c.mu.Unlock()
+		tasks = tasks[n:]
+	}
+	return nil
+}
+
+// Results exposes the stream of finished task results.
+func (c *Client) Results() <-chan task.Result { return c.results }
+
+// WaitN blocks until n results arrive (cumulative across calls is not
+// tracked; n results are read from the stream) or the timeout expires.
+func (c *Client) WaitN(n int, timeout time.Duration) ([]task.Result, error) {
+	out := make([]task.Result, 0, n)
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for len(out) < n {
+		select {
+		case r := <-c.results:
+			out = append(out, r)
+		case <-c.cli.Done():
+			return out, fmt.Errorf("client: connection closed with %d/%d results", len(out), n)
+		case <-deadline:
+			return out, fmt.Errorf("client: timeout with %d/%d results", len(out), n)
+		}
+	}
+	return out, nil
+}
+
+// Submitted returns the number of tasks submitted so far.
+func (c *Client) Submitted() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.submitted }
+
+// Stats fetches the dispatcher's state over the wire (the provisioner's
+// {POLL} request, available to any client).
+func (c *Client) Stats() (fproto.StatsReply, error) {
+	var st fproto.StatsReply
+	err := c.cli.Call(fproto.MethodStats, nil, &st)
+	return st, err
+}
+
+// Close destroys the instance and disconnects.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.pollStop != nil {
+		close(c.pollStop)
+	}
+	_ = c.cli.Call(fproto.MethodDestroyInstance, fproto.DestroyInstanceRequest{EPR: c.epr}, nil)
+	err := c.cli.Close()
+	if c.pollDone != nil {
+		<-c.pollDone
+	}
+	return err
+}

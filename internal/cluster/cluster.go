@@ -1,0 +1,43 @@
+// Package cluster describes the testbed platforms of the paper's Table 1.
+// The simulator uses these descriptions for node counts and per-node
+// processor counts; the paper maps one executor to each processor.
+package cluster
+
+import "fmt"
+
+// Platform is one row of Table 1.
+type Platform struct {
+	Name        string
+	Nodes       int
+	CPUsPerNode int
+	Processors  string
+	MemoryGB    int
+	NetworkMbps int
+}
+
+// Executors returns the executor capacity under the paper's one-executor-
+// per-processor mapping.
+func (p Platform) Executors() int { return p.Nodes * p.CPUsPerNode }
+
+// String renders the platform like the paper's table row.
+func (p Platform) String() string {
+	return fmt.Sprintf("%s: %d nodes x %s, %d GB, %d Mb/s", p.Name, p.Nodes, p.Processors, p.MemoryGB, p.NetworkMbps)
+}
+
+// The Table 1 platforms.
+var (
+	TGANLIA32 = Platform{Name: "TG_ANL_IA32", Nodes: 98, CPUsPerNode: 2, Processors: "Dual Xeon 2.4GHz", MemoryGB: 4, NetworkMbps: 1000}
+	TGANLIA64 = Platform{Name: "TG_ANL_IA64", Nodes: 64, CPUsPerNode: 2, Processors: "Dual Itanium 1.5GHz", MemoryGB: 4, NetworkMbps: 1000}
+	TPUCX64   = Platform{Name: "TP_UC_x64", Nodes: 122, CPUsPerNode: 2, Processors: "Dual Opteron 2.2GHz", MemoryGB: 4, NetworkMbps: 1000}
+	UCX64     = Platform{Name: "UC_x64", Nodes: 1, CPUsPerNode: 2, Processors: "Dual Xeon 3GHz w/ HT", MemoryGB: 2, NetworkMbps: 100}
+	UCIA32    = Platform{Name: "UC_IA32", Nodes: 1, CPUsPerNode: 1, Processors: "Intel P4 2.4GHz", MemoryGB: 1, NetworkMbps: 100}
+)
+
+// All lists every Table 1 platform.
+func All() []Platform {
+	return []Platform{TGANLIA32, TGANLIA64, TPUCX64, UCX64, UCIA32}
+}
+
+// FreeANLNodes is the number of TG_ANL nodes free during the paper's
+// experiments (128 of 162 across both ANL clusters).
+const FreeANLNodes = 128

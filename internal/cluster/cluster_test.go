@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Platforms(t *testing.T) {
+	cases := []struct {
+		p     Platform
+		nodes int
+		execs int
+	}{
+		{TGANLIA32, 98, 196},
+		{TGANLIA64, 64, 128},
+		{TPUCX64, 122, 244},
+		{UCX64, 1, 2},
+		{UCIA32, 1, 1},
+	}
+	for _, c := range cases {
+		if c.p.Nodes != c.nodes {
+			t.Fatalf("%s nodes = %d, want %d", c.p.Name, c.p.Nodes, c.nodes)
+		}
+		if got := c.p.Executors(); got != c.execs {
+			t.Fatalf("%s executors = %d, want %d", c.p.Name, got, c.execs)
+		}
+	}
+}
+
+func TestAllListsFivePlatforms(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("platforms = %d, want 5 (Table 1)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p.Name] {
+			t.Fatalf("duplicate platform %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	s := TGANLIA32.String()
+	for _, want := range []string{"TG_ANL_IA32", "98 nodes", "Xeon", "1000 Mb/s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFreeANLNodes(t *testing.T) {
+	// "Of the 162 nodes on TG_ANL_IA32 and TG_ANL_IA64, 128 were free".
+	if TGANLIA32.Nodes+TGANLIA64.Nodes != 162 {
+		t.Fatal("ANL cluster sizes do not sum to 162")
+	}
+	if FreeANLNodes != 128 {
+		t.Fatal("free node count")
+	}
+}

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/core"
+	"falkon/internal/executor"
+	"falkon/internal/provision"
+	"falkon/internal/task"
+)
+
+func TestStartStaticAndExternalExecutor(t *testing.T) {
+	sys, err := core.Start(core.Config{Executors: 1, SleepScale: 0.001, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// A second, externally-started executor can join via Addr.
+	ex, err := executor.Start(executor.Options{ID: "external", DispatcherAddr: sys.Addr(), SleepScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	var gen task.IDGen
+	if err := sys.Submit(task.Batch(&gen, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.WaitN(50, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Stats(); st.TotalExecutors != 2 {
+		t.Fatalf("executors = %d", st.TotalExecutors)
+	}
+}
+
+func TestStartProvisionedRejectsBadConfig(t *testing.T) {
+	_, err := core.Start(core.Config{
+		Provisioning: &core.ProvisioningConfig{MaxExecutors: 0},
+		Logf:         t.Logf,
+	})
+	if err == nil {
+		t.Fatal("zero MaxExecutors accepted")
+	}
+}
+
+func TestCentralizedReleaseConfig(t *testing.T) {
+	sys, err := core.Start(core.Config{
+		SleepScale: 0.001,
+		Provisioning: &core.ProvisioningConfig{
+			MaxExecutors:   2,
+			Release:        provision.ReleaseCentralized,
+			QueueThreshold: 1,
+			PollInterval:   20 * time.Millisecond,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var gen task.IDGen
+	if err := sys.Submit(task.Batch(&gen, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.WaitN(10, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Once drained, the centralized policy should shrink the pool.
+	deadline := time.Now().Add(20 * time.Second)
+	for sys.Stats().TotalExecutors != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never shrank: %+v", sys.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys, err := core.Start(core.Config{Executors: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Addr() == "" {
+		t.Fatal("empty addr")
+	}
+	if sys.Client() == nil || sys.Dispatcher() == nil {
+		t.Fatal("nil accessors")
+	}
+	if sys.Provisioner() != nil {
+		t.Fatal("static pool has a provisioner")
+	}
+	if ch := sys.Results(); ch == nil {
+		t.Fatal("nil results channel")
+	}
+}
+
+func TestCloseIsIdempotentish(t *testing.T) {
+	sys, err := core.Start(core.Config{Executors: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachRemoteDispatcher(t *testing.T) {
+	// A server-side system hosts the dispatcher and executors; a second
+	// System attaches to it remotely.
+	host, err := core.Start(core.Config{Executors: 2, SleepScale: 0.001, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	remote, err := core.Attach(host.Addr(), client.Options{Name: "remote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if remote.Addr() != host.Addr() {
+		t.Fatalf("addr = %q", remote.Addr())
+	}
+	var gen task.IDGen
+	if err := remote.Submit(task.Batch(&gen, 25, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.WaitN(25, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := remote.Stats() // fetched over the wire
+	if st.TotalExecutors != 2 || st.Completed < 25 {
+		t.Fatalf("remote stats = %+v", st)
+	}
+}

@@ -1,0 +1,69 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheSetLRU(t *testing.T) {
+	c := newCacheSet(2)
+	c.touch("a")
+	c.touch("b")
+	if !c.has("a") || !c.has("b") {
+		t.Fatal("entries missing")
+	}
+	c.touch("a") // refresh a; b becomes LRU
+	c.touch("c") // evicts b
+	if !c.has("a") || !c.has("c") || c.has("b") {
+		t.Fatalf("LRU eviction wrong: a=%v b=%v c=%v", c.has("a"), c.has("b"), c.has("c"))
+	}
+}
+
+func TestCacheSetIgnoresEmptyAndZeroCap(t *testing.T) {
+	c := newCacheSet(2)
+	c.touch("")
+	if c.has("") {
+		t.Fatal("empty dataset cached")
+	}
+	z := newCacheSet(0)
+	z.touch("x")
+	if z.has("x") {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestFifoWindowAndRemoveAt(t *testing.T) {
+	var q fifo
+	for i := 1; i <= 5; i++ {
+		q.push(pending{epr: fmt.Sprint(i)})
+	}
+	q.pop() // head advances
+	w := q.window(3)
+	if len(w) != 3 || w[0].epr != "2" || w[2].epr != "4" {
+		t.Fatalf("window = %v", w)
+	}
+	q.removeAt(1) // removes "3"
+	var got []string
+	for {
+		p, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, p.epr)
+	}
+	want := []string{"2", "4", "5"}
+	if len(got) != len(want) {
+		t.Fatalf("after removeAt: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after removeAt: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDispatchPolicyString(t *testing.T) {
+	if PolicyNextAvailable.String() != "next-available" || PolicyDataAware.String() != "data-aware" {
+		t.Fatal("policy names")
+	}
+}

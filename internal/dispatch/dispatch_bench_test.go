@@ -1,0 +1,47 @@
+package dispatch
+
+import (
+	"testing"
+
+	"falkon/internal/task"
+)
+
+// BenchmarkFifo measures the dispatch queue under sustained load — the
+// structure that holds 1.5M pending tasks in the endurance run.
+func BenchmarkFifo(b *testing.B) {
+	var q fifo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(pending{t: task.Task{ID: task.ID(i)}})
+		if i%2 == 1 {
+			q.pop()
+		}
+	}
+}
+
+// BenchmarkFifoDeep measures pops against a deep queue (compaction path).
+func BenchmarkFifoDeep(b *testing.B) {
+	var q fifo
+	for i := 0; i < 100000; i++ {
+		q.push(pending{t: task.Task{ID: task.ID(i)}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(pending{t: task.Task{ID: task.ID(i)}})
+		q.pop()
+	}
+}
+
+// BenchmarkCacheSet measures the data-aware policy's LRU bookkeeping.
+func BenchmarkCacheSet(b *testing.B) {
+	c := newCacheSet(16)
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = task.ID(i).String()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.touch(names[i%64])
+		c.has(names[(i*7)%64])
+	}
+}

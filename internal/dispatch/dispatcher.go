@@ -1,0 +1,415 @@
+// Package dispatch implements the Falkon dispatcher: the streamlined task
+// dispatch service at the core of the paper. It accepts bundled task
+// submissions from clients, maintains a FIFO queue per the next-available
+// dispatch policy, pushes work-available notifications to idle executors,
+// serves work pulls, accepts result deliveries with piggy-backed work
+// requests, applies the replay policy (re-dispatch on failure or timeout),
+// and exposes the state the provisioner polls.
+//
+// In keeping with the paper's design (§1, §7), the dispatcher deliberately
+// omits LRM features: there are no priorities, no multiple queues, no
+// accounting, and no per-task resource limits.
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"falkon/internal/fproto"
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Security and PSK configure the wsrpc transport profile.
+	Security wsrpc.SecurityProfile
+	PSK      []byte
+
+	// NotifyWorkers sizes the notification engine's thread pool (default 4).
+	NotifyWorkers int
+
+	// ReplayTimeout re-dispatches tasks whose executor has not responded
+	// within this duration (0 disables timeout-based replay; disconnect-
+	// based replay is always on).
+	ReplayTimeout time.Duration
+
+	// MaxRetries bounds per-task re-dispatches (default 3). A task that
+	// exhausts retries is reported failed.
+	MaxRetries int
+
+	// RetryOnFailure re-dispatches tasks whose result reports failure, per
+	// the paper's replay policy (default true; set NoRetryOnFailure to
+	// disable).
+	NoRetryOnFailure bool
+
+	// Policy selects the dispatch policy (default next-available, the
+	// paper's evaluated policy; PolicyDataAware adds dataset affinity).
+	Policy DispatchPolicy
+
+	// CacheCapacity is the per-executor dataset cache size tracked by the
+	// data-aware policy (default 16).
+	CacheCapacity int
+
+	// Logf receives dispatcher logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// execState tracks one registered executor.
+type execState struct {
+	id         string
+	peer       *wsrpc.Peer
+	slots      int
+	assigned   int
+	notified   bool
+	inIdle     bool // present in the idle (has-free-capacity) stack
+	allocation string
+	cache      *cacheSet // datasets resident on the executor (data-aware)
+}
+
+// outKey identifies an outstanding (dispatched, unacknowledged) task.
+type outKey struct {
+	epr string
+	id  task.ID
+}
+
+// outstanding records one dispatched task awaiting its result.
+type outstanding struct {
+	p            pending
+	executor     string
+	dispatchedAt time.Duration
+}
+
+// Dispatcher is the Falkon dispatch service. Create with New, then Listen.
+type Dispatcher struct {
+	opts  Options
+	srv   *wsrpc.Server
+	eng   *notifyEngine
+	epoch time.Time
+
+	mu          sync.Mutex
+	instances   map[string]*instance
+	queue       fifo
+	execs       map[string]*execState
+	idle        []string // ids of fully idle, un-notified executors
+	out         map[outKey]*outstanding
+	nextEPR     int64
+	closed      bool
+	draining    bool
+	submitted   int64
+	completed   int64
+	failed      int64
+	retried     int64
+	duplicates  int64
+	dispatched  int64
+	cacheHits   int64
+	cacheMisses int64
+	sweeperStop chan struct{}
+	sweeperDone chan struct{}
+}
+
+// New constructs a dispatcher (not yet listening).
+func New(opts Options) *Dispatcher {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.CacheCapacity == 0 {
+		opts.CacheCapacity = 16
+	}
+	d := &Dispatcher{
+		opts:      opts,
+		epoch:     time.Now(),
+		instances: make(map[string]*instance),
+		execs:     make(map[string]*execState),
+		out:       make(map[outKey]*outstanding),
+	}
+	d.eng = newNotifyEngine(opts.NotifyWorkers, opts.Logf)
+	d.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: d.logf})
+	d.register()
+	d.srv.OnDisconnect(d.onDisconnect)
+	return d
+}
+
+// now returns the dispatcher-epoch timestamp.
+func (d *Dispatcher) now() time.Duration { return time.Since(d.epoch) }
+
+func (d *Dispatcher) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// Listen binds the dispatcher to addr (":0" for an ephemeral port) and
+// starts serving.
+func (d *Dispatcher) Listen(addr string) error {
+	if err := d.srv.Listen(addr); err != nil {
+		return err
+	}
+	if d.opts.ReplayTimeout > 0 {
+		d.sweeperStop = make(chan struct{})
+		d.sweeperDone = make(chan struct{})
+		go d.sweeper()
+	}
+	return nil
+}
+
+// Addr returns the bound address.
+func (d *Dispatcher) Addr() string { return d.srv.Addr() }
+
+// Close shuts the dispatcher down.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	if d.sweeperStop != nil {
+		close(d.sweeperStop)
+		<-d.sweeperDone
+	}
+	err := d.srv.Close()
+	d.eng.close()
+	return err
+}
+
+// Drain puts the dispatcher into drain mode: new submissions are rejected
+// while queued and in-flight tasks complete. It returns once the system is
+// empty or the timeout expires (0 = wait forever), reporting whether the
+// drain finished.
+func (d *Dispatcher) Drain(timeout time.Duration) bool {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		d.mu.Lock()
+		empty := d.queue.len() == 0 && len(d.out) == 0
+		d.mu.Unlock()
+		if empty {
+			return true
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stats snapshots dispatcher state (also served as an RPC for remote
+// provisioners).
+func (d *Dispatcher) Stats() fproto.StatsReply {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statsLocked()
+}
+
+func (d *Dispatcher) statsLocked() fproto.StatsReply {
+	st := fproto.StatsReply{
+		Queued:      d.queue.len(),
+		Outstanding: len(d.out),
+		Submitted:   d.submitted,
+		Completed:   d.completed,
+		Failed:      d.failed,
+		Retried:     d.retried,
+		Instances:   len(d.instances),
+		CacheHits:   d.cacheHits,
+		CacheMisses: d.cacheMisses,
+	}
+	for _, ex := range d.execs {
+		st.TotalExecutors++
+		if ex.assigned > 0 {
+			st.BusyExecutors++
+		} else {
+			st.IdleExecutors++
+		}
+	}
+	return st
+}
+
+// onDisconnect requeues work from dropped executors and finalizes dropped
+// client instances' push mode.
+func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
+	meta, _ := p.Meta().(string)
+	if meta == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ex, ok := d.execs[meta]
+	if !ok || ex.peer != p {
+		return
+	}
+	delete(d.execs, meta)
+	d.removeIdleLocked(meta)
+	// Replay every task the executor held.
+	requeued := 0
+	for k, o := range d.out {
+		if o.executor != meta {
+			continue
+		}
+		delete(d.out, k)
+		d.replayLocked(o, fmt.Sprintf("executor %s disconnected", meta))
+		requeued++
+	}
+	if requeued > 0 {
+		d.logf("dispatch: executor %s dropped with %d tasks in flight", meta, requeued)
+		d.kickLocked()
+	}
+}
+
+// replayLocked re-queues o (or fails the task if retries are exhausted).
+// Tasks may carry their own retry bound; otherwise the dispatcher default
+// applies.
+func (d *Dispatcher) replayLocked(o *outstanding, reason string) {
+	limit := d.opts.MaxRetries
+	if o.p.t.MaxRetries > 0 {
+		limit = o.p.t.MaxRetries
+	}
+	if o.p.attempts >= limit+1 {
+		d.finalizeLocked(o.p.epr, task.Result{
+			ID:           o.p.t.ID,
+			Err:          "retries exhausted: " + reason,
+			ExitCode:     -1,
+			QueuedAt:     o.p.queuedAt,
+			DispatchedAt: o.dispatchedAt,
+			StartedAt:    d.now(),
+			FinishedAt:   d.now(),
+			Attempts:     o.p.attempts,
+		})
+		return
+	}
+	d.retried++
+	d.queue.push(o.p)
+}
+
+// kickLocked notifies executors with free capacity until the queue is
+// covered. Each executor gets at most one outstanding notification (the
+// notified flag) — it clears when the executor next pulls or delivers.
+func (d *Dispatcher) kickLocked() {
+	queued := d.queue.len()
+	for queued > 0 && len(d.idle) > 0 {
+		id := d.idle[len(d.idle)-1]
+		d.idle = d.idle[:len(d.idle)-1]
+		ex, ok := d.execs[id]
+		if !ok {
+			continue
+		}
+		ex.inIdle = false
+		free := ex.slots - ex.assigned
+		if free <= 0 || ex.notified {
+			continue
+		}
+		ex.notified = true
+		d.eng.notifyWork(ex.peer, queued)
+		queued -= free
+	}
+}
+
+// removeIdleLocked removes id from the idle stack if present.
+func (d *Dispatcher) removeIdleLocked(id string) {
+	for i, v := range d.idle {
+		if v == id {
+			d.idle = append(d.idle[:i], d.idle[i+1:]...)
+			if ex, ok := d.execs[id]; ok {
+				ex.inIdle = false
+			}
+			return
+		}
+	}
+}
+
+// offerLocked records that the executor has free capacity and no pending
+// notification, making it eligible for work-available pushes.
+func (d *Dispatcher) offerLocked(ex *execState) {
+	if !ex.inIdle && !ex.notified && ex.assigned < ex.slots {
+		ex.inIdle = true
+		d.idle = append(d.idle, ex.id)
+	}
+}
+
+// assignLocked pops up to max tasks for executor ex, recording them as
+// outstanding. It returns the protocol assignments.
+func (d *Dispatcher) assignLocked(ex *execState, max int) []fproto.Assignment {
+	if max <= 0 {
+		max = 1
+	}
+	var as []fproto.Assignment
+	now := d.now()
+	for len(as) < max {
+		p, hit, ok := d.pickLocked(ex)
+		if !ok {
+			break
+		}
+		if inst, ok := d.instances[p.epr]; !ok || inst.destroyed {
+			continue // instance destroyed while queued
+		}
+		p.attempts++
+		d.out[outKey{p.epr, p.t.ID}] = &outstanding{p: p, executor: ex.id, dispatchedAt: now}
+		ex.assigned++
+		d.dispatched++
+		as = append(as, fproto.Assignment{EPR: p.epr, Task: p.t, CacheHit: hit})
+	}
+	return as
+}
+
+// finalizeLocked delivers a finished result to its instance (push or
+// buffer).
+func (d *Dispatcher) finalizeLocked(epr string, r task.Result) {
+	if r.Failed() {
+		d.failed++
+	} else {
+		d.completed++
+	}
+	inst, ok := d.instances[epr]
+	if !ok || inst.destroyed {
+		return
+	}
+	inst.inFlight--
+	if inst.notify {
+		d.eng.push(inst.peer, fproto.NotifyResults, fproto.ResultsNotify{EPR: epr, Results: []task.Result{r}})
+		return
+	}
+	inst.addResult(r)
+}
+
+// sweeper periodically applies the timeout half of the replay policy.
+func (d *Dispatcher) sweeper() {
+	defer close(d.sweeperDone)
+	interval := d.opts.ReplayTimeout / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.sweeperStop:
+			return
+		case <-tick.C:
+		}
+		cutoff := d.now() - d.opts.ReplayTimeout
+		d.mu.Lock()
+		var expired []*outstanding
+		for k, o := range d.out {
+			if o.dispatchedAt < cutoff {
+				delete(d.out, k)
+				expired = append(expired, o)
+			}
+		}
+		for _, o := range expired {
+			if ex, ok := d.execs[o.executor]; ok && ex.assigned > 0 {
+				ex.assigned--
+				d.offerLocked(ex)
+			}
+			d.replayLocked(o, "replay timeout")
+		}
+		if len(expired) > 0 {
+			d.logf("dispatch: replayed %d timed-out tasks", len(expired))
+			d.kickLocked()
+		}
+		d.mu.Unlock()
+	}
+}

@@ -1,0 +1,260 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"falkon/internal/fproto"
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// register installs the protocol handlers on the wsrpc server.
+func (d *Dispatcher) register() {
+	d.srv.Register(fproto.MethodCreateInstance, d.handleCreateInstance)
+	d.srv.Register(fproto.MethodDestroyInstance, d.handleDestroyInstance)
+	d.srv.Register(fproto.MethodSubmit, d.handleSubmit)
+	d.srv.Register(fproto.MethodCollect, d.handleCollect)
+	d.srv.Register(fproto.MethodRegister, d.handleRegister)
+	d.srv.Register(fproto.MethodDeregister, d.handleDeregister)
+	d.srv.Register(fproto.MethodGetWork, d.handleGetWork)
+	d.srv.Register(fproto.MethodDeliver, d.handleDeliver)
+	d.srv.Register(fproto.MethodStats, d.handleStats)
+}
+
+func decode[T any](body json.RawMessage) (*T, error) {
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, fmt.Errorf("dispatch: bad request body: %w", err)
+	}
+	return &v, nil
+}
+
+func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.CreateInstanceRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextEPR++
+	epr := fmt.Sprintf("falkon-instance-%d", d.nextEPR)
+	d.instances[epr] = &instance{
+		epr:    epr,
+		name:   req.ClientName,
+		peer:   p,
+		notify: req.WantNotifications,
+	}
+	return fproto.CreateInstanceReply{EPR: epr}, nil
+}
+
+func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.DestroyInstanceRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inst, ok := d.instances[req.EPR]
+	if !ok {
+		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
+	}
+	inst.destroyed = true
+	delete(d.instances, req.EPR)
+	d.queue.dropInstance(req.EPR)
+	// Outstanding tasks' results will be dropped on delivery.
+	return struct{}{}, nil
+}
+
+func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.SubmitRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inst, ok := d.instances[req.EPR]
+	if !ok || inst.destroyed {
+		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
+	}
+	if d.draining {
+		return nil, fmt.Errorf("dispatch: draining, not accepting submissions")
+	}
+	now := d.now()
+	for _, t := range req.Tasks {
+		d.queue.push(pending{epr: req.EPR, t: t, queuedAt: now})
+	}
+	inst.submitted += int64(len(req.Tasks))
+	inst.inFlight += len(req.Tasks)
+	d.submitted += int64(len(req.Tasks))
+	d.kickLocked()
+	return fproto.SubmitReply{Accepted: len(req.Tasks)}, nil
+}
+
+func (d *Dispatcher) handleCollect(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.CollectRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(time.Duration(req.WaitMillis) * time.Millisecond)
+	for {
+		d.mu.Lock()
+		inst, ok := d.instances[req.EPR]
+		if !ok || inst.destroyed {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
+		}
+		results := inst.takeResults(req.Max)
+		pendingN := inst.inFlight
+		if len(results) > 0 || req.WaitMillis <= 0 || !time.Now().Before(deadline) {
+			d.mu.Unlock()
+			return fproto.CollectReply{Results: results, Pending: pendingN}, nil
+		}
+		// Block until results arrive or the deadline passes.
+		w := make(chan struct{}, 1)
+		inst.waiters = append(inst.waiters, w)
+		d.mu.Unlock()
+		select {
+		case <-w:
+		case <-time.After(time.Until(deadline)):
+		}
+	}
+}
+
+func (d *Dispatcher) handleRegister(p *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.RegisterRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	if req.ExecutorID == "" {
+		return nil, fmt.Errorf("dispatch: empty executor id")
+	}
+	slots := req.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	p.SetMeta(req.ExecutorID)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.execs[req.ExecutorID]; ok {
+		// A re-register replaces the old connection (e.g. executor restart).
+		d.removeIdleLocked(old.id)
+	}
+	ex := &execState{id: req.ExecutorID, peer: p, slots: slots, allocation: req.Allocation}
+	if d.opts.Policy == PolicyDataAware {
+		ex.cache = newCacheSet(d.opts.CacheCapacity)
+	}
+	d.execs[req.ExecutorID] = ex
+	d.offerLocked(ex)
+	d.kickLocked()
+	return fproto.RegisterReply{OK: true, DispatcherEpoch: d.epoch.UnixNano()}, nil
+}
+
+func (d *Dispatcher) handleDeregister(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.DeregisterRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.execs[req.ExecutorID]; !ok {
+		return struct{}{}, nil // already gone
+	}
+	delete(d.execs, req.ExecutorID)
+	d.removeIdleLocked(req.ExecutorID)
+	for k, o := range d.out {
+		if o.executor == req.ExecutorID {
+			delete(d.out, k)
+			d.replayLocked(o, "executor deregistered")
+		}
+	}
+	d.kickLocked()
+	return struct{}{}, nil
+}
+
+func (d *Dispatcher) handleGetWork(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.GetWorkRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ex, ok := d.execs[req.ExecutorID]
+	if !ok {
+		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
+	}
+	ex.notified = false
+	as := d.assignLocked(ex, req.Max)
+	d.offerLocked(ex)
+	if len(as) > 0 {
+		d.kickLocked() // other executors may still be needed for the rest
+	}
+	return fproto.GetWorkReply{Assignments: as}, nil
+}
+
+func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.DeliverRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ex, ok := d.execs[req.ExecutorID]
+	if !ok {
+		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
+	}
+	now := d.now()
+	for _, tr := range req.Results {
+		key := outKey{tr.EPR, tr.Result.ID}
+		o, ok := d.out[key]
+		if !ok || o.executor != req.ExecutorID {
+			d.duplicates++ // late result after replay, or bogus delivery
+			continue
+		}
+		delete(d.out, key)
+		if ex.assigned > 0 {
+			ex.assigned--
+		}
+		r := tr.Result
+		// Rebase executor-local timing onto the dispatcher epoch: the run
+		// duration is trusted, absolute stamps are not (clock skew).
+		r.QueuedAt = o.p.queuedAt
+		r.DispatchedAt = o.dispatchedAt
+		r.FinishedAt = now
+		r.StartedAt = now - tr.RunDur
+		if r.StartedAt < r.DispatchedAt {
+			r.StartedAt = r.DispatchedAt
+		}
+		r.Attempts = o.p.attempts
+		r.ExecutorID = req.ExecutorID
+		d.noteCompletionLocked(ex, taskDataset(o.p.t))
+		if r.Failed() && !d.opts.NoRetryOnFailure {
+			d.replayLocked(o, "task failed: "+failReason(r))
+			continue
+		}
+		d.finalizeLocked(tr.EPR, r)
+	}
+	ex.notified = false
+	var as []fproto.Assignment
+	if req.WantWork {
+		as = d.assignLocked(ex, req.MaxNew)
+	}
+	d.offerLocked(ex)
+	d.kickLocked()
+	return fproto.DeliverReply{Assignments: as}, nil
+}
+
+// failReason summarizes a failed result for logs.
+func failReason(r task.Result) string {
+	if r.Err != "" {
+		return r.Err
+	}
+	return fmt.Sprintf("exit code %d", r.ExitCode)
+}
+
+func (d *Dispatcher) handleStats(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statsLocked(), nil
+}

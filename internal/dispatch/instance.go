@@ -1,0 +1,62 @@
+package dispatch
+
+import (
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// instance is the per-client state behind one endpoint reference, following
+// the paper's factory/instance pattern: each client gets its own queue
+// accounting and result buffer, cleanly separated from other clients.
+type instance struct {
+	epr    string
+	name   string
+	peer   *wsrpc.Peer // connection that created the instance
+	notify bool        // push results over peer ({8}) vs. client polling
+
+	// submitted counts tasks accepted; inFlight counts tasks queued,
+	// outstanding, or buffered-but-uncollected; used for Collect's pending
+	// figure.
+	submitted int64
+	inFlight  int
+
+	// results buffers finished tasks awaiting Collect (only when notify is
+	// false — pushed results never buffer).
+	results []task.Result
+
+	// waiters are blocked Collect calls to wake when results arrive.
+	waiters []chan struct{}
+
+	destroyed bool
+}
+
+// addResult buffers r and wakes any blocked Collect.
+func (in *instance) addResult(r task.Result) {
+	in.results = append(in.results, r)
+	for _, w := range in.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	in.waiters = in.waiters[:0]
+}
+
+// takeResults removes and returns up to max buffered results (0 = all).
+func (in *instance) takeResults(max int) []task.Result {
+	n := len(in.results)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]task.Result, n)
+	copy(out, in.results)
+	rest := copy(in.results, in.results[n:])
+	for i := rest; i < len(in.results); i++ {
+		in.results[i] = task.Result{}
+	}
+	in.results = in.results[:rest]
+	return out
+}

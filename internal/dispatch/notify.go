@@ -1,0 +1,82 @@
+package dispatch
+
+import (
+	"sync"
+
+	"falkon/internal/fproto"
+	"falkon/internal/wsrpc"
+)
+
+// notifyEngine is the shared notification engine of the paper (§3.2): a
+// queue of pending executor notifications drained by a pool of worker
+// goroutines. Pushing a notification never blocks the dispatcher's critical
+// section on network writes.
+type notifyEngine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []notifyItem
+	closed  bool
+	workers sync.WaitGroup
+}
+
+type notifyItem struct {
+	peer   *wsrpc.Peer
+	method string
+	body   any
+}
+
+// newNotifyEngine starts workers goroutines draining the queue.
+func newNotifyEngine(workers int, logf func(string, ...any)) *notifyEngine {
+	if workers <= 0 {
+		workers = 4
+	}
+	e := &notifyEngine{}
+	e.cond = sync.NewCond(&e.mu)
+	for i := 0; i < workers; i++ {
+		e.workers.Add(1)
+		go func() {
+			defer e.workers.Done()
+			for {
+				e.mu.Lock()
+				for len(e.queue) == 0 && !e.closed {
+					e.cond.Wait()
+				}
+				if e.closed && len(e.queue) == 0 {
+					e.mu.Unlock()
+					return
+				}
+				item := e.queue[0]
+				e.queue = e.queue[1:]
+				e.mu.Unlock()
+				if err := item.peer.Notify(item.method, item.body); err != nil && logf != nil {
+					logf("dispatch: notify %s: %v", item.method, err)
+				}
+			}
+		}()
+	}
+	return e
+}
+
+// push enqueues a notification for delivery.
+func (e *notifyEngine) push(peer *wsrpc.Peer, method string, body any) {
+	e.mu.Lock()
+	if !e.closed {
+		e.queue = append(e.queue, notifyItem{peer: peer, method: method, body: body})
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+// close drains remaining notifications and stops the workers.
+func (e *notifyEngine) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.workers.Wait()
+}
+
+// notifyWork enqueues a WorkAvailable push ({3}) for an executor peer.
+func (e *notifyEngine) notifyWork(peer *wsrpc.Peer, queued int) {
+	e.push(peer, fproto.NotifyWorkAvailable, fproto.WorkAvailable{Queued: queued})
+}

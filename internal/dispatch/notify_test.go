@@ -1,0 +1,108 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"falkon/internal/fproto"
+	"falkon/internal/wsrpc"
+)
+
+// startNotifyTarget runs a wsrpc server whose clients count received
+// work-available notifications.
+func startNotifyTarget(t *testing.T) (*wsrpc.Server, func() (*wsrpc.Peer, *atomic.Int64)) {
+	t.Helper()
+	srv := wsrpc.NewServer(wsrpc.ServerOptions{Logf: t.Logf})
+	peerCh := make(chan *wsrpc.Peer, 16)
+	srv.Register("hello", func(p *wsrpc.Peer, _ json.RawMessage) (any, error) {
+		peerCh <- p
+		return nil, nil
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	connect := func() (*wsrpc.Peer, *atomic.Int64) {
+		var count atomic.Int64
+		cli, err := wsrpc.Dial(srv.Addr(), wsrpc.ClientOptions{
+			OnNotify: func(method string, _ json.RawMessage) {
+				if method == fproto.NotifyWorkAvailable {
+					count.Add(1)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		if err := cli.Call("hello", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		return <-peerCh, &count
+	}
+	return srv, connect
+}
+
+func TestNotifyEngineDeliversThroughWorkerPool(t *testing.T) {
+	_, connect := startNotifyTarget(t)
+	peers := make([]*wsrpc.Peer, 4)
+	counts := make([]*atomic.Int64, 4)
+	for i := range peers {
+		peers[i], counts[i] = connect()
+	}
+	eng := newNotifyEngine(2, t.Logf)
+	const per = 25
+	for i := 0; i < per; i++ {
+		for j, p := range peers {
+			_ = j
+			eng.notifyWork(p, i+1)
+		}
+	}
+	eng.close() // drains before stopping
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := int64(0)
+		for _, c := range counts {
+			total += c.Load()
+		}
+		if total == int64(per*len(peers)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d notifications", total, per*len(peers))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNotifyEnginePushAfterCloseDropped(t *testing.T) {
+	_, connect := startNotifyTarget(t)
+	p, count := connect()
+	eng := newNotifyEngine(1, t.Logf)
+	eng.close()
+	eng.notifyWork(p, 1) // must not panic or deliver
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("notification delivered after close")
+	}
+}
+
+func TestNotifyEngineSurvivesDeadPeer(t *testing.T) {
+	_, connect := startNotifyTarget(t)
+	dead, _ := connect()
+	dead.Close() // connection torn down; Notify will fail
+	alive, count := connect()
+	eng := newNotifyEngine(1, t.Logf)
+	eng.notifyWork(dead, 1) // error logged, worker keeps going
+	eng.notifyWork(alive, 1)
+	eng.close()
+	deadline := time.Now().Add(5 * time.Second)
+	for count.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live peer notifications = %d", count.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,82 @@
+package dispatch
+
+import (
+	"time"
+
+	"falkon/internal/task"
+)
+
+// pending is one queued (or re-queued) task awaiting dispatch.
+type pending struct {
+	epr      string
+	t        task.Task
+	queuedAt time.Duration // dispatcher epoch; first enqueue time survives retries
+	attempts int           // dispatch attempts so far
+}
+
+// fifo is an amortized O(1) FIFO of pending tasks, implemented as a
+// two-index slice ring. The endurance experiment (Figure 8) holds up to 1.5
+// million queued tasks, so the queue must not shift elements on every pop.
+type fifo struct {
+	items []pending
+	head  int
+}
+
+// push appends an item.
+func (q *fifo) push(p pending) { q.items = append(q.items, p) }
+
+// pop removes and returns the oldest item; ok is false when empty.
+func (q *fifo) pop() (pending, bool) {
+	if q.head >= len(q.items) {
+		return pending{}, false
+	}
+	p := q.items[q.head]
+	q.items[q.head] = pending{} // release references
+	q.head++
+	// Compact once the dead prefix dominates, bounding memory at 2x live.
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p, true
+}
+
+// len returns the number of queued items.
+func (q *fifo) len() int { return len(q.items) - q.head }
+
+// window returns up to n items from the queue head without removing them;
+// callers must not retain the slice across mutations.
+func (q *fifo) window(n int) []pending {
+	live := q.items[q.head:]
+	if n < len(live) {
+		live = live[:n]
+	}
+	return live
+}
+
+// removeAt removes the item at offset i from the queue head (as indexed
+// into window's result), preserving the order of the rest.
+func (q *fifo) removeAt(i int) {
+	idx := q.head + i
+	copy(q.items[idx:], q.items[idx+1:])
+	q.items[len(q.items)-1] = pending{}
+	q.items = q.items[:len(q.items)-1]
+}
+
+// dropInstance removes all queued tasks belonging to epr (instance
+// destruction) and returns how many were removed.
+func (q *fifo) dropInstance(epr string) int {
+	live := q.items[q.head:]
+	kept := live[:0]
+	dropped := 0
+	for _, p := range live {
+		if p.epr == epr {
+			dropped++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	q.items = q.items[:q.head+len(kept)]
+	return dropped
+}

@@ -1,0 +1,167 @@
+package dispatch
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"falkon/internal/task"
+)
+
+func TestFifoOrder(t *testing.T) {
+	var q fifo
+	for i := 1; i <= 5; i++ {
+		q.push(pending{t: task.Task{ID: task.ID(i)}})
+	}
+	for i := 1; i <= 5; i++ {
+		p, ok := q.pop()
+		if !ok || p.t.ID != task.ID(i) {
+			t.Fatalf("pop %d = %+v, ok=%v", i, p, ok)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestFifoLen(t *testing.T) {
+	var q fifo
+	if q.len() != 0 {
+		t.Fatal("empty queue length nonzero")
+	}
+	q.push(pending{})
+	q.push(pending{})
+	q.pop()
+	if q.len() != 1 {
+		t.Fatalf("len = %d, want 1", q.len())
+	}
+}
+
+func TestFifoCompaction(t *testing.T) {
+	var q fifo
+	// Interleave pushes and pops to force the compaction path, then verify
+	// order is preserved.
+	next, want := 1, 1
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 200; i++ {
+			q.push(pending{t: task.Task{ID: task.ID(next)}})
+			next++
+		}
+		for i := 0; i < 150; i++ {
+			p, ok := q.pop()
+			if !ok || p.t.ID != task.ID(want) {
+				t.Fatalf("pop = %v (ok=%v), want id %d", p.t.ID, ok, want)
+			}
+			want++
+		}
+	}
+	for {
+		p, ok := q.pop()
+		if !ok {
+			break
+		}
+		if p.t.ID != task.ID(want) {
+			t.Fatalf("drain pop = %v, want %d", p.t.ID, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained to %d, want %d", want, next)
+	}
+}
+
+func TestFifoDropInstance(t *testing.T) {
+	var q fifo
+	for i := 1; i <= 6; i++ {
+		epr := "a"
+		if i%2 == 0 {
+			epr = "b"
+		}
+		q.push(pending{epr: epr, t: task.Task{ID: task.ID(i)}})
+	}
+	if n := q.dropInstance("b"); n != 3 {
+		t.Fatalf("dropped %d, want 3", n)
+	}
+	var ids []task.ID
+	for {
+		p, ok := q.pop()
+		if !ok {
+			break
+		}
+		if p.epr != "a" {
+			t.Fatalf("leaked instance %q", p.epr)
+		}
+		ids = append(ids, p.t.ID)
+	}
+	want := []task.ID{1, 3, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order and
+// conserves items.
+func TestFifoPropertyFIFO(t *testing.T) {
+	prop := func(ops []bool) bool {
+		var q fifo
+		next, want := 1, 1
+		for _, push := range ops {
+			if push {
+				q.push(pending{t: task.Task{ID: task.ID(next)}, queuedAt: time.Duration(next)})
+				next++
+			} else {
+				p, ok := q.pop()
+				if ok {
+					if p.t.ID != task.ID(want) {
+						return false
+					}
+					want++
+				} else if want != next {
+					return false // queue claimed empty while items remain
+				}
+			}
+		}
+		return q.len() == next-want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceResultBuffer(t *testing.T) {
+	in := &instance{epr: "x"}
+	for i := 1; i <= 5; i++ {
+		in.addResult(task.Result{ID: task.ID(i)})
+	}
+	got := in.takeResults(2)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("take(2) = %v", got)
+	}
+	got = in.takeResults(0) // 0 = all
+	if len(got) != 3 || got[0].ID != 3 {
+		t.Fatalf("take(all) = %v", got)
+	}
+	if got := in.takeResults(0); got != nil {
+		t.Fatalf("empty take = %v", got)
+	}
+}
+
+func TestInstanceWaitersWoken(t *testing.T) {
+	in := &instance{epr: "x"}
+	w := make(chan struct{}, 1)
+	in.waiters = append(in.waiters, w)
+	in.addResult(task.Result{ID: 1})
+	select {
+	case <-w:
+	default:
+		t.Fatal("waiter not woken")
+	}
+	if len(in.waiters) != 0 {
+		t.Fatal("waiters not cleared")
+	}
+}

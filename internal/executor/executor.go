@@ -1,0 +1,455 @@
+// Package executor implements the Falkon executor: the lightweight agent
+// that registers with a dispatcher, listens for work-available
+// notifications (the push half of the hybrid protocol), pulls tasks, runs
+// them, and delivers results with piggy-backed requests for more work.
+//
+// Besides the real fork/exec engine, the executor supports synthetic task
+// engines (sleep, data, func) so experiments and tests can run without
+// process-spawn noise, optionally compressing synthetic durations through
+// SleepScale.
+package executor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"falkon/internal/fproto"
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// Func is an in-process task body for EngineFunc tasks, registered by name.
+type Func func(t task.Task) (stdout string, exitCode int, err error)
+
+// Options configures an executor.
+type Options struct {
+	// ID names the executor; it must be unique per dispatcher.
+	ID string
+	// DispatcherAddr is the dispatcher's wsrpc address.
+	DispatcherAddr string
+	// Slots is the number of tasks run concurrently (default 1; the paper
+	// runs one executor per processor).
+	Slots int
+	// Security and PSK must match the dispatcher.
+	Security wsrpc.SecurityProfile
+	PSK      []byte
+	// IdleTimeout implements the distributed resource release policy: an
+	// executor idle this long deregisters and stops (0 = never).
+	IdleTimeout time.Duration
+	// Prefetch bounds tasks per work pull (dispatcher->executor bundling);
+	// default 1, matching the paper's per-task dispatch.
+	Prefetch int
+	// PrefetchAhead overlaps communication with execution (paper §6 future
+	// work): while a task runs, the executor asynchronously requests the
+	// next one, so the work-pull round trip hides behind computation.
+	PrefetchAhead bool
+	// SleepScale compresses (or stretches) synthetic sleep durations;
+	// default 1.0. Tests use small values so logical seconds pass quickly.
+	SleepScale float64
+	// Allocation labels the provisioner allocation that started this
+	// executor.
+	Allocation string
+	// Funcs registers EngineFunc bodies by Task.Command.
+	Funcs map[string]Func
+	// DataCost computes synthetic staging time for EngineData tasks; nil
+	// means staging is free.
+	DataCost func(io task.IOSpec) time.Duration
+	// ExecTimeout bounds EngineExec process run time (0 = none).
+	ExecTimeout time.Duration
+	// Logf receives executor logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Executor is a running executor instance.
+type Executor struct {
+	opts Options
+	cli  *wsrpc.Client
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	active   int
+	lastBusy time.Time
+	stopped  bool
+
+	tasksRun int64
+}
+
+// Start connects to the dispatcher, registers, and begins serving work.
+func Start(opts Options) (*Executor, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("executor: empty id")
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	if opts.Prefetch <= 0 {
+		opts.Prefetch = 1
+	}
+	if opts.SleepScale == 0 {
+		opts.SleepScale = 1.0
+	}
+	e := &Executor{
+		opts: opts,
+		wake: make(chan struct{}, opts.Slots),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	e.lastBusy = time.Now()
+	cli, err := wsrpc.Dial(opts.DispatcherAddr, wsrpc.ClientOptions{
+		Security: opts.Security,
+		PSK:      opts.PSK,
+		OnNotify: e.onNotify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.cli = cli
+	var reply fproto.RegisterReply
+	err = cli.Call(fproto.MethodRegister, fproto.RegisterRequest{
+		ExecutorID: opts.ID,
+		Slots:      opts.Slots,
+		Allocation: opts.Allocation,
+	}, &reply)
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("executor %s: register: %w", opts.ID, err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.workLoop()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		e.cli.Close()
+		close(e.done)
+	}()
+	return e, nil
+}
+
+// onNotify wakes workers on work-available pushes. It runs on the client
+// read loop, so it must not block: the wake channel is buffered per slot and
+// extra signals are dropped (workers re-pull until the queue is dry anyway).
+// The notification's queued-tasks hint wakes one slot per waiting task, so
+// multi-slot executors ramp up from a single push.
+func (e *Executor) onNotify(method string, body json.RawMessage) {
+	if method != fproto.NotifyWorkAvailable {
+		return
+	}
+	n := 1
+	var wa fproto.WorkAvailable
+	if err := json.Unmarshal(body, &wa); err == nil && wa.Queued > n {
+		n = wa.Queued
+	}
+	if n > e.opts.Slots {
+		n = e.opts.Slots
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case e.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// logf logs through the configured sink.
+func (e *Executor) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// ID returns the executor id.
+func (e *Executor) ID() string { return e.opts.ID }
+
+// TasksRun returns the number of tasks completed so far.
+func (e *Executor) TasksRun() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tasksRun
+}
+
+// Done is closed once the executor has fully stopped (explicit Stop, idle
+// release, or dispatcher disconnect).
+func (e *Executor) Done() <-chan struct{} { return e.done }
+
+// Stop deregisters and shuts the executor down, waiting for in-flight tasks
+// to finish delivering.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		<-e.done
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	// Best-effort deregistration; the dispatcher also handles disconnects.
+	_ = e.cli.Call(fproto.MethodDeregister, fproto.DeregisterRequest{ExecutorID: e.opts.ID, Reason: "stopped"}, nil)
+	close(e.stop)
+	<-e.done
+}
+
+// releaseIdle implements the distributed release policy once the idle
+// timeout expires.
+func (e *Executor) releaseIdle() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	e.logf("executor %s: idle for %v, releasing", e.opts.ID, e.opts.IdleTimeout)
+	_ = e.cli.Call(fproto.MethodDeregister, fproto.DeregisterRequest{ExecutorID: e.opts.ID, Reason: "idle release"}, nil)
+	close(e.stop)
+}
+
+// workLoop is one slot's serve loop: wait for a notification, pull work,
+// and keep running piggy-backed assignments until the dispatcher runs dry.
+func (e *Executor) workLoop() {
+	for {
+		var idleC <-chan time.Time
+		var idleTimer *time.Timer
+		if e.opts.IdleTimeout > 0 {
+			idleTimer = time.NewTimer(e.idleRemaining())
+			idleC = idleTimer.C
+		}
+		select {
+		case <-e.stop:
+			if idleTimer != nil {
+				idleTimer.Stop()
+			}
+			return
+		case <-e.cli.Done():
+			if idleTimer != nil {
+				idleTimer.Stop()
+			}
+			return
+		case <-idleC:
+			if e.idleExpired() {
+				e.releaseIdle()
+				return
+			}
+			continue // another slot was busy; re-arm
+		case <-e.wake:
+			if idleTimer != nil {
+				idleTimer.Stop()
+			}
+		}
+		var reply fproto.GetWorkReply
+		err := e.cli.Call(fproto.MethodGetWork, fproto.GetWorkRequest{ExecutorID: e.opts.ID, Max: e.opts.Prefetch}, &reply)
+		if err != nil {
+			if !e.isStopping() {
+				e.logf("executor %s: get-work: %v", e.opts.ID, err)
+			}
+			return
+		}
+		e.runAssignments(reply.Assignments)
+	}
+}
+
+// isStopping reports whether shutdown has begun.
+func (e *Executor) isStopping() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
+
+// idleRemaining returns how long until the idle timeout would fire.
+func (e *Executor) idleRemaining() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rem := e.opts.IdleTimeout - time.Since(e.lastBusy)
+	if rem < time.Millisecond {
+		rem = time.Millisecond
+	}
+	return rem
+}
+
+// idleExpired reports whether the executor (all slots) has been idle past
+// the timeout.
+func (e *Executor) idleExpired() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.active == 0 && time.Since(e.lastBusy) >= e.opts.IdleTimeout
+}
+
+// markBusy/markIdle maintain idle accounting across slots.
+func (e *Executor) markBusy() {
+	e.mu.Lock()
+	e.active++
+	e.mu.Unlock()
+}
+
+func (e *Executor) markIdle(ran int64) {
+	e.mu.Lock()
+	e.active--
+	e.lastBusy = time.Now()
+	e.tasksRun += ran
+	e.mu.Unlock()
+}
+
+// runAssignments executes tasks and delivers results; each delivery asks
+// for more work (piggy-backing), looping until no new work arrives.
+func (e *Executor) runAssignments(as []fproto.Assignment) {
+	if len(as) == 0 {
+		return
+	}
+	e.markBusy()
+	var ran int64
+	defer func() { e.markIdle(ran) }()
+	for len(as) > 0 {
+		// Pre-fetching (§6): request the next task while this batch runs,
+		// hiding the pull round trip behind execution.
+		var pfc chan []fproto.Assignment
+		if e.opts.PrefetchAhead {
+			pfc = make(chan []fproto.Assignment, 1)
+			go func() {
+				var r fproto.GetWorkReply
+				if err := e.cli.Call(fproto.MethodGetWork, fproto.GetWorkRequest{ExecutorID: e.opts.ID, Max: e.opts.Prefetch}, &r); err != nil {
+					pfc <- nil
+					return
+				}
+				pfc <- r.Assignments
+			}()
+		}
+		results := make([]fproto.TaggedResult, 0, len(as))
+		for _, a := range as {
+			pickup := time.Now()
+			r, runDur := e.runTask(a.Task, a.CacheHit)
+			results = append(results, fproto.TaggedResult{
+				EPR:         a.EPR,
+				Result:      r,
+				RunDur:      runDur,
+				OverheadDur: time.Since(pickup) - runDur,
+			})
+			ran++
+		}
+		var prefetched []fproto.Assignment
+		if pfc != nil {
+			prefetched = <-pfc
+		}
+		var reply fproto.DeliverReply
+		err := e.cli.Call(fproto.MethodDeliver, fproto.DeliverRequest{
+			ExecutorID: e.opts.ID,
+			Results:    results,
+			WantWork:   len(prefetched) == 0,
+			MaxNew:     e.opts.Prefetch,
+		}, &reply)
+		if err != nil {
+			if !e.isStopping() {
+				e.logf("executor %s: deliver: %v", e.opts.ID, err)
+			}
+			return
+		}
+		as = append(prefetched, reply.Assignments...)
+	}
+}
+
+// runTask executes one task and returns its result plus measured run time.
+// cacheHit marks data-aware assignments whose input is already resident on
+// this node, so staging is skipped.
+func (e *Executor) runTask(t task.Task, cacheHit bool) (task.Result, time.Duration) {
+	r := task.Result{ID: t.ID, ExecutorID: e.opts.ID}
+	start := time.Now()
+	switch t.Engine {
+	case task.EngineSleep:
+		e.sleepScaled(t.Duration)
+	case task.EngineData:
+		if e.opts.DataCost != nil && t.IO != nil && !cacheHit {
+			e.sleepScaled(e.opts.DataCost(*t.IO))
+		}
+		e.sleepScaled(t.Duration)
+	case task.EngineFunc:
+		fn, ok := e.opts.Funcs[t.Command]
+		if !ok {
+			r.Err = fmt.Sprintf("executor: no registered func %q", t.Command)
+			r.ExitCode = -1
+			break
+		}
+		out, code, err := fn(t)
+		r.Stdout, r.ExitCode = out, code
+		if err != nil {
+			r.Err = err.Error()
+		}
+	case task.EngineExec:
+		e.runExec(t, &r)
+	default:
+		r.Err = fmt.Sprintf("executor: unknown engine %v", t.Engine)
+		r.ExitCode = -1
+	}
+	return r, time.Since(start)
+}
+
+// sleepScaled sleeps d scaled by SleepScale (skipping zero sleeps).
+func (e *Executor) sleepScaled(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	scaled := time.Duration(float64(d) * e.opts.SleepScale)
+	if scaled > 0 {
+		time.Sleep(scaled)
+	}
+}
+
+// runExec forks a real process for an EngineExec task.
+func (e *Executor) runExec(t task.Task, r *task.Result) {
+	ctx := context.Background()
+	if e.opts.ExecTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.ExecTimeout)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(ctx, t.Command, t.Args...)
+	cmd.Dir = t.Dir
+	if len(t.Env) > 0 {
+		cmd.Env = t.Env
+	}
+	// Without a wait delay, a killed shell whose grandchildren inherited
+	// the output pipes would block Wait until they exit.
+	cmd.WaitDelay = 5 * time.Second
+	var stdout, stderr strings.Builder
+	cmd.Stdout = limitWriter{&stdout}
+	cmd.Stderr = limitWriter{&stderr}
+	err := cmd.Run()
+	r.Stdout = stdout.String()
+	r.Stderr = stderr.String()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			r.ExitCode = ee.ExitCode()
+		} else {
+			r.Err = err.Error()
+			r.ExitCode = -1
+		}
+	}
+}
+
+// limitWriter caps captured process output at 64 KiB, mirroring the paper's
+// "optional output strings" without unbounded buffering.
+type limitWriter struct{ b *strings.Builder }
+
+const outputCap = 64 << 10
+
+func (w limitWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if room := outputCap - w.b.Len(); room > 0 {
+		if len(p) > room {
+			p = p[:room]
+		}
+		w.b.Write(p)
+	}
+	return n, nil
+}

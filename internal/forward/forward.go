@@ -1,0 +1,266 @@
+// Package forward implements the paper's proposed 3-tier architecture (§6,
+// Figure 16): clients talk to a forwarder in public IP space; the forwarder
+// relays to one or more dispatchers (typically running on cluster manager
+// nodes that straddle public and private networks); each dispatcher manages
+// a disjoint set of executors that may live in private IP space. The
+// forwarder speaks the ordinary client protocol on both sides, so clients
+// and dispatchers need no changes.
+//
+// Instances created through the forwarder are spread across dispatchers
+// round-robin; submissions and collections are translated to the backing
+// dispatcher, and pushed result notifications are relayed upstream.
+package forward
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"falkon/internal/fproto"
+	"falkon/internal/wsrpc"
+)
+
+// Options configures a Forwarder.
+type Options struct {
+	// Dispatchers lists downstream dispatcher addresses (at least one).
+	Dispatchers []string
+	// Security and PSK apply to both the upstream listener and the
+	// downstream connections (the paper's deployments use one site-wide
+	// security configuration).
+	Security wsrpc.SecurityProfile
+	PSK      []byte
+	// Logf receives forwarder logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// route maps one forwarded instance.
+type route struct {
+	down     *wsrpc.Client // dispatcher connection
+	downIdx  int
+	realEPR  string
+	upstream *wsrpc.Peer // client connection for relayed notifications
+	fwdEPR   string
+}
+
+// Forwarder relays the Falkon client protocol to downstream dispatchers.
+type Forwarder struct {
+	opts Options
+	srv  *wsrpc.Server
+
+	mu      sync.Mutex
+	downs   []*wsrpc.Client
+	next    int
+	byFwd   map[string]*route  // composite EPR -> route
+	byReal  map[realKey]*route // (dispatcher, EPR) -> route (notification relay)
+	nextEPR int64
+	closed  bool
+}
+
+// realKey disambiguates downstream EPRs: every dispatcher numbers its
+// instances independently, so the same EPR string can exist on several.
+type realKey struct {
+	down int
+	epr  string
+}
+
+// New connects to every downstream dispatcher and returns an unstarted
+// forwarder.
+func New(opts Options) (*Forwarder, error) {
+	if len(opts.Dispatchers) == 0 {
+		return nil, fmt.Errorf("forward: no dispatchers configured")
+	}
+	f := &Forwarder{
+		opts:   opts,
+		byFwd:  make(map[string]*route),
+		byReal: make(map[realKey]*route),
+	}
+	for i, addr := range opts.Dispatchers {
+		idx := i
+		cli, err := wsrpc.Dial(addr, wsrpc.ClientOptions{
+			Security: opts.Security,
+			PSK:      opts.PSK,
+			OnNotify: func(method string, body json.RawMessage) {
+				f.onDownstreamNotify(idx, method, body)
+			},
+		})
+		if err != nil {
+			f.closeDowns()
+			return nil, fmt.Errorf("forward: dial dispatcher %s: %w", addr, err)
+		}
+		f.downs = append(f.downs, cli)
+	}
+	f.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: opts.Logf})
+	f.register()
+	return f, nil
+}
+
+// Listen binds the upstream listener.
+func (f *Forwarder) Listen(addr string) error { return f.srv.Listen(addr) }
+
+// Addr returns the upstream address.
+func (f *Forwarder) Addr() string { return f.srv.Addr() }
+
+// Close tears down both sides.
+func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	err := f.srv.Close()
+	f.closeDowns()
+	return err
+}
+
+func (f *Forwarder) closeDowns() {
+	for _, c := range f.downs {
+		c.Close()
+	}
+}
+
+// register installs the client-facing protocol handlers.
+func (f *Forwarder) register() {
+	f.srv.Register(fproto.MethodCreateInstance, f.handleCreateInstance)
+	f.srv.Register(fproto.MethodDestroyInstance, f.handleDestroyInstance)
+	f.srv.Register(fproto.MethodSubmit, f.handleSubmit)
+	f.srv.Register(fproto.MethodCollect, f.handleCollect)
+	f.srv.Register(fproto.MethodStats, f.handleStats)
+}
+
+// onDownstreamNotify relays pushed results to the owning client.
+func (f *Forwarder) onDownstreamNotify(downIdx int, method string, body json.RawMessage) {
+	if method != fproto.NotifyResults {
+		return
+	}
+	var n fproto.ResultsNotify
+	if err := json.Unmarshal(body, &n); err != nil {
+		return
+	}
+	f.mu.Lock()
+	r := f.byReal[realKey{downIdx, n.EPR}]
+	f.mu.Unlock()
+	if r == nil || r.upstream == nil {
+		return
+	}
+	n.EPR = r.fwdEPR
+	if err := r.upstream.Notify(fproto.NotifyResults, n); err != nil && f.opts.Logf != nil {
+		f.opts.Logf("forward: relay results to %s: %v", r.fwdEPR, err)
+	}
+}
+
+// lookup resolves a composite EPR.
+func (f *Forwarder) lookup(fwdEPR string) (*route, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.byFwd[fwdEPR]
+	if r == nil {
+		return nil, fmt.Errorf("forward: no such instance %q", fwdEPR)
+	}
+	return r, nil
+}
+
+func (f *Forwarder) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (any, error) {
+	var req fproto.CreateInstanceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	downIdx := f.next % len(f.downs)
+	down := f.downs[downIdx]
+	f.next++
+	f.nextEPR++
+	fwdEPR := fmt.Sprintf("fwd-%d", f.nextEPR)
+	f.mu.Unlock()
+
+	// The forwarder always subscribes to notifications downstream; whether
+	// the client wanted push or poll, the forwarder buffers nothing — poll
+	// clients' Collect calls are forwarded directly instead.
+	downReq := req
+	var reply fproto.CreateInstanceReply
+	if err := down.Call(fproto.MethodCreateInstance, downReq, &reply); err != nil {
+		return nil, err
+	}
+	r := &route{down: down, downIdx: downIdx, realEPR: reply.EPR, fwdEPR: fwdEPR}
+	if req.WantNotifications {
+		r.upstream = p
+	}
+	f.mu.Lock()
+	f.byFwd[fwdEPR] = r
+	f.byReal[realKey{downIdx, reply.EPR}] = r
+	f.mu.Unlock()
+	return fproto.CreateInstanceReply{EPR: fwdEPR}, nil
+}
+
+func (f *Forwarder) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	var req fproto.DestroyInstanceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	r, err := f.lookup(req.EPR)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	delete(f.byFwd, r.fwdEPR)
+	delete(f.byReal, realKey{r.downIdx, r.realEPR})
+	f.mu.Unlock()
+	var out struct{}
+	err = r.down.Call(fproto.MethodDestroyInstance, fproto.DestroyInstanceRequest{EPR: r.realEPR}, &out)
+	return out, err
+}
+
+func (f *Forwarder) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	var req fproto.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	r, err := f.lookup(req.EPR)
+	if err != nil {
+		return nil, err
+	}
+	req.EPR = r.realEPR
+	var reply fproto.SubmitReply
+	err = r.down.Call(fproto.MethodSubmit, req, &reply)
+	return reply, err
+}
+
+func (f *Forwarder) handleCollect(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	var req fproto.CollectRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	r, err := f.lookup(req.EPR)
+	if err != nil {
+		return nil, err
+	}
+	req.EPR = r.realEPR
+	var reply fproto.CollectReply
+	err = r.down.Call(fproto.MethodCollect, req, &reply)
+	return reply, err
+}
+
+// handleStats aggregates all downstream dispatchers' stats.
+func (f *Forwarder) handleStats(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
+	var agg fproto.StatsReply
+	for _, down := range f.downs {
+		var st fproto.StatsReply
+		if err := down.Call(fproto.MethodStats, nil, &st); err != nil {
+			return nil, err
+		}
+		agg.Queued += st.Queued
+		agg.Outstanding += st.Outstanding
+		agg.IdleExecutors += st.IdleExecutors
+		agg.BusyExecutors += st.BusyExecutors
+		agg.TotalExecutors += st.TotalExecutors
+		agg.Submitted += st.Submitted
+		agg.Completed += st.Completed
+		agg.Failed += st.Failed
+		agg.Retried += st.Retried
+		agg.Instances += st.Instances
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+	}
+	return agg, nil
+}

@@ -1,0 +1,219 @@
+package forward_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/forward"
+	"falkon/internal/fproto"
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// startTier brings up nDisp dispatchers each with nExec executors, plus a
+// forwarder in front.
+func startTier(t *testing.T, nDisp, nExec int) (*forward.Forwarder, []*dispatch.Dispatcher) {
+	t.Helper()
+	var addrs []string
+	var dispatchers []*dispatch.Dispatcher
+	for i := 0; i < nDisp; i++ {
+		d := dispatch.New(dispatch.Options{Logf: t.Logf})
+		if err := d.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		for j := 0; j < nExec; j++ {
+			ex, err := executor.Start(executor.Options{
+				ID:             fmt.Sprintf("d%d-e%d", i, j),
+				DispatcherAddr: d.Addr(),
+				SleepScale:     0.001,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(ex.Stop)
+		}
+		addrs = append(addrs, d.Addr())
+		dispatchers = append(dispatchers, d)
+	}
+	f, err := forward.New(forward.Options{Dispatchers: addrs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, dispatchers
+}
+
+func TestForwarderEndToEnd(t *testing.T) {
+	f, _ := startTier(t, 2, 2)
+	// The ordinary client library talks to the forwarder unchanged.
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.WaitN(100, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 100 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Failed() {
+			t.Fatalf("failed: %+v", r)
+		}
+	}
+}
+
+func TestForwarderSpreadsInstancesAcrossDispatchers(t *testing.T) {
+	f, dispatchers := startTier(t, 2, 1)
+	clients := make([]*client.Client, 4)
+	for i := range clients {
+		c, err := client.Connect(client.Options{DispatcherAddr: f.Addr()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var gen task.IDGen
+	for _, c := range clients {
+		if err := c.Submit(task.Batch(&gen, 5, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range clients {
+		if _, err := c.WaitN(5, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round-robin: each dispatcher should have served some work.
+	for i, d := range dispatchers {
+		if st := d.Stats(); st.Completed == 0 {
+			t.Fatalf("dispatcher %d served nothing", i)
+		}
+	}
+}
+
+func TestForwarderPollMode(t *testing.T) {
+	f, _ := startTier(t, 2, 1)
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), Poll: true, PollInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(20, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwarderAggregatedStats(t *testing.T) {
+	f, _ := startTier(t, 3, 2)
+	cli, err := wsrpc.Dial(f.Addr(), wsrpc.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var st fproto.StatsReply
+	if err := cli.Call(fproto.MethodStats, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalExecutors != 6 {
+		t.Fatalf("aggregated executors = %d, want 6", st.TotalExecutors)
+	}
+}
+
+func TestForwarderUnknownInstance(t *testing.T) {
+	f, _ := startTier(t, 1, 1)
+	cli, err := wsrpc.Dial(f.Addr(), wsrpc.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	err = cli.Call(fproto.MethodSubmit, fproto.SubmitRequest{EPR: "fwd-999", Tasks: []task.Task{{ID: 1}}}, nil)
+	if err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestForwarderRequiresDispatchers(t *testing.T) {
+	if _, err := forward.New(forward.Options{}); err == nil {
+		t.Fatal("empty dispatcher list accepted")
+	}
+}
+
+func TestForwarderDestroyInstance(t *testing.T) {
+	f, dispatchers := startTier(t, 1, 1)
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(3, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // destroys through the forwarder
+	deadline := time.Now().Add(5 * time.Second)
+	for dispatchers[0].Stats().Instances != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("downstream instance not destroyed: %+v", dispatchers[0].Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestForwarderSecureBothTiers(t *testing.T) {
+	psk := []byte("three-tier-key")
+	sec := wsrpc.SecuritySecureConversation
+	d := dispatch.New(dispatch.Options{Security: sec, PSK: psk, Logf: t.Logf})
+	if err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ex, err := executor.Start(executor.Options{
+		ID: "sec-exec", DispatcherAddr: d.Addr(), Security: sec, PSK: psk, SleepScale: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	f, err := forward.New(forward.Options{Dispatchers: []string{d.Addr()}, Security: sec, PSK: psk, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), Security: sec, PSK: psk, BundleSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 25, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(25, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package fproto defines the Falkon wire protocol: the methods and message
+// bodies exchanged between clients, the dispatcher, and executors over
+// wsrpc. The message flow mirrors Figure 2 of the paper:
+//
+//	{1,2}  client    -> dispatcher  Submit (bundled tasks)
+//	{3}    dispatcher -> executor   WorkAvailable notification (push)
+//	{4,5}  executor  -> dispatcher  GetWork (pull)
+//	{6,7}  executor  -> dispatcher  Deliver (results + ack; piggy-backed new
+//	       tasks ride back on the reply)
+//	{8}    dispatcher -> client     Results notification
+//	{9,10} client    -> dispatcher  Collect (poll alternative to {8})
+package fproto
+
+import (
+	"time"
+
+	"falkon/internal/task"
+)
+
+// RPC method names served by the dispatcher.
+const (
+	MethodCreateInstance  = "falkon.create-instance"
+	MethodDestroyInstance = "falkon.destroy-instance"
+	MethodSubmit          = "falkon.submit"
+	MethodCollect         = "falkon.collect"
+	MethodRegister        = "falkon.register"
+	MethodDeregister      = "falkon.deregister"
+	MethodGetWork         = "falkon.get-work"
+	MethodDeliver         = "falkon.deliver"
+	MethodStats           = "falkon.stats"
+)
+
+// Notification method names pushed by the dispatcher.
+const (
+	NotifyWorkAvailable = "falkon.work-available"
+	NotifyResults       = "falkon.results"
+)
+
+// CreateInstanceRequest asks the dispatcher factory for a new instance.
+type CreateInstanceRequest struct {
+	// ClientName is a friendly label for logs.
+	ClientName string `json:"client,omitempty"`
+	// WantNotifications asks the dispatcher to push results over the
+	// client's connection ({8}); otherwise the client polls with Collect.
+	WantNotifications bool `json:"want_notifications,omitempty"`
+}
+
+// CreateInstanceReply carries the endpoint reference the client uses on all
+// subsequent calls (the paper's factory/instance EPR).
+type CreateInstanceReply struct {
+	EPR string `json:"epr"`
+}
+
+// DestroyInstanceRequest tears an instance down; queued tasks are dropped.
+type DestroyInstanceRequest struct {
+	EPR string `json:"epr"`
+}
+
+// SubmitRequest delivers a bundle of tasks ({1,2}). Client-dispatcher
+// bundling is simply len(Tasks) > 1.
+type SubmitRequest struct {
+	EPR   string      `json:"epr"`
+	Tasks []task.Task `json:"tasks"`
+}
+
+// SubmitReply acknowledges a bundle.
+type SubmitReply struct {
+	Accepted int `json:"accepted"`
+}
+
+// CollectRequest polls for finished results ({9,10}).
+type CollectRequest struct {
+	EPR string `json:"epr"`
+	// Max bounds the number of results returned (0 means no bound).
+	Max int `json:"max,omitempty"`
+	// WaitMillis, when positive, blocks up to that long for at least one
+	// result.
+	WaitMillis int `json:"wait_millis,omitempty"`
+}
+
+// CollectReply returns finished results and the number still pending
+// (queued + running + undelivered).
+type CollectReply struct {
+	Results []task.Result `json:"results,omitempty"`
+	Pending int           `json:"pending"`
+}
+
+// RegisterRequest announces a new executor.
+type RegisterRequest struct {
+	ExecutorID string `json:"executor_id"`
+	// Slots is the executor's concurrent task capacity (the paper maps one
+	// executor per processor, so this is usually 1).
+	Slots int `json:"slots"`
+	// Allocation labels the provisioner allocation that created this
+	// executor ("" for statically started executors).
+	Allocation string `json:"allocation,omitempty"`
+}
+
+// RegisterReply acknowledges registration.
+type RegisterReply struct {
+	OK bool `json:"ok"`
+	// DispatcherEpoch is reserved for future cross-process time mapping.
+	DispatcherEpoch int64 `json:"dispatcher_epoch,omitempty"`
+}
+
+// DeregisterRequest removes an executor (e.g. distributed idle release).
+type DeregisterRequest struct {
+	ExecutorID string `json:"executor_id"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// GetWorkRequest pulls tasks after a WorkAvailable notification ({4}).
+type GetWorkRequest struct {
+	ExecutorID string `json:"executor_id"`
+	// Max bounds dispatcher->executor bundling; the paper dispatches one
+	// task per pickup (no runtime estimates), so this is usually 1.
+	Max int `json:"max"`
+}
+
+// Assignment pairs a task with the instance that submitted it.
+type Assignment struct {
+	EPR  string    `json:"epr"`
+	Task task.Task `json:"task"`
+	// CacheHit reports that the data-aware policy matched this task to the
+	// executor's cached dataset, so staging can be skipped.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// GetWorkReply returns zero or more assignments ({5}).
+type GetWorkReply struct {
+	Assignments []Assignment `json:"assignments,omitempty"`
+}
+
+// TaggedResult routes a result back to its instance.
+type TaggedResult struct {
+	EPR    string      `json:"epr"`
+	Result task.Result `json:"result"`
+	// RunDur is the executor-measured run time; the dispatcher rebases the
+	// start/finish stamps onto its own epoch using this value, avoiding
+	// cross-process clock skew.
+	RunDur time.Duration `json:"run_dur"`
+	// OverheadDur is the executor-side setup cost (thread + exec setup),
+	// measured from work pickup to task start.
+	OverheadDur time.Duration `json:"overhead_dur,omitempty"`
+}
+
+// DeliverRequest returns results ({6}) and optionally asks for new work so
+// the acknowledgment ({7}) piggy-backs the next assignment.
+type DeliverRequest struct {
+	ExecutorID string         `json:"executor_id"`
+	Results    []TaggedResult `json:"results,omitempty"`
+	// WantWork enables piggy-backing: the reply carries up to MaxNew new
+	// assignments, collapsing messages {6,7} and the next {3,4,5} into a
+	// single call.
+	WantWork bool `json:"want_work,omitempty"`
+	MaxNew   int  `json:"max_new,omitempty"`
+}
+
+// DeliverReply acknowledges results and piggy-backs new work.
+type DeliverReply struct {
+	Assignments []Assignment `json:"assignments,omitempty"`
+}
+
+// WorkAvailable is the body of the {3} push notification.
+type WorkAvailable struct {
+	// Queued is a hint of how many tasks are waiting.
+	Queued int `json:"queued"`
+}
+
+// ResultsNotify is the body of the {8} push notification to clients.
+type ResultsNotify struct {
+	EPR     string        `json:"epr"`
+	Results []task.Result `json:"results"`
+}
+
+// StatsReply summarizes dispatcher state; the provisioner polls this
+// ({POLL} in Figure 2).
+type StatsReply struct {
+	Queued         int   `json:"queued"`
+	Outstanding    int   `json:"outstanding"`
+	IdleExecutors  int   `json:"idle_executors"`
+	BusyExecutors  int   `json:"busy_executors"`
+	TotalExecutors int   `json:"total_executors"`
+	Submitted      int64 `json:"submitted"`
+	Completed      int64 `json:"completed"`
+	Failed         int64 `json:"failed"`
+	Retried        int64 `json:"retried"`
+	Instances      int   `json:"instances"`
+	// CacheHits and CacheMisses count data-aware dispatch outcomes for
+	// dataset-tagged tasks.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+}

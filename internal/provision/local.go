@@ -1,0 +1,131 @@
+package provision
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"falkon/internal/executor"
+)
+
+// LocalAllocator satisfies Allocator by starting in-process executors
+// against a live dispatcher. It stands in for the paper's GRAM4+PBS
+// allocation pathway in the live runtime, with a configurable startup delay
+// modelling LRM queue wait plus executor bootstrap (the paper observed
+// 5–65 s; tests use milliseconds).
+type LocalAllocator struct {
+	// Template supplies executor options; ID, IdleTimeout and Allocation
+	// are overwritten per executor.
+	Template executor.Options
+	// StartupDelay is the simulated allocation latency before each executor
+	// registers.
+	StartupDelay time.Duration
+
+	mu      sync.Mutex
+	nextID  int
+	allocs  map[string]*localAlloc
+	alive   int
+	pending int
+}
+
+type localAlloc struct {
+	execs  []*executor.Executor
+	cancel chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Allocate starts n executors asynchronously.
+func (l *LocalAllocator) Allocate(n int, idleTimeout time.Duration) (string, error) {
+	if n <= 0 {
+		return "", fmt.Errorf("provision: allocation size %d", n)
+	}
+	l.mu.Lock()
+	if l.allocs == nil {
+		l.allocs = make(map[string]*localAlloc)
+	}
+	l.nextID++
+	id := fmt.Sprintf("alloc-%d", l.nextID)
+	a := &localAlloc{cancel: make(chan struct{})}
+	l.allocs[id] = a
+	l.pending += n
+	l.mu.Unlock()
+
+	for i := 0; i < n; i++ {
+		a.wg.Add(1)
+		go func(i int) {
+			defer a.wg.Done()
+			if l.StartupDelay > 0 {
+				select {
+				case <-time.After(l.StartupDelay):
+				case <-a.cancel:
+					l.mu.Lock()
+					l.pending--
+					l.mu.Unlock()
+					return
+				}
+			}
+			opts := l.Template
+			opts.ID = fmt.Sprintf("%s-exec-%d", id, i)
+			opts.IdleTimeout = idleTimeout
+			opts.Allocation = id
+			ex, err := executor.Start(opts)
+			l.mu.Lock()
+			l.pending--
+			if err != nil {
+				l.mu.Unlock()
+				return
+			}
+			l.alive++
+			a.execs = append(a.execs, ex)
+			l.mu.Unlock()
+			<-ex.Done() // idle self-release or Stop
+			l.mu.Lock()
+			l.alive--
+			l.mu.Unlock()
+		}(i)
+	}
+	return id, nil
+}
+
+// Deallocate stops every executor in the allocation.
+func (l *LocalAllocator) Deallocate(id string) error {
+	l.mu.Lock()
+	a, ok := l.allocs[id]
+	if ok {
+		delete(l.allocs, id)
+	}
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("provision: unknown allocation %q", id)
+	}
+	close(a.cancel)
+	l.mu.Lock()
+	execs := a.execs
+	l.mu.Unlock()
+	for _, ex := range execs {
+		ex.Stop()
+	}
+	a.wg.Wait()
+	return nil
+}
+
+// Counts reports alive and starting executors.
+func (l *LocalAllocator) Counts() (alive, pending int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alive, l.pending
+}
+
+// Wait blocks until all executors from all allocations have stopped; useful
+// in tests after Deallocate/idle-release.
+func (l *LocalAllocator) Wait() {
+	l.mu.Lock()
+	allocs := make([]*localAlloc, 0, len(l.allocs))
+	for _, a := range l.allocs {
+		allocs = append(allocs, a)
+	}
+	l.mu.Unlock()
+	for _, a := range allocs {
+		a.wg.Wait()
+	}
+}

@@ -1,0 +1,160 @@
+// Package provision implements the Falkon provisioner: it monitors
+// dispatcher state and acquires or releases executors according to the
+// paper's resource acquisition and release policies (§3.1).
+package provision
+
+import "fmt"
+
+// AcquisitionPolicy splits a need for n additional executors into the
+// allocation request sizes to issue, mirroring the paper's five strategies:
+// one request for n resources, n requests for one resource, arithmetically
+// or exponentially increasing series, or a system-function bound on
+// available resources.
+type AcquisitionPolicy interface {
+	// Requests returns the allocation sizes (each >= 1, summing to >= 0)
+	// used to satisfy a need of n executors. Policies may return fewer than
+	// n in total (e.g. Available with few free nodes); the provisioner asks
+	// again on its next poll.
+	Requests(need int) []int
+	// Name identifies the policy in logs and experiment output.
+	Name() string
+}
+
+// allAtOnce issues a single request for everything needed — the policy used
+// in all of the paper's experiments.
+type allAtOnce struct{}
+
+// AllAtOnce returns the single-request acquisition policy.
+func AllAtOnce() AcquisitionPolicy { return allAtOnce{} }
+
+func (allAtOnce) Name() string { return "all-at-once" }
+
+func (allAtOnce) Requests(need int) []int {
+	if need <= 0 {
+		return nil
+	}
+	return []int{need}
+}
+
+// oneAtATime issues n single-resource requests.
+type oneAtATime struct{}
+
+// OneAtATime returns the n-single-requests acquisition policy.
+func OneAtATime() AcquisitionPolicy { return oneAtATime{} }
+
+func (oneAtATime) Name() string { return "one-at-a-time" }
+
+func (oneAtATime) Requests(need int) []int {
+	if need <= 0 {
+		return nil
+	}
+	out := make([]int, need)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// additive issues arithmetically growing requests: k, 2k, 3k, ...
+type additive struct{ step int }
+
+// Additive returns the arithmetically-increasing acquisition policy with
+// the given first step (>= 1).
+func Additive(step int) AcquisitionPolicy {
+	if step < 1 {
+		panic(fmt.Sprintf("provision: additive step %d < 1", step))
+	}
+	return additive{step: step}
+}
+
+func (a additive) Name() string { return fmt.Sprintf("additive-%d", a.step) }
+
+func (a additive) Requests(need int) []int {
+	var out []int
+	for size, got := a.step, 0; got < need; size += a.step {
+		if size > need-got {
+			size = need - got
+		}
+		out = append(out, size)
+		got += size
+	}
+	return out
+}
+
+// exponential issues exponentially growing requests: 1, 2, 4, 8, ...
+type exponential struct{}
+
+// Exponential returns the exponentially-increasing acquisition policy.
+func Exponential() AcquisitionPolicy { return exponential{} }
+
+func (exponential) Name() string { return "exponential" }
+
+func (exponential) Requests(need int) []int {
+	var out []int
+	for size, got := 1, 0; got < need; size *= 2 {
+		if size > need-got {
+			size = need - got
+		}
+		out = append(out, size)
+		got += size
+	}
+	return out
+}
+
+// available caps a single request by a system function reporting free
+// resources (the paper's fifth strategy).
+type available struct {
+	free func() int
+}
+
+// Available returns the system-function acquisition policy; free reports
+// how many resources the LRM could satisfy right now.
+func Available(free func() int) AcquisitionPolicy {
+	if free == nil {
+		panic("provision: nil free function")
+	}
+	return available{free: free}
+}
+
+func (available) Name() string { return "available" }
+
+func (a available) Requests(need int) []int {
+	if need <= 0 {
+		return nil
+	}
+	if f := a.free(); f < need {
+		need = f
+	}
+	if need <= 0 {
+		return nil
+	}
+	return []int{need}
+}
+
+// ReleasePolicy selects how resources are released (§3.1).
+type ReleasePolicy uint8
+
+const (
+	// ReleaseDistributed lets each executor release itself after a
+	// configured idle time — the policy used in the paper's experiments.
+	ReleaseDistributed ReleasePolicy = iota
+	// ReleaseCentralized releases allocations from the provisioner when the
+	// dispatcher queue drops below a threshold.
+	ReleaseCentralized
+	// ReleaseNever retains resources forever (the paper's Falkon-∞).
+	ReleaseNever
+)
+
+// String names the policy.
+func (p ReleasePolicy) String() string {
+	switch p {
+	case ReleaseDistributed:
+		return "distributed"
+	case ReleaseCentralized:
+		return "centralized"
+	case ReleaseNever:
+		return "never"
+	default:
+		return fmt.Sprintf("release(%d)", uint8(p))
+	}
+}

@@ -1,0 +1,389 @@
+package provision_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/fproto"
+	"falkon/internal/provision"
+	"falkon/internal/task"
+)
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestAllAtOncePolicy(t *testing.T) {
+	p := provision.AllAtOnce()
+	if got := p.Requests(32); len(got) != 1 || got[0] != 32 {
+		t.Fatalf("requests = %v", got)
+	}
+	if got := p.Requests(0); got != nil {
+		t.Fatalf("requests(0) = %v", got)
+	}
+	if p.Name() != "all-at-once" {
+		t.Fatal("name")
+	}
+}
+
+func TestOneAtATimePolicy(t *testing.T) {
+	p := provision.OneAtATime()
+	got := p.Requests(5)
+	if len(got) != 5 || sum(got) != 5 {
+		t.Fatalf("requests = %v", got)
+	}
+	for _, n := range got {
+		if n != 1 {
+			t.Fatalf("requests = %v", got)
+		}
+	}
+}
+
+func TestAdditivePolicy(t *testing.T) {
+	p := provision.Additive(2)
+	got := p.Requests(12)
+	// 2, 4, 6 = 12.
+	want := []int{2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("requests = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("requests = %v, want %v", got, want)
+		}
+	}
+	// Last request clamps to the remaining need.
+	got = p.Requests(5)
+	if sum(got) != 5 {
+		t.Fatalf("requests = %v, sum != 5", got)
+	}
+}
+
+func TestAdditiveValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Additive(0) did not panic")
+		}
+	}()
+	provision.Additive(0)
+}
+
+func TestExponentialPolicy(t *testing.T) {
+	p := provision.Exponential()
+	got := p.Requests(10)
+	// 1, 2, 4, 3 (clamped).
+	want := []int{1, 2, 4, 3}
+	if len(got) != len(want) || sum(got) != 10 {
+		t.Fatalf("requests = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("requests = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAvailablePolicy(t *testing.T) {
+	p := provision.Available(func() int { return 3 })
+	if got := p.Requests(10); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("requests = %v", got)
+	}
+	none := provision.Available(func() int { return 0 })
+	if got := none.Requests(10); got != nil {
+		t.Fatalf("requests with no free = %v", got)
+	}
+}
+
+// Property-ish sweep: every policy's requests sum to at most the need and
+// are each positive.
+func TestPoliciesConserveNeed(t *testing.T) {
+	policies := []provision.AcquisitionPolicy{
+		provision.AllAtOnce(),
+		provision.OneAtATime(),
+		provision.Additive(3),
+		provision.Exponential(),
+		provision.Available(func() int { return 1 << 20 }),
+	}
+	for _, p := range policies {
+		for need := 0; need <= 100; need++ {
+			got := p.Requests(need)
+			if s := sum(got); s != need {
+				t.Fatalf("%s.Requests(%d) sums to %d", p.Name(), need, s)
+			}
+			for _, n := range got {
+				if n <= 0 {
+					t.Fatalf("%s.Requests(%d) contains %d", p.Name(), need, n)
+				}
+			}
+		}
+	}
+}
+
+func TestReleasePolicyString(t *testing.T) {
+	if provision.ReleaseDistributed.String() != "distributed" ||
+		provision.ReleaseCentralized.String() != "centralized" ||
+		provision.ReleaseNever.String() != "never" {
+		t.Fatal("release policy names")
+	}
+	if provision.ReleasePolicy(9).String() != "release(9)" {
+		t.Fatal("unknown release policy name")
+	}
+}
+
+// fakeAllocator records allocation calls for policy-level provisioner
+// tests.
+type fakeAllocator struct {
+	mu      sync.Mutex
+	allocs  map[string]int
+	nextID  int
+	alive   int
+	dealloc []string
+}
+
+func (f *fakeAllocator) Allocate(n int, idle time.Duration) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.allocs == nil {
+		f.allocs = make(map[string]int)
+	}
+	f.nextID++
+	id := string(rune('a' + f.nextID - 1))
+	f.allocs[id] = n
+	f.alive += n // instantly alive for these tests
+	return id, nil
+}
+
+func (f *fakeAllocator) Deallocate(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.alive -= f.allocs[id]
+	delete(f.allocs, id)
+	f.dealloc = append(f.dealloc, id)
+	return nil
+}
+
+func (f *fakeAllocator) Counts() (int, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.alive, 0
+}
+
+func TestProvisionerAcquiresForQueueDepth(t *testing.T) {
+	alloc := &fakeAllocator{}
+	queued := 10
+	p, err := provision.New(provision.Options{
+		Stats:        func() (fproto.StatsReply, error) { return fproto.StatsReply{Queued: queued}, nil },
+		Allocator:    alloc,
+		MaxExecutors: 8,
+		PollInterval: 10 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if alive, _ := alloc.Counts(); alive == 8 {
+			break // clamped at MaxExecutors
+		}
+		if time.Now().After(deadline) {
+			alive, _ := alloc.Counts()
+			t.Fatalf("alive = %d, want 8", alive)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Demand satisfied: no further allocations.
+	time.Sleep(50 * time.Millisecond)
+	if alive, _ := alloc.Counts(); alive != 8 {
+		t.Fatalf("alive drifted to %d", alive)
+	}
+	if p.Allocations() != 1 {
+		t.Fatalf("allocations = %d, want 1 (all-at-once)", p.Allocations())
+	}
+}
+
+func TestProvisionerCentralizedRelease(t *testing.T) {
+	alloc := &fakeAllocator{}
+	var mu sync.Mutex
+	queued := 4
+	p, err := provision.New(provision.Options{
+		Stats: func() (fproto.StatsReply, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return fproto.StatsReply{Queued: queued}, nil
+		},
+		Allocator:      alloc,
+		Release:        provision.ReleaseCentralized,
+		QueueThreshold: 1,
+		MaxExecutors:   4,
+		PollInterval:   10 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if alive, _ := alloc.Counts(); alive == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never acquired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	queued = 0
+	mu.Unlock()
+	for {
+		if alive, _ := alloc.Counts(); alive == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			alive, _ := alloc.Counts()
+			t.Fatalf("alive = %d after queue drained", alive)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestProvisionerValidation(t *testing.T) {
+	stats := func() (fproto.StatsReply, error) { return fproto.StatsReply{}, nil }
+	alloc := &fakeAllocator{}
+	cases := []provision.Options{
+		{Allocator: alloc, MaxExecutors: 1},                                // nil stats
+		{Stats: stats, MaxExecutors: 1},                                    // nil allocator
+		{Stats: stats, Allocator: alloc},                                   // zero max
+		{Stats: stats, Allocator: alloc, MaxExecutors: 2, MinExecutors: 5}, // min > max
+	}
+	for i, o := range cases {
+		if _, err := provision.New(o); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+// End-to-end: dynamic provisioning against a live dispatcher with the
+// LocalAllocator and distributed idle release — a miniature of §4.6.
+func TestDynamicProvisioningEndToEnd(t *testing.T) {
+	d := dispatch.New(dispatch.Options{Logf: t.Logf})
+	if err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	alloc := &provision.LocalAllocator{
+		Template: executor.Options{
+			DispatcherAddr: d.Addr(),
+			SleepScale:     0.001,
+		},
+		StartupDelay: 20 * time.Millisecond, // miniature LRM queue wait
+	}
+	p, err := provision.New(provision.Options{
+		Stats:        func() (fproto.StatsReply, error) { return d.Stats(), nil },
+		Allocator:    alloc,
+		Acquisition:  provision.AllAtOnce(),
+		Release:      provision.ReleaseDistributed,
+		IdleTimeout:  150 * time.Millisecond,
+		MaxExecutors: 4,
+		PollInterval: 20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer func() {
+		p.Stop()
+		p.ReleaseAll()
+		alloc.Wait()
+	}()
+
+	c, err := client.Connect(client.Options{DispatcherAddr: d.Addr(), BundleSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 64, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.WaitN(64, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 64 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	// After the queue drains, distributed idle release should shrink the
+	// pool to zero.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if st := d.Stats(); st.TotalExecutors == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("executors never idle-released: %+v", d.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.Allocations() == 0 {
+		t.Fatal("no allocations recorded")
+	}
+}
+
+func TestLocalAllocatorCancelBeforeStartup(t *testing.T) {
+	d := dispatch.New(dispatch.Options{Logf: t.Logf})
+	if err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	alloc := &provision.LocalAllocator{
+		Template:     executor.Options{DispatcherAddr: d.Addr()},
+		StartupDelay: 10 * time.Second, // long enough that cancel wins
+	}
+	id, err := alloc.Allocate(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pending := alloc.Counts(); pending != 3 {
+		t.Fatalf("pending = %d", pending)
+	}
+	if err := alloc.Deallocate(id); err != nil {
+		t.Fatal(err)
+	}
+	alive, pending := alloc.Counts()
+	if alive != 0 || pending != 0 {
+		t.Fatalf("after cancel: alive=%d pending=%d", alive, pending)
+	}
+	if st := d.Stats(); st.TotalExecutors != 0 {
+		t.Fatalf("executors registered despite cancel: %+v", st)
+	}
+}
+
+func TestLocalAllocatorDeallocateUnknown(t *testing.T) {
+	alloc := &provision.LocalAllocator{}
+	if err := alloc.Deallocate("nope"); err == nil {
+		t.Fatal("unknown allocation accepted")
+	}
+}
+
+func TestLocalAllocatorRejectsBadSize(t *testing.T) {
+	alloc := &provision.LocalAllocator{}
+	if _, err := alloc.Allocate(0, 0); err == nil {
+		t.Fatal("zero-size allocation accepted")
+	}
+}

@@ -1,0 +1,224 @@
+package provision
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"falkon/internal/fproto"
+)
+
+// Allocator abstracts the resource-allocation pathway (the paper uses GRAM4
+// over an LRM; the live runtime uses a local allocator; the simulator uses
+// a virtual-time LRM model).
+type Allocator interface {
+	// Allocate requests one allocation of n executors, each configured with
+	// the given distributed idle timeout (0 = no self-release). It returns
+	// an allocation id. Executors start asynchronously.
+	Allocate(n int, idleTimeout time.Duration) (string, error)
+	// Deallocate tears down every executor in the allocation.
+	Deallocate(id string) error
+	// Counts reports executors alive and executors still starting up across
+	// all allocations from this allocator.
+	Counts() (alive, pending int)
+}
+
+// StatsSource reports current dispatcher state (a direct pointer in-process
+// or an RPC shim remotely).
+type StatsSource func() (fproto.StatsReply, error)
+
+// Options configures a Provisioner.
+type Options struct {
+	// Stats polls dispatcher state.
+	Stats StatsSource
+	// Allocator issues and revokes allocations.
+	Allocator Allocator
+	// Acquisition chooses request sizes (default AllAtOnce, as in the
+	// paper's experiments).
+	Acquisition AcquisitionPolicy
+	// Release selects the release policy (default ReleaseDistributed).
+	Release ReleasePolicy
+	// IdleTimeout is the distributed release idle time (Falkon-15 used
+	// 15 s, etc.). Ignored for other release policies.
+	IdleTimeout time.Duration
+	// QueueThreshold releases an allocation when queued tasks fall below it
+	// (centralized policy only).
+	QueueThreshold int
+	// MinExecutors and MaxExecutors bound the pool (paper: 0 and 32 for the
+	// synthetic workload experiments).
+	MinExecutors int
+	MaxExecutors int
+	// PollInterval is how often the provisioner polls dispatcher state
+	// (default 1 s; tests use shorter).
+	PollInterval time.Duration
+	// Logf receives provisioner logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Provisioner drives dynamic resource provisioning for one dispatcher.
+type Provisioner struct {
+	opts Options
+
+	mu          sync.Mutex
+	allocations []string
+	requested   int // executors requested over all time
+	releases    int
+	stopped     bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates options and returns an unstarted provisioner.
+func New(opts Options) (*Provisioner, error) {
+	if opts.Stats == nil {
+		return nil, fmt.Errorf("provision: nil stats source")
+	}
+	if opts.Allocator == nil {
+		return nil, fmt.Errorf("provision: nil allocator")
+	}
+	if opts.Acquisition == nil {
+		opts.Acquisition = AllAtOnce()
+	}
+	if opts.MaxExecutors <= 0 {
+		return nil, fmt.Errorf("provision: MaxExecutors must be positive")
+	}
+	if opts.MinExecutors < 0 || opts.MinExecutors > opts.MaxExecutors {
+		return nil, fmt.Errorf("provision: invalid MinExecutors %d", opts.MinExecutors)
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = time.Second
+	}
+	return &Provisioner{
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start begins the polling loop.
+func (p *Provisioner) Start() {
+	go func() {
+		defer close(p.done)
+		tick := time.NewTicker(p.opts.PollInterval)
+		defer tick.Stop()
+		p.poll() // immediate first evaluation
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				p.poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop. It does not tear down live allocations; call
+// ReleaseAll for that.
+func (p *Provisioner) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+}
+
+// Allocations returns the number of allocation requests issued so far (the
+// paper's Table 4 "resource allocations" row).
+func (p *Provisioner) Allocations() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.allocations) + p.releases
+}
+
+// logf logs through the configured sink.
+func (p *Provisioner) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+// poll performs one evaluate/acquire/release cycle.
+func (p *Provisioner) poll() {
+	st, err := p.opts.Stats()
+	if err != nil {
+		p.logf("provision: stats: %v", err)
+		return
+	}
+	alive, pending := p.opts.Allocator.Counts()
+	have := alive + pending
+
+	// Demand: one executor per queued or in-flight task (the workload's
+	// instantaneous width), bounded by the configured pool size.
+	demand := st.Queued + st.Outstanding
+	if demand < p.opts.MinExecutors {
+		demand = p.opts.MinExecutors
+	}
+	if demand > p.opts.MaxExecutors {
+		demand = p.opts.MaxExecutors
+	}
+
+	if need := demand - have; need > 0 {
+		for _, n := range p.opts.Acquisition.Requests(need) {
+			id, err := p.opts.Allocator.Allocate(n, p.idleTimeout())
+			if err != nil {
+				p.logf("provision: allocate %d: %v", n, err)
+				break
+			}
+			p.mu.Lock()
+			p.allocations = append(p.allocations, id)
+			p.requested += n
+			p.mu.Unlock()
+			p.logf("provision: allocated %s (%d executors)", id, n)
+		}
+	}
+
+	// Centralized release: when the queue is below threshold and nothing is
+	// pending, drop allocations (most recent first) down to MinExecutors.
+	if p.opts.Release == ReleaseCentralized && st.Queued < p.opts.QueueThreshold && st.Outstanding == 0 && alive > p.opts.MinExecutors {
+		p.mu.Lock()
+		var id string
+		if n := len(p.allocations); n > 0 {
+			id = p.allocations[n-1]
+			p.allocations = p.allocations[:n-1]
+			p.releases++
+		}
+		p.mu.Unlock()
+		if id != "" {
+			if err := p.opts.Allocator.Deallocate(id); err != nil {
+				p.logf("provision: deallocate %s: %v", id, err)
+			} else {
+				p.logf("provision: released allocation %s", id)
+			}
+		}
+	}
+}
+
+// idleTimeout returns the distributed-release timeout to configure on new
+// executors.
+func (p *Provisioner) idleTimeout() time.Duration {
+	if p.opts.Release == ReleaseDistributed {
+		return p.opts.IdleTimeout
+	}
+	return 0
+}
+
+// ReleaseAll deallocates everything (shutdown path).
+func (p *Provisioner) ReleaseAll() {
+	p.mu.Lock()
+	ids := p.allocations
+	p.allocations = nil
+	p.releases += len(ids)
+	p.mu.Unlock()
+	for _, id := range ids {
+		if err := p.opts.Allocator.Deallocate(id); err != nil {
+			p.logf("provision: deallocate %s: %v", id, err)
+		}
+	}
+}

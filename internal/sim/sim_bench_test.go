@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineEventThroughput measures raw event processing — the
+// substrate cost under the 2M-task endurance run (~10M events).
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := New(1)
+	var chain func()
+	n := 0
+	chain = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, chain)
+		}
+	}
+	b.ResetTimer()
+	e.After(time.Microsecond, chain)
+	e.Run()
+	if n != b.N {
+		b.Fatalf("processed %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineHeapChurn measures scheduling with many pending events.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	e := New(1)
+	// Keep ~10K events pending while processing b.N.
+	const pending = 10000
+	for i := 0; i < pending; i++ {
+		e.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+time.Duration(i%pending)*time.Millisecond, func() {})
+	}
+	e.Run()
+}
+
+// BenchmarkServer measures the serial-resource primitive.
+func BenchmarkServer(b *testing.B) {
+	e := New(1)
+	s := NewServer(e, "cpu")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(time.Microsecond, nil)
+	}
+	e.Run()
+}

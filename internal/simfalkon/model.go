@@ -1,0 +1,703 @@
+package simfalkon
+
+import (
+	"fmt"
+	"time"
+
+	"falkon/internal/metrics"
+	"falkon/internal/sim"
+)
+
+// Spec describes one task to the model.
+type Spec struct {
+	Dur   time.Duration
+	Stage int
+	// Tag is an opaque caller token carried through to the Rec (the
+	// workflow engine uses it to map completions back to graph nodes).
+	Tag any
+	// Dataset names the data object the task reads; StageIn is the staging
+	// cost paid when the executor does not already cache it (data-aware
+	// scheduling, paper §6 future work).
+	Dataset string
+	StageIn time.Duration
+	// StageBytes, with Model.Stager set, prices staging dynamically from
+	// the volume and the number of concurrent stagings (shared-bandwidth
+	// contention, Figure 4).
+	StageBytes int64
+}
+
+// Rec is the per-task outcome record (timestamps on the virtual clock).
+type Rec struct {
+	ID         int
+	Stage      int
+	Queued     time.Duration
+	Dispatched time.Duration
+	Started    time.Duration
+	Finished   time.Duration
+	Exec       int
+	Tag        any
+	// Attempts counts executions including the final one; Failed marks
+	// tasks that exhausted their retries.
+	Attempts int
+	Failed   bool
+}
+
+// QueueTime returns dispatch wait (Table 3's queue time).
+func (r Rec) QueueTime() time.Duration { return r.Dispatched - r.Queued }
+
+// ExecTime returns dispatch-to-delivery time (Table 3's execution time).
+func (r Rec) ExecTime() time.Duration { return r.Finished - r.Dispatched }
+
+// mtask is one queued task inside the model.
+type mtask struct {
+	id         int
+	dur        time.Duration
+	stage      int
+	queuedAt   time.Duration
+	tag        any
+	dataset    string
+	stageIn    time.Duration
+	stageBytes int64
+	attempts   int
+}
+
+// ring is an amortized O(1) FIFO; the endurance run queues 1.5M tasks.
+type ring[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *ring[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *ring[T]) pop() (T, bool) {
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+func (q *ring[T]) len() int { return len(q.items) - q.head }
+
+// window returns up to n items from the head without removing them.
+func (q *ring[T]) window(n int) []T {
+	live := q.items[q.head:]
+	if n < len(live) {
+		live = live[:n]
+	}
+	return live
+}
+
+// removeAt removes the item at offset i from the head, preserving order.
+func (q *ring[T]) removeAt(i int) {
+	var zero T
+	idx := q.head + i
+	copy(q.items[idx:], q.items[idx+1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+}
+
+// Exec is one modeled executor. It moves idle -> notified (earmarked for a
+// task while the dispatcher pushes the notification and serves the pull)
+// -> busy -> idle.
+type Exec struct {
+	ID           int
+	registeredAt time.Duration
+	busyFor      time.Duration // accumulated payload time (resources used)
+	idle         bool
+	busy         bool
+	released     bool
+	releasedAt   time.Duration
+	idleTimeout  time.Duration
+	idleTimer    *sim.Timer
+	pollTimer    *sim.Timer
+	onRelease    func(*Exec)
+
+	// cache holds dataset names resident on this executor's node (data-
+	// aware scheduling); ticks implement LRU eviction.
+	cache     map[string]int64
+	cacheTick int64
+}
+
+// cacheTouch records dataset residency with LRU eviction at capacity.
+func (x *Exec) cacheTouch(ds string, capacity int) {
+	if ds == "" || capacity <= 0 {
+		return
+	}
+	if x.cache == nil {
+		x.cache = make(map[string]int64)
+	}
+	x.cacheTick++
+	if _, ok := x.cache[ds]; !ok && len(x.cache) >= capacity {
+		var oldest string
+		var oldestTick int64 = 1<<63 - 1
+		for k, t := range x.cache {
+			if t < oldestTick {
+				oldest, oldestTick = k, t
+			}
+		}
+		delete(x.cache, oldest)
+	}
+	x.cache[ds] = x.cacheTick
+}
+
+// cacheHas reports dataset residency.
+func (x *Exec) cacheHas(ds string) bool {
+	if ds == "" {
+		return false
+	}
+	_, ok := x.cache[ds]
+	return ok
+}
+
+// BusyFor returns the executor's accumulated payload time.
+func (x *Exec) BusyFor() time.Duration { return x.busyFor }
+
+// Idle reports whether the executor is registered and without work.
+func (x *Exec) Idle() bool { return x.idle }
+
+// Released reports whether the executor has been released.
+func (x *Exec) Released() bool { return x.released }
+
+// Lifetime returns registration-to-release (or -to-now for live executors).
+func (x *Exec) Lifetime(now time.Duration) time.Duration {
+	end := x.releasedAt
+	if !x.released {
+		end = now
+	}
+	return end - x.registeredAt
+}
+
+// dispJob is one unit of dispatcher CPU work.
+type dispJob struct {
+	cost time.Duration
+	fn   func()
+}
+
+// Model is the virtual-time Falkon system.
+type Model struct {
+	E *sim.Engine
+	P Profile
+
+	queue ring[mtask]
+	dq    ring[dispJob]
+	sq    ring[dispJob] // submission pipeline (container thread pool)
+
+	dispBusy bool
+	subBusy  bool
+	gcBusy   time.Duration
+
+	execs    []*Exec
+	idle     []*Exec
+	busyN    int
+	liveN    int
+	nextExec int
+	nextTask int
+
+	submitted int
+	completed int
+	failed    int
+	retried   int
+
+	// KeepRecords retains a Rec per task (leave off for multi-million task
+	// runs).
+	KeepRecords bool
+	Records     []Rec
+
+	// OnTaskDone, when set, observes every completion.
+	OnTaskDone func(Rec)
+	// OnStateChange, when set, fires after any executor-count transition
+	// (register, idle<->busy, release) — the provisioning figures sample
+	// here.
+	OnStateChange func()
+
+	// OverheadHist collects executor-side per-task overhead in
+	// milliseconds (Figure 10).
+	OverheadHist metrics.Histogram
+
+	// DispatchServedTime accumulates dispatcher CPU time for utilization
+	// accounting.
+	DispatchServedTime time.Duration
+
+	// polls counts pure-pull work requests (including empty ones).
+	polls int
+
+	// DataAware enables dataset-affinity dispatch; CacheCapacity bounds
+	// each executor's cached datasets (default 16 when DataAware is set).
+	DataAware     bool
+	CacheCapacity int
+	cacheHits     int
+	cacheMisses   int
+
+	// Stager prices dynamic data staging: given a task's StageBytes and the
+	// number of concurrent stagings (including this one), it returns the
+	// staging duration. Models shared-bandwidth contention (Figure 4).
+	Stager   func(bytes int64, concurrent int) time.Duration
+	stagingN int
+
+	// pollingStopped halts pure-pull polling (set by StopPolling when a
+	// benchmark's workload completes, so the simulation can terminate).
+	pollingStopped bool
+}
+
+// New creates a model on engine e.
+func New(e *sim.Engine, p Profile) *Model {
+	return &Model{E: e, P: p}
+}
+
+// QueueLen returns queued (not yet dispatched) tasks.
+func (m *Model) QueueLen() int { return m.queue.len() }
+
+// BusyExecutors returns executors currently running a task.
+func (m *Model) BusyExecutors() int { return m.busyN }
+
+// IdleExecutors returns registered executors without work.
+func (m *Model) IdleExecutors() int { return m.liveN - m.busyN }
+
+// LiveExecutors returns registered, unreleased executors.
+func (m *Model) LiveExecutors() int { return m.liveN }
+
+// Executors returns all executors ever registered (including released).
+func (m *Model) Executors() []*Exec { return m.execs }
+
+// Submitted and Completed return task counters (Completed includes tasks
+// that exhausted retries and were reported failed).
+func (m *Model) Submitted() int { return m.submitted }
+func (m *Model) Completed() int { return m.completed }
+
+// Failed and Retried report replay-policy activity under failure
+// injection.
+func (m *Model) Failed() int  { return m.failed }
+func (m *Model) Retried() int { return m.retried }
+
+// maxRetries returns the configured retry bound.
+func (m *Model) maxRetries() int {
+	if m.P.MaxRetries > 0 {
+		return m.P.MaxRetries
+	}
+	return 3
+}
+
+// stateChanged invokes the observer hook.
+func (m *Model) stateChanged() {
+	if m.OnStateChange != nil {
+		m.OnStateChange()
+	}
+}
+
+// AddExecutor registers an executor. idleTimeout > 0 enables distributed
+// idle release; onRelease observes the release (the provisioner returns the
+// node).
+func (m *Model) AddExecutor(idleTimeout time.Duration, onRelease func(*Exec)) *Exec {
+	m.nextExec++
+	x := &Exec{
+		ID:           m.nextExec,
+		registeredAt: m.E.Now(),
+		idle:         true,
+		idleTimeout:  idleTimeout,
+		onRelease:    onRelease,
+	}
+	m.execs = append(m.execs, x)
+	m.liveN++
+	m.idle = append(m.idle, x)
+	m.armIdleTimer(x)
+	m.armPollTimer(x)
+	m.stateChanged()
+	m.kick()
+	return x
+}
+
+// Polls returns the number of pure-pull work requests served (for the
+// push-vs-pull ablation).
+func (m *Model) Polls() int { return m.polls }
+
+// StopPolling halts pure-pull polling so a finished simulation can drain.
+func (m *Model) StopPolling() {
+	m.pollingStopped = true
+	for _, x := range m.execs {
+		if x.pollTimer != nil {
+			x.pollTimer.Stop()
+			x.pollTimer = nil
+		}
+	}
+}
+
+// armPollTimer schedules the next pure-pull poll for an idle executor.
+func (m *Model) armPollTimer(x *Exec) {
+	interval := m.P.PurePullInterval
+	if interval <= 0 || m.pollingStopped {
+		return
+	}
+	x.pollTimer = m.E.After(interval, func() {
+		if x.released || !x.idle || m.pollingStopped {
+			return
+		}
+		// Every poll is a WS call on the dispatcher, fruitful or not.
+		m.polls++
+		m.dispSubmit(m.P.GetWorkCost, func() {
+			if x.released || !x.idle || m.pollingStopped {
+				return
+			}
+			if t, ok := m.pickFor(x); ok {
+				m.removeIdle(x)
+				m.wakeExec(x)
+				m.runOn(x, t)
+				return
+			}
+			m.armPollTimer(x)
+		})
+	})
+}
+
+// removeIdle drops x from the idle stack.
+func (m *Model) removeIdle(x *Exec) {
+	for i, v := range m.idle {
+		if v == x {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			return
+		}
+	}
+}
+
+// armIdleTimer starts x's distributed-release countdown.
+func (m *Model) armIdleTimer(x *Exec) {
+	if x.idleTimeout <= 0 {
+		return
+	}
+	x.idleTimer = m.E.After(x.idleTimeout, func() {
+		if x.idle && !x.released {
+			m.releaseExec(x)
+		}
+	})
+}
+
+// releaseExec applies the distributed release policy to x.
+func (m *Model) releaseExec(x *Exec) {
+	x.released = true
+	x.releasedAt = m.E.Now()
+	if x.pollTimer != nil {
+		x.pollTimer.Stop()
+		x.pollTimer = nil
+	}
+	for i, v := range m.idle {
+		if v == x {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			break
+		}
+	}
+	m.liveN--
+	m.stateChanged()
+	if x.onRelease != nil {
+		x.onRelease(x)
+	}
+}
+
+// dispSubmit charges the dispatcher CPU with one message-handling job.
+func (m *Model) dispSubmit(cost time.Duration, fn func()) {
+	m.dq.push(dispJob{cost: cost, fn: fn})
+	if !m.dispBusy {
+		m.dispRun()
+	}
+}
+
+// dispRun serves dispatcher jobs FIFO, injecting GC stalls.
+func (m *Model) dispRun() {
+	job, ok := m.dq.pop()
+	if !ok {
+		m.dispBusy = false
+		return
+	}
+	m.dispBusy = true
+	eff := job.cost
+	m.DispatchServedTime += job.cost
+	if gc := m.P.GC; gc != nil {
+		m.gcBusy += job.cost
+		if m.gcBusy >= gc.BusyRun {
+			eff += gc.Pause
+			m.gcBusy = 0
+		}
+	}
+	m.E.After(eff, func() {
+		job.fn()
+		m.dispRun()
+	})
+}
+
+// subSubmit charges the submission pipeline (the GT4 container's thread
+// pool, which runs on the dispatcher machine's other CPU).
+func (m *Model) subSubmit(cost time.Duration, fn func()) {
+	m.sq.push(dispJob{cost: cost, fn: fn})
+	if !m.subBusy {
+		m.subRun()
+	}
+}
+
+// subRun serves submission jobs FIFO.
+func (m *Model) subRun() {
+	job, ok := m.sq.pop()
+	if !ok {
+		m.subBusy = false
+		return
+	}
+	m.subBusy = true
+	m.E.After(job.cost, func() {
+		job.fn()
+		m.subRun()
+	})
+}
+
+// Submit enqueues specs in bundles of bundle tasks, modeling a client that
+// keeps one submission in flight. Each bundle is a WS call costing the Axis
+// envelope on the submission pipeline, plus a SubmitShare fraction that
+// contends with the dispatch path.
+func (m *Model) Submit(specs []Spec, bundle int) {
+	if bundle <= 0 {
+		bundle = 1
+	}
+	var send func(rest []Spec)
+	send = func(rest []Spec) {
+		if len(rest) == 0 {
+			return
+		}
+		n := bundle
+		if n > len(rest) {
+			n = len(rest)
+		}
+		batch := rest[:n]
+		cost := m.P.Axis.MessageCost(n)
+		m.subSubmit(cost, func() {
+			now := m.E.Now()
+			for _, s := range batch {
+				m.nextTask++
+				m.queue.push(mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, queuedAt: now, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes})
+			}
+			m.submitted += n
+			if share := m.P.SubmitShare; share > 0 {
+				m.dispSubmit(time.Duration(share*float64(cost)), m.kick)
+			} else {
+				m.kick()
+			}
+			send(rest[n:])
+		})
+	}
+	send(specs)
+}
+
+// PreloadQueue stuffs n tasks of duration dur directly into the dispatch
+// queue at the current instant, bypassing submission costs. Peak-throughput
+// benchmarks use it to measure the pure dispatch rate with a deep queue,
+// the way the paper's throughput tests kept the wait queue full.
+func (m *Model) PreloadQueue(n int, dur time.Duration) {
+	now := m.E.Now()
+	for i := 0; i < n; i++ {
+		m.nextTask++
+		m.queue.push(mtask{id: m.nextTask, dur: dur, queuedAt: now})
+	}
+	m.submitted += n
+	m.kick()
+}
+
+// SubmitSleepStream submits total sleep tasks of duration dur, bundled.
+func (m *Model) SubmitSleepStream(total int, dur time.Duration, bundle int) {
+	specs := make([]Spec, total)
+	for i := range specs {
+		specs[i] = Spec{Dur: dur}
+	}
+	m.Submit(specs, bundle)
+}
+
+// dataAwareWindow bounds how deep the data-aware policy looks into the
+// FIFO; beyond it, age wins over locality.
+const dataAwareWindow = 64
+
+// pickFor selects the next task for x: FIFO, or dataset-affinity within
+// the window under data-aware dispatch.
+func (m *Model) pickFor(x *Exec) (mtask, bool) {
+	if !m.DataAware {
+		return m.queue.pop()
+	}
+	live := m.queue.window(dataAwareWindow)
+	for i := range live {
+		if live[i].dataset != "" && x.cacheHas(live[i].dataset) {
+			t := live[i]
+			m.queue.removeAt(i)
+			m.cacheHits++
+			t.stageIn = 0 // resident: staging skipped
+			return t, true
+		}
+	}
+	t, ok := m.queue.pop()
+	if ok && t.dataset != "" {
+		m.cacheMisses++
+	}
+	return t, ok
+}
+
+// CacheStats returns data-aware dispatch hit/miss counts.
+func (m *Model) CacheStats() (hits, misses int) { return m.cacheHits, m.cacheMisses }
+
+// cacheCapacity returns the configured per-executor cache size.
+func (m *Model) cacheCapacity() int {
+	if m.CacheCapacity > 0 {
+		return m.CacheCapacity
+	}
+	return 16
+}
+
+// kick assigns queued tasks to idle executors over the cold dispatch path
+// (notification push + work pull). Under a pure-pull profile there are no
+// notifications: executors discover work on their own polls.
+func (m *Model) kick() {
+	if m.P.PurePullInterval > 0 {
+		return
+	}
+	for m.queue.len() > 0 && len(m.idle) > 0 {
+		x := m.idle[len(m.idle)-1]
+		m.idle = m.idle[:len(m.idle)-1]
+		t, _ := m.pickFor(x)
+		m.wakeExec(x)
+		m.dispSubmit(m.P.NotifyCost+m.P.GetWorkCost, func() {
+			m.runOn(x, t)
+		})
+	}
+}
+
+// wakeExec transitions x from idle to notified (earmarked).
+func (m *Model) wakeExec(x *Exec) {
+	if !x.idle {
+		panic(fmt.Sprintf("simfalkon: executor %d woken while busy", x.ID))
+	}
+	x.idle = false
+	if x.idleTimer != nil {
+		x.idleTimer.Stop()
+		x.idleTimer = nil
+	}
+	m.stateChanged()
+}
+
+// runOn executes t on x starting now (the executor has just received the
+// assignment), then delivers the result.
+func (m *Model) runOn(x *Exec, t mtask) {
+	if !x.busy {
+		x.busy = true
+		m.busyN++
+		m.stateChanged()
+	}
+	dispatchedAt := m.E.Now()
+	over := m.P.ExecOverhead
+	if j := m.P.ExecOverheadJitter; j > 0 {
+		over += m.E.ExpDuration(j)
+	}
+	if lim := m.P.ExecOverheadCap; lim > 0 && over > lim {
+		over = lim
+	}
+	m.OverheadHist.Observe(float64(over) / float64(time.Millisecond))
+	over += t.stageIn // data staging (zero on data-aware cache hits)
+	if m.Stager != nil && t.stageBytes > 0 {
+		// Dynamic staging: bandwidth is shared with every staging in
+		// flight right now; the reservation releases when staging ends.
+		m.stagingN++
+		stage := m.Stager(t.stageBytes, m.stagingN)
+		over += stage
+		m.E.After(stage, func() { m.stagingN-- })
+	}
+	startedAt := dispatchedAt + over
+	m.E.After(over+t.dur, func() {
+		// Pre-fetching (§6): grab the next task at run completion — its
+		// pull round trip was hidden behind execution, but the dispatcher
+		// still paid a GetWork call for it.
+		var next *mtask
+		if m.P.Prefetch {
+			if nt, ok := m.pickFor(x); ok {
+				next = &nt
+				m.dispSubmit(m.P.GetWorkCost, func() {})
+			}
+		}
+		m.dispSubmit(m.P.DeliverCost, func() {
+			m.finish(x, t, dispatchedAt, startedAt, next != nil)
+		})
+		if next != nil {
+			m.runOn(x, *next)
+		}
+	})
+}
+
+// finish records t's completion on x and piggy-backs the next task if one
+// is queued; otherwise x goes idle. prefetched marks completions whose
+// successor was already claimed at run end (Prefetch mode), so finish must
+// neither piggy-back nor idle the executor.
+func (m *Model) finish(x *Exec, t mtask, dispatchedAt, startedAt time.Duration, prefetched bool) {
+	now := m.E.Now()
+	t.attempts++
+	x.busyFor += t.dur
+	if m.DataAware {
+		x.cacheTouch(t.dataset, m.cacheCapacity())
+	}
+	// Failure injection: the replay policy re-queues the task unless its
+	// retries are exhausted.
+	taskFailed := false
+	if p := m.P.FailureProb; p > 0 && m.E.Rand().Float64() < p {
+		if t.attempts <= m.maxRetries() {
+			m.retried++
+			m.queue.push(t)
+			m.afterDelivery(x, prefetched)
+			return
+		}
+		taskFailed = true
+		m.failed++
+	}
+	m.completed++
+	rec := Rec{
+		ID:         t.id,
+		Stage:      t.stage,
+		Queued:     t.queuedAt,
+		Dispatched: dispatchedAt,
+		Started:    startedAt,
+		Finished:   now,
+		Exec:       x.ID,
+		Tag:        t.tag,
+		Attempts:   t.attempts,
+		Failed:     taskFailed,
+	}
+	if m.KeepRecords {
+		m.Records = append(m.Records, rec)
+	}
+	if m.OnTaskDone != nil {
+		m.OnTaskDone(rec)
+	}
+	m.afterDelivery(x, prefetched)
+}
+
+// afterDelivery advances the executor after a result delivery: piggy-back
+// the next task, or transition to idle.
+func (m *Model) afterDelivery(x *Exec, prefetched bool) {
+	if prefetched {
+		return // the executor is already running its next task
+	}
+	if !m.P.NoPiggyback {
+		if next, ok := m.pickFor(x); ok {
+			// Piggy-back: the delivery acknowledgment already carried the
+			// next task; no additional dispatcher cost.
+			m.runOn(x, next)
+			return
+		}
+	}
+	x.busy = false
+	x.idle = true
+	m.busyN--
+	m.idle = append(m.idle, x)
+	m.armIdleTimer(x)
+	m.armPollTimer(x)
+	m.stateChanged()
+	if m.P.NoPiggyback {
+		m.kick()
+	}
+}

@@ -1,0 +1,141 @@
+package simfalkon
+
+import (
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/provision"
+)
+
+// ProvisionerConfig parameterizes the virtual-time provisioner, mirroring
+// the paper's §4.6 experiments.
+type ProvisionerConfig struct {
+	// Min and Max bound the executor pool (paper: 0 and 32).
+	Min int
+	Max int
+	// IdleTimeout is the distributed-release idle time; 0 disables release
+	// (Falkon-∞).
+	IdleTimeout time.Duration
+	// Policy splits acquisitions into GRAM requests (paper: all-at-once).
+	Policy provision.AcquisitionPolicy
+	// PollInterval is the provisioner's dispatcher-state poll period
+	// (default 1 s).
+	PollInterval time.Duration
+}
+
+// Provisioner drives dynamic resource provisioning for a Model against a
+// GRAM gateway, on virtual time.
+type Provisioner struct {
+	m   *Model
+	gw  *lrm.Gateway
+	cfg ProvisionerConfig
+
+	pendingNodes int
+	requests     int
+	nodeOf       map[*Exec]*lrm.Job
+	stopped      bool
+}
+
+// NewProvisioner wires a provisioner; call Pump() after submitting work,
+// and whenever the workload advances, or use StartPolling for a fixed
+// cadence.
+func NewProvisioner(m *Model, gw *lrm.Gateway, cfg ProvisionerConfig) *Provisioner {
+	if cfg.Policy == nil {
+		cfg.Policy = provision.AllAtOnce()
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	return &Provisioner{m: m, gw: gw, cfg: cfg, nodeOf: make(map[*Exec]*lrm.Job)}
+}
+
+// Requests returns GRAM allocation requests issued (Table 4's "resource
+// allocations").
+func (p *Provisioner) Requests() int { return p.requests }
+
+// Allocated returns nodes requested but not yet registered as executors
+// (Figures 12-13's "allocated" series).
+func (p *Provisioner) Allocated() int { return p.pendingNodes }
+
+// Stop halts further acquisition.
+func (p *Provisioner) Stop() { p.stopped = true }
+
+// StartPolling evaluates the acquisition policy every PollInterval until
+// done() reports true.
+func (p *Provisioner) StartPolling(done func() bool) {
+	p.m.E.Every(p.cfg.PollInterval, func() bool {
+		if p.stopped || done() {
+			return false
+		}
+		p.Pump()
+		return true
+	})
+}
+
+// Pump performs one acquisition evaluation.
+func (p *Provisioner) Pump() {
+	if p.stopped {
+		return
+	}
+	demand := p.m.QueueLen() + p.m.BusyExecutors()
+	if demand < p.cfg.Min {
+		demand = p.cfg.Min
+	}
+	if demand > p.cfg.Max {
+		demand = p.cfg.Max
+	}
+	have := p.m.LiveExecutors() + p.pendingNodes
+	need := demand - have
+	if need <= 0 {
+		return
+	}
+	for _, n := range p.cfg.Policy.Requests(need) {
+		p.requests++
+		p.pendingNodes += n
+		p.gw.AllocateNodes(n, func(j *lrm.Job) {
+			p.pendingNodes--
+			x := p.m.AddExecutor(p.cfg.IdleTimeout, func(x *Exec) {
+				// Distributed release: the executor returns its own node.
+				if job := p.nodeOf[x]; job != nil {
+					p.gw.ReleaseNode(job)
+					delete(p.nodeOf, x)
+				}
+			})
+			p.nodeOf[x] = j
+		})
+	}
+}
+
+// ReleaseIdle releases every currently idle executor and returns its node —
+// the centralized release policy ("if there are no queued tasks, release
+// all resources", §3.1) driven from provisioner state.
+func (p *Provisioner) ReleaseIdle() int {
+	released := 0
+	for x, j := range p.nodeOf {
+		if !x.Idle() || x.Released() {
+			continue
+		}
+		delete(p.nodeOf, x) // before releaseExec so onRelease finds nothing
+		p.m.releaseExec(x)
+		p.gw.ReleaseNode(j)
+		released++
+	}
+	return released
+}
+
+// ReleaseAll returns every remaining node (end-of-experiment cleanup) and
+// releases still-live executors so wastage accounting has an end stamp.
+func (p *Provisioner) ReleaseAll() {
+	p.stopped = true
+	nodes := p.nodeOf
+	p.nodeOf = make(map[*Exec]*lrm.Job)
+	for x, j := range nodes {
+		if x.idle && !x.released {
+			p.m.releaseExec(x) // its onRelease finds no node entry now
+		} else if !x.released {
+			x.released = true
+			x.releasedAt = p.m.E.Now()
+		}
+		p.gw.ReleaseNode(j)
+	}
+}

@@ -1,0 +1,163 @@
+package simfalkon
+
+import (
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/task"
+	"falkon/internal/workloads"
+)
+
+// taskOf builds a bare synthetic task of duration d for gateway submission.
+func taskOf(d time.Duration) task.Task {
+	return task.Task{Engine: task.EngineSleep, Command: "sleep", Duration: d}
+}
+
+// RunStaged executes a staged workload on the model with a barrier between
+// stages (each stage's tasks are submitted only when the previous stage has
+// fully completed — the structure of the paper's synthetic and application
+// workloads). It chains onto the model's OnTaskDone hook, preserving any
+// existing observer. onDone fires when the final stage completes.
+func RunStaged(m *Model, w workloads.Workload, bundle int, onDone func()) {
+	prev := m.OnTaskDone
+	stage := 0
+	remaining := 0
+	var startStage func()
+	startStage = func() {
+		if stage >= len(w.Stages) {
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
+		s := w.Stages[stage]
+		remaining = s.Count
+		specs := make([]Spec, s.Count)
+		for i := range specs {
+			specs[i] = Spec{Dur: s.Duration, Stage: stage + 1}
+		}
+		stage++
+		m.Submit(specs, bundle)
+	}
+	m.OnTaskDone = func(r Rec) {
+		if prev != nil {
+			prev(r)
+		}
+		remaining--
+		if remaining == 0 {
+			startStage()
+		}
+	}
+	startStage()
+}
+
+// GramOutcomeSet collects per-task outcomes from an LRM-direct run.
+type GramOutcomeSet struct {
+	Outcomes []lrm.TaskOutcome
+	DoneAt   time.Duration
+}
+
+// AvgQueue returns the mean submission-to-active wait.
+func (g *GramOutcomeSet) AvgQueue() time.Duration {
+	if len(g.Outcomes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, o := range g.Outcomes {
+		sum += o.QueueTime
+	}
+	return sum / time.Duration(len(g.Outcomes))
+}
+
+// AvgExec returns the mean GRAM-visible execution time.
+func (g *GramOutcomeSet) AvgExec() time.Duration {
+	if len(g.Outcomes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, o := range g.Outcomes {
+		sum += o.ExecTime
+	}
+	return sum / time.Duration(len(g.Outcomes))
+}
+
+// RunStagedGram executes a staged workload by submitting every task as its
+// own GRAM4 job against the LRM — the paper's GRAM4+PBS baseline. onDone
+// fires at workload completion.
+func RunStagedGram(gw *lrm.Gateway, w workloads.Workload, onDone func(*GramOutcomeSet)) *GramOutcomeSet {
+	set := &GramOutcomeSet{}
+	stage := 0
+	remaining := 0
+	var startStage func()
+	startStage = func() {
+		if stage >= len(w.Stages) {
+			if onDone != nil {
+				onDone(set)
+			}
+			return
+		}
+		s := w.Stages[stage]
+		remaining = s.Count
+		stage++
+		for i := 0; i < s.Count; i++ {
+			gw.SubmitTask(taskOf(s.Duration), func(o lrm.TaskOutcome) {
+				set.Outcomes = append(set.Outcomes, o)
+				set.DoneAt = o.DoneAt
+				remaining--
+				if remaining == 0 {
+					startStage()
+				}
+			})
+		}
+	}
+	startStage()
+	return set
+}
+
+// RunStagedClustered executes a staged workload with task clustering: each
+// stage's tasks are packed into at most clusters GRAM4 jobs that run their
+// tasks serially — the paper's "Swift with clustering" baseline (fMRI
+// tasks clustered into 8 groups).
+func RunStagedClustered(gw *lrm.Gateway, w workloads.Workload, clusters int, onDone func(*GramOutcomeSet)) *GramOutcomeSet {
+	if clusters <= 0 {
+		clusters = 1
+	}
+	set := &GramOutcomeSet{}
+	stage := 0
+	remaining := 0
+	var startStage func()
+	startStage = func() {
+		if stage >= len(w.Stages) {
+			if onDone != nil {
+				onDone(set)
+			}
+			return
+		}
+		s := w.Stages[stage]
+		stage++
+		groups := clusters
+		if s.Count < groups {
+			groups = s.Count
+		}
+		remaining = groups
+		per := s.Count / groups
+		rem := s.Count % groups
+		for g := 0; g < groups; g++ {
+			n := per
+			if g < rem {
+				n++
+			}
+			// A cluster is one job running n tasks back-to-back.
+			gw.SubmitTask(taskOf(time.Duration(n)*s.Duration), func(o lrm.TaskOutcome) {
+				set.Outcomes = append(set.Outcomes, o)
+				set.DoneAt = o.DoneAt
+				remaining--
+				if remaining == 0 {
+					startStage()
+				}
+			})
+		}
+	}
+	startStage()
+	return set
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/sim"
+	"falkon/internal/simfalkon"
+	"falkon/internal/task"
+)
+
+// ReplayStats summarizes one trace replay.
+type ReplayStats struct {
+	Jobs      int
+	Makespan  time.Duration // last completion
+	AvgWait   time.Duration // submission to start
+	MaxWait   time.Duration
+	TotalWait time.Duration
+}
+
+// record folds one job's wait into the stats.
+func (s *ReplayStats) record(wait time.Duration) {
+	s.Jobs++
+	s.TotalWait += wait
+	if wait > s.MaxWait {
+		s.MaxWait = wait
+	}
+}
+
+func (s *ReplayStats) finalize(end time.Duration) {
+	s.Makespan = end
+	if s.Jobs > 0 {
+		s.AvgWait = s.TotalWait / time.Duration(s.Jobs)
+	}
+}
+
+// ReplayFalkon replays the trace on a Falkon model with nExec executors:
+// each batch arrives as one bundled submission at its trace time.
+func ReplayFalkon(e *sim.Engine, m *simfalkon.Model, tr *Trace, nExec int) *ReplayStats {
+	for i := 0; i < nExec; i++ {
+		m.AddExecutor(0, nil)
+	}
+	stats := &ReplayStats{}
+	var lastDone time.Duration
+	prev := m.OnTaskDone
+	m.OnTaskDone = func(r simfalkon.Rec) {
+		if prev != nil {
+			prev(r)
+		}
+		stats.record(r.Started - r.Queued)
+		lastDone = r.Finished
+	}
+	// Group consecutive jobs sharing a batch into one submission.
+	i := 0
+	for i < len(tr.Jobs) {
+		j := i
+		for j < len(tr.Jobs) && tr.Jobs[j].BatchID == tr.Jobs[i].BatchID {
+			j++
+		}
+		group := tr.Jobs[i:j]
+		at := group[0].Submit
+		specs := make([]simfalkon.Spec, len(group))
+		for k, job := range group {
+			specs[k] = simfalkon.Spec{Dur: job.Runtime}
+		}
+		e.At(at, func() { m.Submit(specs, len(specs)) })
+		i = j
+	}
+	e.Run()
+	stats.finalize(lastDone)
+	return stats
+}
+
+// ReplayLRM replays the trace by submitting each job directly to a batch
+// scheduler through a GRAM gateway — the paper's single-level baseline.
+func ReplayLRM(e *sim.Engine, gw *lrm.Gateway, tr *Trace) *ReplayStats {
+	stats := &ReplayStats{}
+	var lastDone time.Duration
+	for _, j := range tr.Jobs {
+		j := j
+		e.At(j.Submit, func() {
+			gw.SubmitTask(task.Task{ID: task.ID(j.ID), Duration: j.Runtime}, func(o lrm.TaskOutcome) {
+				stats.record(o.QueueTime)
+				if o.DoneAt > lastDone {
+					lastDone = o.DoneAt
+				}
+			})
+		})
+	}
+	e.Run()
+	stats.finalize(lastDone)
+	return stats
+}

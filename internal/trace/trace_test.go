@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"falkon/internal/lrm"
+	"falkon/internal/sim"
+	"falkon/internal/simfalkon"
+)
+
+func TestGenerateProducesRequestedJobs(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Jobs = 500
+	tr := Generate(cfg)
+	if len(tr.Jobs) != 500 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Span() > cfg.Span {
+		t.Fatalf("span = %v > %v", tr.Span(), cfg.Span)
+	}
+	// The cited studies find most jobs arrive in batches: far fewer
+	// batches than jobs.
+	if b := tr.Batches(); b >= 500/2 {
+		t.Fatalf("batches = %d, want << jobs", b)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenConfig())
+	b := Generate(DefaultGenConfig())
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	tr := Generate(DefaultGenConfig())
+	median := DefaultGenConfig().RuntimeMedian
+	over10x := 0
+	for _, j := range tr.Jobs {
+		if j.Runtime > 10*median {
+			over10x++
+		}
+	}
+	if over10x == 0 {
+		t.Fatal("no heavy-tail runtimes generated")
+	}
+	if over10x > len(tr.Jobs)/4 {
+		t.Fatalf("tail too fat: %d of %d over 10x median", over10x, len(tr.Jobs))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Jobs = 200
+	in := Generate(cfg)
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != len(in.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(out.Jobs), len(in.Jobs))
+	}
+	for i := range in.Jobs {
+		// Millisecond precision survives the text format.
+		if out.Jobs[i].ID != in.Jobs[i].ID || out.Jobs[i].BatchID != in.Jobs[i].BatchID {
+			t.Fatalf("job %d ids differ", i)
+		}
+		dS := out.Jobs[i].Submit - in.Jobs[i].Submit
+		dR := out.Jobs[i].Runtime - in.Jobs[i].Runtime
+		if dS < -time.Millisecond || dS > time.Millisecond || dR < -time.Millisecond || dR > time.Millisecond {
+			t.Fatalf("job %d timing drift: %v %v", i, dS, dR)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1 2 3",                    // too few fields
+		"x 1.0 1.0 1",              // bad id
+		"1 x 1.0 1",                // bad submit
+		"1 1.0 x 1",                // bad runtime
+		"1 1.0 1.0 x",              // bad batch
+		"1 5.0 1.0 1\n2 1.0 1.0 1", // out of order
+	}
+	for _, c := range cases {
+		if _, err := Read("bad", strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	in := "; header\n# more\n1 0.0 1.0 1\n\n2 1.0 2.0 1\n"
+	tr, err := Read("c", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+}
+
+// Property: any generated config round-trips through the text format with
+// job count and batch structure preserved.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, jobs uint8) bool {
+		cfg := DefaultGenConfig()
+		cfg.Seed = seed
+		cfg.Jobs = int(jobs)%200 + 1
+		in := Generate(cfg)
+		var buf bytes.Buffer
+		if err := in.Write(&buf); err != nil {
+			return false
+		}
+		out, err := Read("p", &buf)
+		if err != nil {
+			return false
+		}
+		return len(out.Jobs) == len(in.Jobs) && out.Batches() == in.Batches()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayFalkonBeatsLRM(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Jobs = 300
+	cfg.Span = 10 * time.Minute
+	tr := Generate(cfg)
+
+	eF := sim.New(2)
+	mF := simfalkon.New(eF, simfalkon.NoSecurity())
+	falkon := ReplayFalkon(eF, mF, tr, 64)
+
+	eL := sim.New(2)
+	l := lrm.New(eL, lrm.PBS(), 64)
+	gw := lrm.NewGateway(eL, l, lrm.GRAM4())
+	pbs := ReplayLRM(eL, gw, tr)
+
+	if falkon.Jobs != 300 || pbs.Jobs != 300 {
+		t.Fatalf("jobs: falkon=%d pbs=%d", falkon.Jobs, pbs.Jobs)
+	}
+	// Falkon's wait is milliseconds; direct PBS submission waits minutes
+	// (the [36] observation that real grid waits are long).
+	if falkon.AvgWait >= pbs.AvgWait/10 {
+		t.Fatalf("falkon wait %v not <<10x pbs wait %v", falkon.AvgWait, pbs.AvgWait)
+	}
+	if falkon.Makespan >= pbs.Makespan {
+		t.Fatalf("falkon makespan %v not below pbs %v", falkon.Makespan, pbs.Makespan)
+	}
+}
+
+func TestReplayStatsAccounting(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		{ID: 1, Submit: 0, Runtime: time.Second, BatchID: 1},
+		{ID: 2, Submit: 0, Runtime: time.Second, BatchID: 1},
+	}}
+	e := sim.New(1)
+	m := simfalkon.New(e, simfalkon.NoSecurity())
+	st := ReplayFalkon(e, m, tr, 2)
+	if st.Jobs != 2 {
+		t.Fatalf("jobs = %d", st.Jobs)
+	}
+	if st.Makespan < time.Second {
+		t.Fatalf("makespan = %v", st.Makespan)
+	}
+	if st.MaxWait < st.AvgWait {
+		t.Fatalf("max %v < avg %v", st.MaxWait, st.AvgWait)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Jobs = 1000
+	tr := Generate(cfg)
+	st := tr.Summarize()
+	if st.Jobs != 1000 || st.Batches != tr.Batches() {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanBatchSize < 5 || st.MeanBatchSize > 80 {
+		t.Fatalf("mean batch = %.1f, want near the configured 20", st.MeanBatchSize)
+	}
+	// Heavy tail: P99 well above the median; quantiles ordered.
+	if !(st.RuntimeP50 <= st.RuntimeP90 && st.RuntimeP90 <= st.RuntimeP99 && st.RuntimeP99 <= st.RuntimeMax) {
+		t.Fatalf("quantiles out of order: %+v", st)
+	}
+	if st.RuntimeP99 < 3*st.RuntimeP50 {
+		t.Fatalf("no heavy tail: p50=%.1f p99=%.1f", st.RuntimeP50, st.RuntimeP99)
+	}
+	if z := (&Trace{}).Summarize(); z.Jobs != 0 {
+		t.Fatal("empty trace stats")
+	}
+}

@@ -1,0 +1,103 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+)
+
+// FMRIGraph builds the AIRSN fMRI pipeline of §5.1 as a true DAG: each
+// volume flows through reorient -> realign -> reslice -> smooth, with the
+// realign step additionally depending on the first volume's reorient (the
+// motion-correction reference frame) — giving the four-stage structure the
+// paper evaluates at 120-480 volumes.
+func FMRIGraph(volumes int) *Graph {
+	if volumes <= 0 {
+		panic(fmt.Sprintf("workflow: volumes = %d", volumes))
+	}
+	g := NewGraph(fmt.Sprintf("fmri-%dvol", volumes))
+	ref := "reorient-0"
+	for v := 0; v < volumes; v++ {
+		re := fmt.Sprintf("reorient-%d", v)
+		ra := fmt.Sprintf("realign-%d", v)
+		rs := fmt.Sprintf("reslice-%d", v)
+		sm := fmt.Sprintf("smooth-%d", v)
+		g.MustAdd(&Node{ID: re, Stage: "reorient", Duration: 2 * time.Second})
+		deps := []string{re}
+		if v != 0 {
+			deps = append(deps, ref)
+		}
+		g.MustAdd(&Node{ID: ra, Stage: "realign", Duration: 4 * time.Second, Deps: deps})
+		g.MustAdd(&Node{ID: rs, Stage: "reslice", Duration: 3 * time.Second, Deps: []string{ra}})
+		g.MustAdd(&Node{ID: sm, Stage: "smooth", Duration: 3 * time.Second, Deps: []string{rs}})
+	}
+	return g
+}
+
+// MontageGraph builds the §5.2 Montage mosaic DAG: 487 reprojections, one
+// difference+fit per overlapping pair (~2,200, each depending on its two
+// projected images), background correction per image, a parallel co-add
+// over tiles, and the final sequential co-add. Pair assignments are
+// deterministic (image i overlaps a sliding window of neighbours),
+// approximating the spatial overlap structure of the 3°x3° M16 mosaic.
+func MontageGraph() *Graph {
+	const (
+		images   = 487
+		overlaps = 2200
+		tiles    = 121
+	)
+	g := NewGraph("montage-m16-3x3")
+	for i := 0; i < images; i++ {
+		g.MustAdd(&Node{
+			ID:       fmt.Sprintf("mProject-%d", i),
+			Stage:    "mProject",
+			Duration: 44 * time.Second,
+		})
+	}
+	for j := 0; j < overlaps; j++ {
+		a := j % images
+		b := (j + 1 + j/images) % images
+		if b == a {
+			b = (a + 1) % images
+		}
+		g.MustAdd(&Node{
+			ID:       fmt.Sprintf("mDiffFit-%d", j),
+			Stage:    "mDiff+mFit",
+			Duration: 4 * time.Second,
+			Deps:     []string{fmt.Sprintf("mProject-%d", a), fmt.Sprintf("mProject-%d", b)},
+		})
+	}
+	for i := 0; i < images; i++ {
+		// Background correction for image i consumes the fits involving i;
+		// depend on a representative pair of them.
+		g.MustAdd(&Node{
+			ID:       fmt.Sprintf("mBackground-%d", i),
+			Stage:    "mBackground",
+			Duration: 2 * time.Second,
+			Deps: []string{
+				fmt.Sprintf("mDiffFit-%d", i%overlaps),
+				fmt.Sprintf("mDiffFit-%d", (i+images)%overlaps),
+			},
+		})
+	}
+	for t := 0; t < tiles; t++ {
+		// Each co-add tile aggregates a band of corrected images.
+		lo := t * images / tiles
+		hi := (t + 1) * images / tiles
+		deps := make([]string, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			deps = append(deps, fmt.Sprintf("mBackground-%d", i))
+		}
+		g.MustAdd(&Node{
+			ID:       fmt.Sprintf("mAddSub-%d", t),
+			Stage:    "mAdd(sub)",
+			Duration: 16 * time.Second,
+			Deps:     deps,
+		})
+	}
+	final := make([]string, tiles)
+	for t := 0; t < tiles; t++ {
+		final[t] = fmt.Sprintf("mAddSub-%d", t)
+	}
+	g.MustAdd(&Node{ID: "mAdd", Stage: "mAdd", Duration: 180 * time.Second, Deps: final})
+	return g
+}

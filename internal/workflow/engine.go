@@ -1,0 +1,142 @@
+package workflow
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Provider executes workflow nodes. Submit may be called repeatedly as
+// nodes become ready; each must be invoked exactly once per node, when that
+// node completes, with failed reporting whether the node's task failed.
+// Virtual-time providers invoke each on the simulation thread; live
+// providers invoke it from their own goroutines — the engine serializes
+// internally.
+type Provider interface {
+	Submit(nodes []*Node, each func(n *Node, failed bool))
+	// Now returns the provider's clock, used for reporting.
+	Now() time.Duration
+}
+
+// Report summarizes one workflow execution.
+type Report struct {
+	Graph    string
+	Nodes    int
+	Makespan time.Duration
+	// StageEnd records when each stage label's last node finished.
+	StageEnd map[string]time.Duration
+	// StageBusy sums node durations per stage (CPU time).
+	StageBusy map[string]time.Duration
+	// Failed lists nodes whose tasks failed; Skipped lists nodes never run
+	// because a (transitive) dependency failed. Data-driven semantics:
+	// independent branches keep executing.
+	Failed  []string
+	Skipped []string
+}
+
+// Run executes g on p data-driven: every node is submitted as soon as its
+// dependencies complete (Swift's execution model). onDone receives the
+// report when the last node finishes. Run returns immediately after
+// submitting the initial ready set; for virtual-time providers the caller
+// then runs the simulation engine, for live providers the caller waits on
+// onDone.
+func Run(g *Graph, p Provider, onDone func(Report)) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if g.Len() == 0 {
+		return fmt.Errorf("workflow: empty graph %q", g.Name)
+	}
+
+	var mu sync.Mutex
+	waiting := make(map[string]int, g.Len()) // unmet dep count
+	dependents := make(map[string][]*Node, g.Len())
+	for _, id := range g.order {
+		n := g.nodes[id]
+		waiting[id] = len(n.Deps)
+		for _, d := range n.Deps {
+			dependents[d] = append(dependents[d], n)
+		}
+	}
+	remaining := g.Len()
+	report := Report{
+		Graph:     g.Name,
+		Nodes:     g.Len(),
+		StageEnd:  make(map[string]time.Duration),
+		StageBusy: make(map[string]time.Duration),
+	}
+
+	var each func(n *Node, failed bool)
+	submitReady := func(ready []*Node) {
+		if len(ready) > 0 {
+			p.Submit(ready, each)
+		}
+	}
+	poisoned := make(map[string]bool, 4)
+	// skipCascade marks every transitive dependent of a failed node as
+	// skipped, accounting them as finished without submission. Caller holds
+	// mu; returns whether the workflow completed during the cascade.
+	var skipCascade func(id string) bool
+	skipCascade = func(id string) bool {
+		done := false
+		for _, dep := range dependents[id] {
+			waiting[dep.ID]--
+			if !poisoned[dep.ID] {
+				poisoned[dep.ID] = true
+				report.Skipped = append(report.Skipped, dep.ID)
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+				if skipCascade(dep.ID) {
+					done = true
+				}
+			}
+		}
+		return done
+	}
+	each = func(n *Node, failed bool) {
+		mu.Lock()
+		now := p.Now()
+		remaining--
+		if now > report.StageEnd[n.Stage] {
+			report.StageEnd[n.Stage] = now
+		}
+		report.StageBusy[n.Stage] += n.Duration
+		var ready []*Node
+		done := remaining == 0
+		if failed {
+			report.Failed = append(report.Failed, n.ID)
+			if skipCascade(n.ID) {
+				done = true
+			}
+		} else {
+			for _, dep := range dependents[n.ID] {
+				waiting[dep.ID]--
+				if waiting[dep.ID] == 0 && !poisoned[dep.ID] {
+					ready = append(ready, dep)
+				}
+			}
+		}
+		if done {
+			report.Makespan = now
+		}
+		mu.Unlock()
+		submitReady(ready)
+		if done && onDone != nil {
+			onDone(report)
+		}
+	}
+
+	var initial []*Node
+	for _, id := range g.order {
+		if waiting[id] == 0 {
+			initial = append(initial, g.nodes[id])
+		}
+	}
+	if len(initial) == 0 {
+		return fmt.Errorf("workflow: graph %q has no root nodes", g.Name)
+	}
+	submitReady(initial)
+	return nil
+}

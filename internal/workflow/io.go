@@ -1,0 +1,77 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// fileGraph is the JSON workflow file schema.
+type fileGraph struct {
+	Name  string     `json:"name"`
+	Nodes []fileNode `json:"nodes"`
+}
+
+type fileNode struct {
+	ID         string   `json:"id"`
+	Stage      string   `json:"stage,omitempty"`
+	DurationMS int64    `json:"duration_ms,omitempty"`
+	Deps       []string `json:"deps,omitempty"`
+}
+
+// LoadJSON reads a workflow graph from its JSON representation:
+//
+//	{"name": "demo", "nodes": [
+//	  {"id": "a", "stage": "prep", "duration_ms": 1000},
+//	  {"id": "b", "stage": "work", "duration_ms": 500, "deps": ["a"]}
+//	]}
+//
+// The graph is validated (missing deps and cycles are errors).
+func LoadJSON(r io.Reader) (*Graph, error) {
+	var f fileGraph
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("workflow: parse: %w", err)
+	}
+	if f.Name == "" {
+		f.Name = "workflow"
+	}
+	g := NewGraph(f.Name)
+	for _, n := range f.Nodes {
+		if n.DurationMS < 0 {
+			return nil, fmt.Errorf("workflow: node %q has negative duration", n.ID)
+		}
+		if err := g.Add(&Node{
+			ID:       n.ID,
+			Stage:    n.Stage,
+			Duration: time.Duration(n.DurationMS) * time.Millisecond,
+			Deps:     n.Deps,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveJSON writes the graph in the LoadJSON schema, nodes in insertion
+// order.
+func (g *Graph) SaveJSON(w io.Writer) error {
+	f := fileGraph{Name: g.Name}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		f.Nodes = append(f.Nodes, fileNode{
+			ID:         n.ID,
+			Stage:      n.Stage,
+			DurationMS: int64(n.Duration / time.Millisecond),
+			Deps:       n.Deps,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,115 @@
+package workflow
+
+import (
+	"sync"
+	"time"
+
+	"falkon/internal/core"
+	"falkon/internal/task"
+)
+
+// taskOfDur builds a bare synthetic task for provider submission.
+func taskOfDur(d time.Duration) task.Task {
+	return task.Task{Engine: task.EngineSleep, Command: "sleep", Duration: d}
+}
+
+// LiveProvider executes workflow nodes on a running in-process Falkon
+// system over real TCP — what the examples use. Nodes with a Func run it
+// in-process on the executor; others sleep their Duration (scaled by the
+// system's SleepScale).
+type LiveProvider struct {
+	System *core.System
+
+	once  sync.Once
+	mu    sync.Mutex
+	gen   task.IDGen
+	nodes map[task.ID]nodeDone
+	start time.Time
+	errs  []error
+}
+
+// FuncCommand is the executor func-registry key LiveProvider uses for
+// nodes carrying a Func. Systems hosting a LiveProvider must register
+// LiveProvider.RunFunc under this name via Config.Funcs.
+const FuncCommand = "workflow.node"
+
+// funcRegistry maps task ids to node funcs for in-process execution.
+var (
+	funcMu  sync.Mutex
+	funcFor = map[task.ID]func() error{}
+)
+
+// RunFunc is the executor-side body for workflow Func nodes.
+func RunFunc(t task.Task) (string, int, error) {
+	funcMu.Lock()
+	fn := funcFor[t.ID]
+	delete(funcFor, t.ID)
+	funcMu.Unlock()
+	if fn == nil {
+		return "", 0, nil
+	}
+	if err := fn(); err != nil {
+		return "", 1, err
+	}
+	return "", 0, nil
+}
+
+// Submit converts nodes to tasks and streams completions back.
+func (p *LiveProvider) Submit(nodes []*Node, each func(n *Node, failed bool)) {
+	p.once.Do(func() {
+		p.start = time.Now()
+		p.nodes = make(map[task.ID]nodeDone)
+		go p.collect()
+	})
+	tasks := make([]task.Task, 0, len(nodes))
+	p.mu.Lock()
+	for _, n := range nodes {
+		id := p.gen.Next()
+		t := taskOfDur(n.Duration)
+		t.ID = id
+		if n.Func != nil {
+			t = task.Task{ID: id, Engine: task.EngineFunc, Command: FuncCommand}
+			funcMu.Lock()
+			funcFor[id] = n.Func
+			funcMu.Unlock()
+		}
+		p.nodes[id] = nodeDone{n: n, each: each}
+		tasks = append(tasks, t)
+	}
+	p.mu.Unlock()
+	if err := p.System.Submit(tasks); err != nil {
+		p.mu.Lock()
+		p.errs = append(p.errs, err)
+		p.mu.Unlock()
+	}
+}
+
+// collect routes finished results back to the engine.
+func (p *LiveProvider) collect() {
+	for r := range p.System.Results() {
+		p.mu.Lock()
+		nd, ok := p.nodes[r.ID]
+		delete(p.nodes, r.ID)
+		p.mu.Unlock()
+		if ok {
+			nd.each(nd.n, r.Failed())
+		}
+	}
+}
+
+// Now returns wall time since the first submission.
+func (p *LiveProvider) Now() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		return 0
+	}
+	return time.Since(p.start)
+}
+
+// Errs returns submission errors observed so far.
+func (p *LiveProvider) Errs() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]error(nil), p.errs...)
+}

@@ -1,0 +1,207 @@
+package wsrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrClientClosed is returned by calls made on (or interrupted by) a closed
+// client.
+var ErrClientClosed = errors.New("wsrpc: client closed")
+
+// RemoteError wraps an error string returned by a server handler.
+type RemoteError struct{ Msg string }
+
+// Error returns the server's message.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// NotifyHandler receives server-pushed notifications. It runs on the
+// client's read loop goroutine: implementations must not block (hand off to
+// a channel or goroutine for real work).
+type NotifyHandler func(method string, body json.RawMessage)
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	// Security must match the server's profile.
+	Security SecurityProfile
+	// PSK is the pre-shared key for the secure profile.
+	PSK []byte
+	// OnNotify handles pushed notifications; may be nil.
+	OnNotify NotifyHandler
+	// OnClose, when set, runs once when the connection ends for any reason.
+	OnClose func(err error)
+}
+
+// Client is a wsrpc connection initiator: it issues concurrent calls and
+// receives pushed notifications.
+type Client struct {
+	fc   frameConn
+	opts ClientOptions
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan *frame
+	closed  bool
+	readErr error
+
+	done chan struct{}
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: dial %s: %w", addr, err)
+	}
+	fc, err := newFrameConn(c, opts.Security, opts.PSK, true)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	cl := &Client{fc: fc, opts: opts, pending: make(map[uint64]chan *frame), done: make(chan struct{})}
+	go cl.readLoop()
+	return cl, nil
+}
+
+// readLoop dispatches replies and notifications until the connection ends.
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var raw []byte
+		raw, err = c.fc.ReadFrame()
+		if err != nil {
+			break
+		}
+		var f *frame
+		f, err = decodeFrame(raw)
+		if err != nil {
+			break
+		}
+		switch f.Kind {
+		case kindReply:
+			c.mu.Lock()
+			ch := c.pending[f.Seq]
+			delete(c.pending, f.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		case kindNotify:
+			if c.opts.OnNotify != nil {
+				c.opts.OnNotify(f.Method, f.Body)
+			}
+		default:
+			err = fmt.Errorf("wsrpc: unexpected frame kind %d from server", f.Kind)
+		}
+		if err != nil {
+			break
+		}
+	}
+	c.teardown(err)
+}
+
+// teardown fails all pending calls and signals closure.
+func (c *Client) teardown(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.readErr = err
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.fc.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+	close(c.done)
+	if c.opts.OnClose != nil {
+		c.opts.OnClose(err)
+	}
+}
+
+// Close shuts the connection down. Pending calls fail with ErrClientClosed.
+func (c *Client) Close() error {
+	c.fc.Close() // wakes the read loop, which runs teardown
+	<-c.done
+	return nil
+}
+
+// Done is closed when the connection has fully shut down.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Call invokes method with arg, decoding the server's reply into reply
+// (which may be nil to discard). It blocks until the reply arrives or the
+// connection fails.
+func (c *Client) Call(method string, arg, reply any) error {
+	return c.CallContext(context.Background(), method, arg, reply)
+}
+
+// CallContext is Call with cancellation: when ctx ends first, the call
+// returns ctx's error and the eventual reply is discarded (the connection
+// stays usable — wsrpc has no per-call cancel on the wire, matching WS
+// semantics).
+func (c *Client) CallContext(ctx context.Context, method string, arg, reply any) error {
+	var body json.RawMessage
+	if arg != nil {
+		b, err := json.Marshal(arg)
+		if err != nil {
+			return fmt.Errorf("wsrpc: marshal %s arg: %w", method, err)
+		}
+		body = b
+	}
+	ch := make(chan *frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.seq++
+	seq := c.seq
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	raw, err := encodeFrame(&frame{Kind: kindCall, Seq: seq, Method: method, Body: body})
+	if err == nil {
+		err = c.fc.WriteFrame(raw)
+	}
+	if err != nil {
+		c.mu.Lock()
+		if c.pending != nil {
+			delete(c.pending, seq)
+		}
+		c.mu.Unlock()
+		return fmt.Errorf("wsrpc: call %s: %w", method, err)
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return ErrClientClosed
+		}
+		if f.Err != "" {
+			return &RemoteError{Msg: f.Err}
+		}
+		if reply != nil && len(f.Body) > 0 {
+			if err := json.Unmarshal(f.Body, reply); err != nil {
+				return fmt.Errorf("wsrpc: decode %s reply: %w", method, err)
+			}
+		}
+		return nil
+	case <-ctx.Done():
+		// Abandon the call; drop the pending slot so a late reply is
+		// discarded by the read loop.
+		c.mu.Lock()
+		if c.pending != nil {
+			delete(c.pending, seq)
+		}
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,176 @@
+package wsrpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: decodeFrame never panics and never returns a frame with an
+// invalid kind, whatever bytes arrive.
+func TestDecodeFrameRobustness(t *testing.T) {
+	prop := func(raw []byte) bool {
+		f, err := decodeFrame(raw)
+		if err != nil {
+			return f == nil
+		}
+		return f.Kind >= kindCall && f.Kind <= kindNotify
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frame envelopes round-trip through encode/decode.
+func TestFrameRoundTripProperty(t *testing.T) {
+	prop := func(seq uint64, method string, body []byte) bool {
+		in := &frame{Kind: kindCall, Seq: seq, Method: method}
+		if len(body) > 0 {
+			b, err := json.Marshal(string(body))
+			if err != nil {
+				return false
+			}
+			in.Body = b
+		}
+		raw, err := encodeFrame(in)
+		if err != nil {
+			return false
+		}
+		out, err := decodeFrame(raw)
+		if err != nil {
+			return false
+		}
+		return out.Kind == in.Kind && out.Seq == in.Seq && out.Method == in.Method
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A server must survive garbage bytes on a fresh connection: the offending
+// connection drops, others keep working.
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	s := startEcho(t, ServerOptions{Logf: func(string, ...any) {}})
+
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plausible length prefix followed by junk that is not JSON.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 16)
+	raw.Write(hdr[:])
+	raw.Write([]byte("this is not json"))
+	// Server should close the connection.
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server kept a garbage connection open with data")
+	}
+	raw.Close()
+
+	// A healthy client still works.
+	c, err := Dial(s.Addr(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var got string
+	if err := c.Call("echo", "still alive", &got); err != nil || got != "still alive" {
+		t.Fatalf("call after garbage: %q, %v", got, err)
+	}
+}
+
+// An oversized length prefix must be rejected, not allocated.
+func TestServerRejectsHugeLengthPrefix(t *testing.T) {
+	s := startEcho(t, ServerOptions{Logf: func(string, ...any) {}})
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31)
+	raw.Write(hdr[:])
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server accepted a 2 GiB frame header")
+	}
+}
+
+// Flipping ciphertext bits must fail authentication, not decode garbage.
+func TestSecureFrameTamperDetected(t *testing.T) {
+	psk := []byte("tamper-test-key")
+	// Build a raw secure pipe: server side on a listener, client direct.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		fc  frameConn
+		err error
+	}
+	srvc := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvc <- res{nil, err}
+			return
+		}
+		fc, err := newSecureConn(c, psk, false)
+		srvc <- res{fc, err}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampering man-in-the-middle: wrap the client conn to flip a bit in
+	// the first data frame after the handshake.
+	tc := &tamperConn{Conn: cc, skip: 32 + 32} // nonce + proof pass through
+	cli, err := newSecureConn(tc, psk, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-srvc
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	tc.arm() // start tampering now that the handshake is done
+	if err := cli.WriteFrame([]byte("sensitive payload")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sr.fc.ReadFrame()
+	if !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("tampered frame error = %v, want ErrBadMAC", err)
+	}
+}
+
+// tamperConn flips one bit of the first write after arm().
+type tamperConn struct {
+	net.Conn
+	skip    int
+	armed   bool
+	flipped bool
+}
+
+func (c *tamperConn) arm() { c.armed = true }
+
+func (c *tamperConn) Write(p []byte) (int, error) {
+	if c.armed && !c.flipped && len(p) > 6 {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[5] ^= 0x40 // flip a ciphertext bit past the length prefix
+		c.flipped = true
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}
+
+var _ io.Writer = (*tamperConn)(nil)

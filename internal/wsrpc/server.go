@@ -1,0 +1,281 @@
+package wsrpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler serves one RPC method. body is the caller's argument encoded as
+// JSON; the returned value is encoded as the reply. Handlers run on their
+// own goroutine per call and may block.
+type Handler func(peer *Peer, body json.RawMessage) (any, error)
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Security selects the connection profile; clients must match.
+	Security SecurityProfile
+	// PSK is the pre-shared key for the secure profile.
+	PSK []byte
+	// Logf, when set, receives connection-level error logs.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts wsrpc connections and dispatches calls to registered
+// handlers. It also supports server-initiated notifications to connected
+// peers — the "push" half of Falkon's hybrid dispatch protocol.
+type Server struct {
+	opts     ServerOptions
+	ln       net.Listener
+	handlers map[string]Handler
+
+	mu     sync.Mutex
+	peers  map[*Peer]struct{}
+	closed bool
+	onDrop func(*Peer)
+
+	wg     sync.WaitGroup
+	nextID atomic.Uint64
+}
+
+// NewServer returns a server with no registered methods.
+func NewServer(opts ServerOptions) *Server {
+	return &Server{
+		opts:     opts,
+		handlers: make(map[string]Handler),
+		peers:    make(map[*Peer]struct{}),
+	}
+}
+
+// Register installs a handler for method. Registration must finish before
+// Serve is called; re-registering a method panics.
+func (s *Server) Register(method string, h Handler) {
+	if _, dup := s.handlers[method]; dup {
+		panic("wsrpc: duplicate handler for " + method)
+	}
+	if h == nil {
+		panic("wsrpc: nil handler for " + method)
+	}
+	s.handlers[method] = h
+}
+
+// OnDisconnect installs a callback invoked (once) whenever a peer's
+// connection ends, before its resources are released.
+func (s *Server) OnDisconnect(fn func(*Peer)) { s.onDrop = fn }
+
+// Listen begins accepting connections on addr ("host:port"; ":0" picks an
+// ephemeral port). It returns once the listener is bound; serving proceeds
+// in the background.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wsrpc: listen %s: %w", addr, err)
+	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve begins accepting connections from ln in the background.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handleConn(c)
+			}()
+		}
+	}()
+}
+
+// Addr returns the bound listener address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and disconnects all peers, waiting for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, p := range peers {
+		p.fc.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// logf reports a connection-level problem.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// handleConn owns one connection for its lifetime.
+func (s *Server) handleConn(c net.Conn) {
+	fc, err := newFrameConn(c, s.opts.Security, s.opts.PSK, false)
+	if err != nil {
+		s.logf("wsrpc: handshake with %s: %v", c.RemoteAddr(), err)
+		c.Close()
+		return
+	}
+	peer := &Peer{fc: fc, id: s.nextID.Add(1), remote: c.RemoteAddr().String()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		fc.Close()
+		return
+	}
+	s.peers[peer] = struct{}{}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.peers, peer)
+		drop := s.onDrop
+		s.mu.Unlock()
+		fc.Close()
+		if drop != nil {
+			drop(peer)
+		}
+	}()
+
+	var calls sync.WaitGroup
+	defer calls.Wait()
+	for {
+		raw, err := fc.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
+				s.logf("wsrpc: read from %s: %v", peer.remote, err)
+			}
+			return
+		}
+		f, err := decodeFrame(raw)
+		if err != nil {
+			s.logf("wsrpc: bad frame from %s: %v", peer.remote, err)
+			return
+		}
+		if f.Kind != kindCall {
+			s.logf("wsrpc: unexpected %d frame from %s", f.Kind, peer.remote)
+			continue
+		}
+		h, ok := s.handlers[f.Method]
+		if !ok {
+			s.reply(peer, f.Seq, nil, fmt.Errorf("wsrpc: no such method %q", f.Method))
+			continue
+		}
+		calls.Add(1)
+		go func(f *frame) {
+			defer calls.Done()
+			res, err := h(peer, f.Body)
+			s.reply(peer, f.Seq, res, err)
+		}(f)
+	}
+}
+
+// reply sends a kindReply frame; errors are logged, not returned, because
+// the reader loop owns connection teardown.
+func (s *Server) reply(p *Peer, seq uint64, res any, herr error) {
+	f := &frame{Kind: kindReply, Seq: seq}
+	if herr != nil {
+		f.Err = herr.Error()
+	} else if res != nil {
+		b, err := json.Marshal(res)
+		if err != nil {
+			f.Err = "wsrpc: marshal reply: " + err.Error()
+		} else {
+			f.Body = b
+		}
+	}
+	raw, err := encodeFrame(f)
+	if err != nil {
+		s.logf("wsrpc: encode reply: %v", err)
+		return
+	}
+	if err := p.fc.WriteFrame(raw); err != nil {
+		// Peer is gone; the read loop will notice and clean up.
+		return
+	}
+}
+
+// isConnReset reports low-level resets we treat as normal disconnects.
+func isConnReset(err error) bool {
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}
+
+// Peer is the server-side view of one connected client. Handlers receive the
+// peer making the call and may push notifications to it at any time.
+type Peer struct {
+	fc     frameConn
+	id     uint64
+	remote string
+
+	mu   sync.Mutex
+	meta any
+}
+
+// ID returns a server-unique connection id.
+func (p *Peer) ID() uint64 { return p.id }
+
+// RemoteAddr returns the peer's network address.
+func (p *Peer) RemoteAddr() string { return p.remote }
+
+// SetMeta attaches arbitrary per-connection state (e.g. the executor
+// registration).
+func (p *Peer) SetMeta(v any) { p.mu.Lock(); p.meta = v; p.mu.Unlock() }
+
+// Meta returns the state stored by SetMeta.
+func (p *Peer) Meta() any { p.mu.Lock(); defer p.mu.Unlock(); return p.meta }
+
+// Notify pushes a one-way notification to the peer. It is safe to call from
+// any goroutine.
+func (p *Peer) Notify(method string, arg any) error {
+	var body json.RawMessage
+	if arg != nil {
+		b, err := json.Marshal(arg)
+		if err != nil {
+			return fmt.Errorf("wsrpc: marshal notify: %w", err)
+		}
+		body = b
+	}
+	raw, err := encodeFrame(&frame{Kind: kindNotify, Method: method, Body: body})
+	if err != nil {
+		return err
+	}
+	return p.fc.WriteFrame(raw)
+}
+
+// Close tears down the peer's connection.
+func (p *Peer) Close() error { return p.fc.Close() }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"falkon/internal/dispatch"
+	"falkon/internal/obs"
 	"falkon/internal/wsrpc"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		maxRetries    = flag.Int("max-retries", 3, "per-task re-dispatch bound")
 		statsEvery    = flag.Duration("stats-every", 10*time.Second, "periodic stats log interval (0 = off)")
 		quiet         = flag.Bool("quiet", false, "suppress per-event logs")
+		debugAddr     = flag.String("debug-addr", "", "HTTP address serving /metrics, /events.json, and /debug/pprof/ (empty = off)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,15 @@ func main() {
 		log.Fatalf("falkon-dispatcher: %v", err)
 	}
 	fmt.Printf("falkon-dispatcher listening on %s (security=%v)\n", d.Addr(), opts.Security)
+
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebugSnapshot(*debugAddr, d.MetricsSnapshot, d.Tracer())
+		if err != nil {
+			log.Fatalf("falkon-dispatcher: debug server: %v", err)
+		}
+		defer ds.Close()
+		fmt.Printf("falkon-dispatcher debug endpoints on http://%s/metrics\n", ds.Addr())
+	}
 
 	if *statsEvery > 0 {
 		go func() {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"falkon/internal/executor"
+	"falkon/internal/obs"
 	"falkon/internal/wsrpc"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		secure     = flag.Bool("secure", false, "use the secure-conversation transport profile")
 		pskFile    = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
 		execT      = flag.Duration("exec-timeout", 0, "kill exec-engine tasks after this long (0 = never)")
+		debugAddr  = flag.String("debug-addr", "", "HTTP address serving /metrics, /events.json, and /debug/pprof/ (empty = off)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,9 @@ func main() {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	// One registry for every executor in the process, so /metrics is the
+	// whole process's view.
+	reg := obs.NewRegistry()
 	opts := executor.Options{
 		DispatcherAddr: *dispatcher,
 		Slots:          *slots,
@@ -48,6 +53,7 @@ func main() {
 		Prefetch:       *prefetch,
 		ExecTimeout:    *execT,
 		Logf:           log.Printf,
+		Metrics:        reg,
 	}
 	if *secure {
 		if *pskFile == "" {
@@ -78,6 +84,16 @@ func main() {
 			<-ex.Done()
 			log.Printf("executor %s stopped after %d tasks", ex.ID(), ex.TasksRun())
 		}()
+	}
+
+	if *debugAddr != "" && len(execs) > 0 {
+		// Traces come from the first executor; metrics cover all of them.
+		ds, err := obs.ServeDebug(*debugAddr, reg, execs[0].Tracer())
+		if err != nil {
+			log.Fatalf("falkon-executor: debug server: %v", err)
+		}
+		defer ds.Close()
+		log.Printf("falkon-executor debug endpoints on http://%s/metrics", ds.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"falkon/internal/forward"
+	"falkon/internal/obs"
 	"falkon/internal/wsrpc"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		dispatchers = flag.String("dispatchers", "127.0.0.1:7523", "comma-separated dispatcher addresses")
 		secure      = flag.Bool("secure", false, "use the secure-conversation transport profile on both tiers")
 		pskFile     = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
+		debugAddr   = flag.String("debug-addr", "", "HTTP address serving /metrics and /debug/pprof/ (empty = off)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,15 @@ func main() {
 		log.Fatalf("falkon-forwarder: %v", err)
 	}
 	fmt.Printf("falkon-forwarder on %s relaying to %v\n", f.Addr(), opts.Dispatchers)
+
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebugSnapshot(*debugAddr, f.MergedMetricsSnapshot, nil)
+		if err != nil {
+			log.Fatalf("falkon-forwarder: debug server: %v", err)
+		}
+		defer ds.Close()
+		fmt.Printf("falkon-forwarder debug endpoints on http://%s/metrics\n", ds.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

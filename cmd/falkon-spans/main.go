@@ -1,0 +1,138 @@
+// Command falkon-spans dumps recent task-lifecycle traces from a
+// dispatcher's trace ring (falkon.events) as one-line span records: one line
+// per task showing every recorded lifecycle event as an offset from the
+// task's enqueue, plus the end-to-end latency. It is the command-line view
+// of the paper's Figure 10 decomposition, per task instead of aggregated.
+//
+// Usage:
+//
+//	falkon-spans -dispatcher host:7523            # dump retained spans
+//	falkon-spans -dispatcher host:7523 -follow    # tail new spans
+//	falkon-spans -dispatcher host:7523 -raw       # one line per raw event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/obs"
+	"falkon/internal/task"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "127.0.0.1:7523", "dispatcher address")
+		max        = flag.Int("max", 0, "bound events fetched per request (0 = all retained)")
+		follow     = flag.Bool("follow", false, "keep polling for new events")
+		interval   = flag.Duration("interval", time.Second, "poll interval with -follow")
+		raw        = flag.Bool("raw", false, "print raw events instead of assembled spans")
+	)
+	flag.Parse()
+
+	c, err := client.Connect(client.Options{DispatcherAddr: *dispatcher, Name: "falkon-spans"})
+	if err != nil {
+		log.Fatalf("falkon-spans: %v", err)
+	}
+	defer c.Close()
+
+	open := make(map[spanKey]*span)
+	var since uint64
+	for {
+		er, err := c.Events(since, *max)
+		if err != nil {
+			log.Fatalf("falkon-spans: %v", err)
+		}
+		for _, ev := range er.Events {
+			if *raw {
+				fmt.Printf("seq=%d at=%s kind=%s task=%v epr=%s exec=%s\n",
+					ev.Seq, ev.At, ev.Kind, ev.Task, ev.EPR, ev.Executor)
+				continue
+			}
+			collect(open, ev)
+		}
+		if !*raw {
+			flush(open)
+		}
+		if !*follow {
+			return
+		}
+		// A dispatcher always advances NextSeq once it has recorded events;
+		// a forwarder returns events with NextSeq=0 (per-dispatcher sequence
+		// numbers make pagination impossible through the relay). Bail rather
+		// than re-fetch — and re-print — the same window every interval.
+		if er.NextSeq == 0 && len(er.Events) > 0 {
+			log.Fatal("falkon-spans: endpoint does not support tailing (forwarder?)")
+		}
+		since = er.NextSeq
+		time.Sleep(*interval)
+	}
+}
+
+type spanKey struct {
+	epr string
+	id  task.ID
+}
+
+type span struct {
+	events []obs.Event
+	done   bool
+}
+
+// collect folds one event into its task's span. Delivery (or terminal
+// failure) completes the span.
+func collect(open map[spanKey]*span, ev obs.Event) {
+	if ev.Task == 0 {
+		return // executor-level event (e.g. a work-available notify)
+	}
+	k := spanKey{ev.EPR, ev.Task}
+	s := open[k]
+	if s == nil {
+		s = &span{}
+		open[k] = s
+	}
+	s.events = append(s.events, ev)
+	if ev.Kind == obs.EvDelivered {
+		s.done = true
+	}
+}
+
+// flush prints and drops completed spans, oldest first.
+func flush(open map[spanKey]*span) {
+	var keys []spanKey
+	for k, s := range open {
+		if s.done {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return open[keys[i]].events[0].Seq < open[keys[j]].events[0].Seq
+	})
+	for _, k := range keys {
+		fmt.Println(format(k, open[k]))
+		delete(open, k)
+	}
+}
+
+// format renders one span line: every event as an offset from the first.
+func format(k spanKey, s *span) string {
+	base := s.events[0].At
+	exec := ""
+	var b strings.Builder
+	fmt.Fprintf(&b, "task=%v epr=%s", k.id, k.epr)
+	for _, ev := range s.events {
+		if ev.Executor != "" {
+			exec = ev.Executor
+		}
+		fmt.Fprintf(&b, " %s=+%s", ev.Kind, (ev.At - base).Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(&b, " e2e=%s", (s.events[len(s.events)-1].At - base).Round(10*time.Microsecond))
+	if exec != "" {
+		fmt.Fprintf(&b, " exec=%s", exec)
+	}
+	return b.String()
+}

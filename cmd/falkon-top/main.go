@@ -1,11 +1,14 @@
 // Command falkon-top is a minimal operational dashboard: it polls a
 // dispatcher's (or forwarder's) stats and prints a refreshing status line —
-// queue depth, executor states, completion counters, throughput.
+// queue depth, executor states, completion counters, throughput — plus a
+// per-stage dispatch latency panel (the paper's Figure 10 breakdown) built
+// from the falkon.metrics histograms.
 //
 // Usage:
 //
 //	falkon-top -dispatcher host:7523
 //	falkon-top -dispatcher host:7524 -interval 2s   # against a forwarder
+//	falkon-top -dispatcher host:7523 -stages=false  # status line only
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"time"
 
 	"falkon/internal/client"
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
 )
 
 func main() {
@@ -22,6 +27,7 @@ func main() {
 		dispatcher = flag.String("dispatcher", "127.0.0.1:7523", "dispatcher or forwarder address")
 		interval   = flag.Duration("interval", time.Second, "poll interval")
 		once       = flag.Bool("once", false, "print one snapshot and exit")
+		stages     = flag.Bool("stages", true, "show the per-stage latency panel")
 	)
 	flag.Parse()
 
@@ -33,24 +39,60 @@ func main() {
 
 	var lastCompleted int64
 	lastAt := time.Now()
+	first := true
+	lines := 0
 	for {
 		st, err := c.Stats()
 		if err != nil {
 			log.Fatalf("falkon-top: %v", err)
 		}
 		now := time.Now()
-		rate := float64(st.Completed-lastCompleted) / now.Sub(lastAt).Seconds()
-		if lastCompleted == 0 {
-			rate = 0
+		// No rate on the first sample: the counter delta would span the
+		// dispatcher's whole uptime, not one poll interval.
+		rate := 0.0
+		if !first {
+			rate = float64(st.Completed-lastCompleted) / now.Sub(lastAt).Seconds()
 		}
+		first = false
 		lastCompleted, lastAt = st.Completed, now
-		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) done=%d failed=%d retried=%d rate=%.0f/s",
+
+		// Rewind over the previous frame.
+		if lines > 0 {
+			fmt.Printf("\033[%dA", lines)
+		}
+		lines = 0
+		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) done=%d failed=%d retried=%d rate=%.0f/s\n",
 			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
 			st.Completed, st.Failed, st.Retried, rate)
+		lines++
+
+		if *stages {
+			ms, err := c.Metrics()
+			if err != nil {
+				log.Fatalf("falkon-top: metrics: %v", err)
+			}
+			fmt.Printf("\033[K%-16s %10s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99")
+			lines++
+			for _, stage := range obs.Stages {
+				lines += printHist(stage, ms.Histogram(obs.StageKey(stage)))
+			}
+			lines += printHist("end-to-end", ms.Histogram(obs.MetricE2ESeconds))
+		}
 		if *once {
-			fmt.Println()
 			return
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// printHist renders one latency row; it returns the lines printed.
+func printHist(label string, h metrics.HistSnapshot) int {
+	fmt.Printf("\033[K%-16s %10d %10s %10s %10s\n",
+		label, h.Count, fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)))
+	return 1
+}
+
+// fmtDur pretty-prints a latency in seconds with sub-ms resolution.
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(10 * time.Microsecond).String()
 }

@@ -6,7 +6,9 @@ package falkon_test
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -34,7 +36,7 @@ func buildBinaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, c := range []string{"falkon-dispatcher", "falkon-executor", "falkon-submit", "falkon-forwarder", "falkon-bench", "falkon-trace", "falkon-workflow"} {
+		for _, c := range []string{"falkon-dispatcher", "falkon-executor", "falkon-submit", "falkon-forwarder", "falkon-bench", "falkon-trace", "falkon-workflow", "falkon-top", "falkon-spans"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, c), "./cmd/"+c)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = fmt.Errorf("build %s: %v\n%s", c, err, out)
@@ -214,6 +216,73 @@ func TestBinariesBenchAndTrace(t *testing.T) {
 	out, err = exec.Command(filepath.Join(bin, "falkon-trace"), "-stats", tr).CombinedOutput()
 	if err != nil || !strings.Contains(string(out), "100 jobs") {
 		t.Fatalf("falkon-trace -stats: %v\n%s", err, out)
+	}
+}
+
+func TestBinariesDebugEndpoints(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr, debugAddr := freePort(t), freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0", "-debug-addr", debugAddr)
+	waitListening(t, dispAddr)
+	waitListening(t, debugAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr)
+
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-sleep0", "25", "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-submit: %v\n%s", err, out)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"falkon_tasks_completed_total 25",
+		`falkon_stage_seconds_count{stage="start_deliver"} 25`,
+		`wsrpc_calls_total{method="falkon.submit"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	events := get("/events.json")
+	if !strings.Contains(events, `"kind":"delivered"`) {
+		t.Fatalf("/events.json missing delivered events: %.300s", events)
+	}
+	if pprofIdx := get("/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatalf("pprof index unexpected: %.200s", pprofIdx)
+	}
+
+	// falkon-top renders the stage panel against the live dispatcher.
+	out, err = exec.Command(filepath.Join(bin, "falkon-top"), "-dispatcher", dispAddr, "-once").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-top: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "done=25") || !strings.Contains(string(out), "enqueue_notify") {
+		t.Fatalf("falkon-top output: %s", out)
+	}
+
+	// falkon-spans dumps one line per completed task.
+	out, err = exec.Command(filepath.Join(bin, "falkon-spans"), "-dispatcher", dispAddr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-spans: %v\n%s", err, out)
+	}
+	if got := strings.Count(string(out), "delivered=+"); got != 25 {
+		t.Fatalf("falkon-spans printed %d spans, want 25:\n%s", got, out)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"falkon/internal/core"
 	"falkon/internal/dispatch"
 	"falkon/internal/executor"
+	"falkon/internal/obs"
 	"falkon/internal/provision"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
@@ -116,6 +117,23 @@ func Additive(step int) provision.AcquisitionPolicy { return provision.Additive(
 
 // Exponential returns the exponentially-increasing acquisition policy.
 func Exponential() provision.AcquisitionPolicy { return provision.Exponential() }
+
+// MetricsSnapshot is a point-in-time view of a component's instrument
+// registry: counters, gauges, and mergeable latency histograms. Snapshots
+// from several components merge (counters sum, histograms combine), which is
+// how a forwarder aggregates its dispatchers.
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// TraceEvent is one task-lifecycle trace record (enqueued, notified, pulled,
+// started, finished, delivered, ...) on the dispatcher timeline.
+type TraceEvent = obs.Event
+
+// ServeDebug starts an HTTP server exposing a registry as a Prometheus-style
+// /metrics endpoint, recent trace events at /events.json, and net/http/pprof
+// under /debug/pprof/. Either argument may be nil.
+func ServeDebug(addr string, reg *obs.Registry, tr *obs.Tracer) (*obs.DebugServer, error) {
+	return obs.ServeDebug(addr, reg, tr)
+}
 
 // ClientOptions configures NewClient for connecting to a remote dispatcher.
 type ClientOptions = client.Options

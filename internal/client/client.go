@@ -213,6 +213,25 @@ func (c *Client) Stats() (fproto.StatsReply, error) {
 	return st, err
 }
 
+// Metrics fetches the dispatcher's full instrument snapshot — counters,
+// gauges, and stage/RPC latency histograms (falkon.metrics). Through a
+// forwarder the reply is the merge of every downstream dispatcher.
+func (c *Client) Metrics() (fproto.MetricsReply, error) {
+	var ms fproto.MetricsReply
+	err := c.cli.Call(fproto.MethodMetrics, nil, &ms)
+	return ms, err
+}
+
+// Events fetches task-lifecycle trace events recorded after sinceSeq (0 for
+// the oldest retained); max bounds the batch (0 = all retained). The reply's
+// NextSeq tails the stream on a direct dispatcher connection; through a
+// forwarder it is 0 (pagination unavailable).
+func (c *Client) Events(sinceSeq uint64, max int) (fproto.EventsReply, error) {
+	var er fproto.EventsReply
+	err := c.cli.Call(fproto.MethodEvents, fproto.EventsRequest{SinceSeq: sinceSeq, Max: max}, &er)
+	return er, err
+}
+
 // Close destroys the instance and disconnects.
 func (c *Client) Close() error {
 	c.mu.Lock()

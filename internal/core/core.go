@@ -146,6 +146,7 @@ func Start(cfg Config) (*System, error) {
 		}
 		prov, err := provision.New(provision.Options{
 			Stats:          func() (fproto.StatsReply, error) { return s.dispatcher.Stats(), nil },
+			Metrics:        s.dispatcher.Metrics(),
 			Allocator:      s.allocator,
 			Acquisition:    p.Acquisition,
 			Release:        p.Release,
@@ -220,6 +221,26 @@ func (s *System) Stats() fproto.StatsReply {
 		return st
 	}
 	return s.dispatcher.Stats()
+}
+
+// Metrics snapshots the dispatcher's full instrument registry — counters,
+// gauges, and stage/RPC latency histograms (over the wire for attached
+// systems).
+func (s *System) Metrics() (fproto.MetricsReply, error) {
+	if s.dispatcher == nil {
+		return s.cli.Metrics()
+	}
+	return s.dispatcher.MetricsSnapshot(), nil
+}
+
+// Events returns task-lifecycle trace events after sinceSeq; max bounds the
+// batch (0 = all retained).
+func (s *System) Events(sinceSeq uint64, max int) (fproto.EventsReply, error) {
+	if s.dispatcher == nil {
+		return s.cli.Events(sinceSeq, max)
+	}
+	events, next := s.dispatcher.Tracer().Since(sinceSeq, max)
+	return fproto.EventsReply{Events: events, NextSeq: next}, nil
 }
 
 // Client returns the system's connected client (for advanced use).

@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"falkon/internal/fproto"
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -52,20 +54,30 @@ type Options struct {
 	// data-aware policy (default 16).
 	CacheCapacity int
 
+	// Metrics receives the dispatcher's counters, gauges, and stage
+	// latency histograms (plus the wsrpc transport's per-method metrics).
+	// Nil creates a private registry, retrievable via Metrics().
+	Metrics *obs.Registry
+
+	// TraceCapacity bounds the task-lifecycle event ring (default 8192
+	// events; the ring never allocates once full).
+	TraceCapacity int
+
 	// Logf receives dispatcher logs; nil silences them.
 	Logf func(format string, args ...any)
 }
 
 // execState tracks one registered executor.
 type execState struct {
-	id         string
-	peer       *wsrpc.Peer
-	slots      int
-	assigned   int
-	notified   bool
-	inIdle     bool // present in the idle (has-free-capacity) stack
-	allocation string
-	cache      *cacheSet // datasets resident on the executor (data-aware)
+	id           string
+	peer         *wsrpc.Peer
+	slots        int
+	assigned     int
+	notified     bool
+	inIdle       bool // present in the idle (has-free-capacity) stack
+	allocation   string
+	cache        *cacheSet     // datasets resident on the executor (data-aware)
+	lastNotifyAt time.Duration // when the last work-available push was sent
 }
 
 // outKey identifies an outstanding (dispatched, unacknowledged) task.
@@ -79,6 +91,8 @@ type outstanding struct {
 	p            pending
 	executor     string
 	dispatchedAt time.Duration
+	notifiedAt   time.Duration // when the executor was pushed work-available
+	// for this assignment (clamped into [queuedAt, dispatchedAt])
 }
 
 // Dispatcher is the Falkon dispatch service. Create with New, then Listen.
@@ -87,6 +101,14 @@ type Dispatcher struct {
 	srv   *wsrpc.Server
 	eng   *notifyEngine
 	epoch time.Time
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// hStage indexes the Figure-10 stage latency histograms in obs.Stages
+	// order; hE2E is the end-to-end (enqueue→deliver) histogram the stages
+	// partition exactly.
+	hStage [4]*metrics.FixedHistogram
+	hE2E   *metrics.FixedHistogram
 
 	mu          sync.Mutex
 	instances   map[string]*instance
@@ -117,15 +139,25 @@ func New(opts Options) *Dispatcher {
 	if opts.CacheCapacity == 0 {
 		opts.CacheCapacity = 16
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
 	d := &Dispatcher{
 		opts:      opts,
 		epoch:     time.Now(),
 		instances: make(map[string]*instance),
 		execs:     make(map[string]*execState),
 		out:       make(map[outKey]*outstanding),
+		reg:       opts.Metrics,
+		tracer:    obs.NewTracer(opts.TraceCapacity),
 	}
-	d.eng = newNotifyEngine(opts.NotifyWorkers, opts.Logf)
-	d.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: d.logf})
+	for i, stage := range obs.Stages {
+		d.hStage[i] = d.reg.Histogram(obs.StageKey(stage))
+	}
+	d.hE2E = d.reg.Histogram(obs.MetricE2ESeconds)
+	d.eng = newNotifyEngine(opts.NotifyWorkers, opts.Logf,
+		d.reg.Gauge("falkon_notify_queue_depth"), d.reg.Counter("falkon_notifications_total"))
+	d.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: d.logf, Metrics: d.reg})
 	d.register()
 	d.srv.OnDisconnect(d.onDisconnect)
 	return d
@@ -206,6 +238,38 @@ func (d *Dispatcher) Stats() fproto.StatsReply {
 	return d.statsLocked()
 }
 
+// Metrics returns the dispatcher's metric registry (for mounting a debug
+// HTTP endpoint or registering additional instruments).
+func (d *Dispatcher) Metrics() *obs.Registry { return d.reg }
+
+// Tracer returns the task-lifecycle event ring.
+func (d *Dispatcher) Tracer() *obs.Tracer { return d.tracer }
+
+// MetricsSnapshot captures the full registry plus live queue/executor
+// gauges and lifecycle counters — the falkon.metrics RPC body.
+func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
+	d.mu.Lock()
+	st := d.statsLocked()
+	dispatched := d.dispatched
+	duplicates := d.duplicates
+	d.mu.Unlock()
+	d.reg.Gauge("falkon_queue_depth").Set(int64(st.Queued))
+	d.reg.Gauge("falkon_outstanding_tasks").Set(int64(st.Outstanding))
+	d.reg.Gauge("falkon_instances").Set(int64(st.Instances))
+	d.reg.Gauge(obs.Labeled("falkon_executors", "state", "idle")).Set(int64(st.IdleExecutors))
+	d.reg.Gauge(obs.Labeled("falkon_executors", "state", "busy")).Set(int64(st.BusyExecutors))
+	s := d.reg.Snapshot()
+	// Lifecycle counters live under d.mu rather than in the registry, so
+	// fold them into the snapshot here.
+	s.Counters["falkon_tasks_submitted_total"] = st.Submitted
+	s.Counters["falkon_tasks_completed_total"] = st.Completed
+	s.Counters["falkon_tasks_failed_total"] = st.Failed
+	s.Counters["falkon_tasks_retried_total"] = st.Retried
+	s.Counters["falkon_tasks_dispatched_total"] = dispatched
+	s.Counters["falkon_duplicate_deliveries_total"] = duplicates
+	return s
+}
+
 func (d *Dispatcher) statsLocked() fproto.StatsReply {
 	st := fproto.StatsReply{
 		Queued:      d.queue.len(),
@@ -282,6 +346,7 @@ func (d *Dispatcher) replayLocked(o *outstanding, reason string) {
 		return
 	}
 	d.retried++
+	d.tracer.Record(d.now(), obs.EvRetried, o.p.t.ID, o.p.epr, o.executor)
 	d.queue.push(o.p)
 }
 
@@ -303,6 +368,8 @@ func (d *Dispatcher) kickLocked() {
 			continue
 		}
 		ex.notified = true
+		ex.lastNotifyAt = d.now()
+		d.tracer.Record(ex.lastNotifyAt, obs.EvNotified, 0, "", ex.id)
 		d.eng.notifyWork(ex.peer, queued)
 		queued -= free
 	}
@@ -331,10 +398,15 @@ func (d *Dispatcher) offerLocked(ex *execState) {
 }
 
 // assignLocked pops up to max tasks for executor ex, recording them as
-// outstanding. It returns the protocol assignments.
-func (d *Dispatcher) assignLocked(ex *execState, max int) []fproto.Assignment {
+// outstanding. It returns the protocol assignments. piggy marks
+// assignments riding a deliver acknowledgment rather than a work pull.
+func (d *Dispatcher) assignLocked(ex *execState, max int, piggy bool) []fproto.Assignment {
 	if max <= 0 {
 		max = 1
+	}
+	kind := obs.EvPulled
+	if piggy {
+		kind = obs.EvAcked
 	}
 	var as []fproto.Assignment
 	now := d.now()
@@ -347,9 +419,18 @@ func (d *Dispatcher) assignLocked(ex *execState, max int) []fproto.Assignment {
 			continue // instance destroyed while queued
 		}
 		p.attempts++
-		d.out[outKey{p.epr, p.t.ID}] = &outstanding{p: p, executor: ex.id, dispatchedAt: now}
+		// Attribute the wait so the four stages partition exactly: the
+		// enqueue→notify stage ends at the last push sent to this executor,
+		// or absorbs the whole wait when no push followed the enqueue
+		// (piggy-backed and re-pulled assignments).
+		notifiedAt := ex.lastNotifyAt
+		if notifiedAt < p.queuedAt || notifiedAt > now {
+			notifiedAt = now
+		}
+		d.out[outKey{p.epr, p.t.ID}] = &outstanding{p: p, executor: ex.id, dispatchedAt: now, notifiedAt: notifiedAt}
 		ex.assigned++
 		d.dispatched++
+		d.tracer.Record(now, kind, p.t.ID, p.epr, ex.id)
 		as = append(as, fproto.Assignment{EPR: p.epr, Task: p.t, CacheHit: hit})
 	}
 	return as
@@ -360,6 +441,7 @@ func (d *Dispatcher) assignLocked(ex *execState, max int) []fproto.Assignment {
 func (d *Dispatcher) finalizeLocked(epr string, r task.Result) {
 	if r.Failed() {
 		d.failed++
+		d.tracer.Record(d.now(), obs.EvFailed, r.ID, epr, r.ExecutorID)
 	} else {
 		d.completed++
 	}

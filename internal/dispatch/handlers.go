@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"falkon/internal/fproto"
+	"falkon/internal/obs"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -21,6 +22,8 @@ func (d *Dispatcher) register() {
 	d.srv.Register(fproto.MethodGetWork, d.handleGetWork)
 	d.srv.Register(fproto.MethodDeliver, d.handleDeliver)
 	d.srv.Register(fproto.MethodStats, d.handleStats)
+	d.srv.Register(fproto.MethodMetrics, d.handleMetrics)
+	d.srv.Register(fproto.MethodEvents, d.handleEvents)
 }
 
 func decode[T any](body json.RawMessage) (*T, error) {
@@ -84,6 +87,7 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	now := d.now()
 	for _, t := range req.Tasks {
 		d.queue.push(pending{epr: req.EPR, t: t, queuedAt: now})
+		d.tracer.Record(now, obs.EvEnqueued, t.ID, req.EPR, "")
 	}
 	inst.submitted += int64(len(req.Tasks))
 	inst.inFlight += len(req.Tasks)
@@ -185,7 +189,7 @@ func (d *Dispatcher) handleGetWork(_ *wsrpc.Peer, body json.RawMessage) (any, er
 		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
 	}
 	ex.notified = false
-	as := d.assignLocked(ex, req.Max)
+	as := d.assignLocked(ex, req.Max, false)
 	d.offerLocked(ex)
 	if len(as) > 0 {
 		d.kickLocked() // other executors may still be needed for the rest
@@ -233,12 +237,23 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 			d.replayLocked(o, "task failed: "+failReason(r))
 			continue
 		}
+		// Stage breakdown (Figure 10): the clamps here and in assignLocked
+		// guarantee queuedAt <= notifiedAt <= dispatchedAt <= startedAt <=
+		// now, so the four stages partition end-to-end latency exactly.
+		d.tracer.Record(r.StartedAt, obs.EvStarted, r.ID, tr.EPR, req.ExecutorID)
+		d.tracer.Record(r.FinishedAt, obs.EvFinished, r.ID, tr.EPR, req.ExecutorID)
+		d.tracer.Record(now, obs.EvDelivered, r.ID, tr.EPR, req.ExecutorID)
+		d.hStage[0].Observe((o.notifiedAt - o.p.queuedAt).Seconds())
+		d.hStage[1].Observe((r.DispatchedAt - o.notifiedAt).Seconds())
+		d.hStage[2].Observe((r.StartedAt - r.DispatchedAt).Seconds())
+		d.hStage[3].Observe((now - r.StartedAt).Seconds())
+		d.hE2E.Observe((now - o.p.queuedAt).Seconds())
 		d.finalizeLocked(tr.EPR, r)
 	}
 	ex.notified = false
 	var as []fproto.Assignment
 	if req.WantWork {
-		as = d.assignLocked(ex, req.MaxNew)
+		as = d.assignLocked(ex, req.MaxNew, true)
 	}
 	d.offerLocked(ex)
 	d.kickLocked()
@@ -257,4 +272,17 @@ func (d *Dispatcher) handleStats(_ *wsrpc.Peer, _ json.RawMessage) (any, error) 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.statsLocked(), nil
+}
+
+func (d *Dispatcher) handleMetrics(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
+	return d.MetricsSnapshot(), nil
+}
+
+func (d *Dispatcher) handleEvents(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	req, err := decode[fproto.EventsRequest](body)
+	if err != nil {
+		return nil, err
+	}
+	events, next := d.tracer.Since(req.SinceSeq, req.Max)
+	return fproto.EventsReply{Events: events, NextSeq: next}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"falkon/internal/fproto"
+	"falkon/internal/metrics"
 	"falkon/internal/wsrpc"
 )
 
@@ -12,6 +13,9 @@ import (
 // goroutines. Pushing a notification never blocks the dispatcher's critical
 // section on network writes.
 type notifyEngine struct {
+	depth *metrics.Gauge   // live queue depth (falkon_notify_queue_depth)
+	sent  *metrics.Counter // notifications delivered (falkon_notifications_total)
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []notifyItem
@@ -25,12 +29,14 @@ type notifyItem struct {
 	body   any
 }
 
-// newNotifyEngine starts workers goroutines draining the queue.
-func newNotifyEngine(workers int, logf func(string, ...any)) *notifyEngine {
+// newNotifyEngine starts workers goroutines draining the queue. depth and
+// sent instrument the queue; they must be non-nil (use an unregistered
+// gauge/counter when unmetered).
+func newNotifyEngine(workers int, logf func(string, ...any), depth *metrics.Gauge, sent *metrics.Counter) *notifyEngine {
 	if workers <= 0 {
 		workers = 4
 	}
-	e := &notifyEngine{}
+	e := &notifyEngine{depth: depth, sent: sent}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < workers; i++ {
 		e.workers.Add(1)
@@ -48,9 +54,11 @@ func newNotifyEngine(workers int, logf func(string, ...any)) *notifyEngine {
 				item := e.queue[0]
 				e.queue = e.queue[1:]
 				e.mu.Unlock()
+				e.depth.Add(-1)
 				if err := item.peer.Notify(item.method, item.body); err != nil && logf != nil {
 					logf("dispatch: notify %s: %v", item.method, err)
 				}
+				e.sent.Inc()
 			}
 		}()
 	}
@@ -62,6 +70,7 @@ func (e *notifyEngine) push(peer *wsrpc.Peer, method string, body any) {
 	e.mu.Lock()
 	if !e.closed {
 		e.queue = append(e.queue, notifyItem{peer: peer, method: method, body: body})
+		e.depth.Add(1)
 		e.cond.Signal()
 	}
 	e.mu.Unlock()

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"falkon/internal/fproto"
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -63,12 +65,32 @@ type Options struct {
 	ExecTimeout time.Duration
 	// Logf receives executor logs; nil silences them.
 	Logf func(format string, args ...any)
+	// Metrics receives executor-side instruments (task counts, run/overhead
+	// latency, state transitions) plus the wsrpc client's per-method stats.
+	// When nil a private registry is created (see Executor.Metrics).
+	Metrics *obs.Registry
+	// TraceCapacity bounds the task-lifecycle trace ring (default 8192).
+	TraceCapacity int
 }
 
 // Executor is a running executor instance.
 type Executor struct {
 	opts Options
 	cli  *wsrpc.Client
+
+	// Observability. epoch is the dispatcher's wall-clock epoch (UnixNano)
+	// from registration; trace events are stamped relative to it so executor
+	// and dispatcher spans share one timeline despite separate clocks.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	epoch    int64
+	cDone    *metrics.Counter
+	cFailed  *metrics.Counter
+	cBusy    *metrics.Counter
+	cIdle    *metrics.Counter
+	gActive  *metrics.Gauge
+	hRun     *metrics.FixedHistogram
+	hOverhed *metrics.FixedHistogram
 
 	wake chan struct{}
 	stop chan struct{}
@@ -102,11 +124,24 @@ func Start(opts Options) (*Executor, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	e.reg = opts.Metrics
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.tracer = obs.NewTracer(opts.TraceCapacity)
+	e.cDone = e.reg.Counter("falkon_executor_tasks_total")
+	e.cFailed = e.reg.Counter("falkon_executor_failures_total")
+	e.cBusy = e.reg.Counter(obs.Labeled("falkon_executor_transitions_total", "state", "busy"))
+	e.cIdle = e.reg.Counter(obs.Labeled("falkon_executor_transitions_total", "state", "idle"))
+	e.gActive = e.reg.Gauge("falkon_executor_active_slots")
+	e.hRun = e.reg.Histogram("falkon_executor_run_seconds")
+	e.hOverhed = e.reg.Histogram("falkon_executor_overhead_seconds")
 	e.lastBusy = time.Now()
 	cli, err := wsrpc.Dial(opts.DispatcherAddr, wsrpc.ClientOptions{
 		Security: opts.Security,
 		PSK:      opts.PSK,
 		OnNotify: e.onNotify,
+		Metrics:  e.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -121,6 +156,10 @@ func Start(opts Options) (*Executor, error) {
 	if err != nil {
 		cli.Close()
 		return nil, fmt.Errorf("executor %s: register: %w", opts.ID, err)
+	}
+	e.epoch = reply.DispatcherEpoch
+	if e.epoch == 0 {
+		e.epoch = time.Now().UnixNano() // old dispatcher: local timeline
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Slots; i++ {
@@ -173,6 +212,19 @@ func (e *Executor) logf(format string, args ...any) {
 
 // ID returns the executor id.
 func (e *Executor) ID() string { return e.opts.ID }
+
+// Metrics returns the executor's instrument registry.
+func (e *Executor) Metrics() *obs.Registry { return e.reg }
+
+// Tracer returns the executor's task-lifecycle trace ring. Event stamps are
+// relative to the dispatcher's epoch (clock-skew permitting), so they line up
+// with dispatcher-side spans.
+func (e *Executor) Tracer() *obs.Tracer { return e.tracer }
+
+// at returns the current time on the dispatcher-epoch timeline.
+func (e *Executor) at() time.Duration {
+	return time.Duration(time.Now().UnixNano() - e.epoch)
+}
 
 // TasksRun returns the number of tasks completed so far.
 func (e *Executor) TasksRun() int64 {
@@ -257,6 +309,9 @@ func (e *Executor) workLoop() {
 			}
 			return
 		}
+		for _, a := range reply.Assignments {
+			e.tracer.Record(e.at(), obs.EvPulled, a.Task.ID, a.EPR, e.opts.ID)
+		}
 		e.runAssignments(reply.Assignments)
 	}
 }
@@ -292,6 +347,8 @@ func (e *Executor) markBusy() {
 	e.mu.Lock()
 	e.active++
 	e.mu.Unlock()
+	e.cBusy.Inc()
+	e.gActive.Add(1)
 }
 
 func (e *Executor) markIdle(ran int64) {
@@ -300,6 +357,8 @@ func (e *Executor) markIdle(ran int64) {
 	e.lastBusy = time.Now()
 	e.tasksRun += ran
 	e.mu.Unlock()
+	e.cIdle.Inc()
+	e.gActive.Add(-1)
 }
 
 // runAssignments executes tasks and delivers results; each delivery asks
@@ -329,12 +388,23 @@ func (e *Executor) runAssignments(as []fproto.Assignment) {
 		results := make([]fproto.TaggedResult, 0, len(as))
 		for _, a := range as {
 			pickup := time.Now()
+			e.tracer.Record(e.at(), obs.EvStarted, a.Task.ID, a.EPR, e.opts.ID)
 			r, runDur := e.runTask(a.Task, a.CacheHit)
+			overhead := time.Since(pickup) - runDur
+			kind := obs.EvFinished
+			if r.Failed() {
+				kind = obs.EvFailed
+				e.cFailed.Inc()
+			}
+			e.tracer.Record(e.at(), kind, a.Task.ID, a.EPR, e.opts.ID)
+			e.cDone.Inc()
+			e.hRun.Observe(runDur.Seconds())
+			e.hOverhed.Observe(overhead.Seconds())
 			results = append(results, fproto.TaggedResult{
 				EPR:         a.EPR,
 				Result:      r,
 				RunDur:      runDur,
-				OverheadDur: time.Since(pickup) - runDur,
+				OverheadDur: overhead,
 			})
 			ran++
 		}
@@ -354,6 +424,13 @@ func (e *Executor) runAssignments(as []fproto.Assignment) {
 				e.logf("executor %s: deliver: %v", e.opts.ID, err)
 			}
 			return
+		}
+		now := e.at()
+		for _, tr := range results {
+			e.tracer.Record(now, obs.EvDelivered, tr.Result.ID, tr.EPR, e.opts.ID)
+		}
+		for _, a := range reply.Assignments {
+			e.tracer.Record(now, obs.EvAcked, a.Task.ID, a.EPR, e.opts.ID)
 		}
 		as = append(prefetched, reply.Assignments...)
 	}

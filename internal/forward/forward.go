@@ -14,9 +14,11 @@ package forward
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"falkon/internal/fproto"
+	"falkon/internal/obs"
 	"falkon/internal/wsrpc"
 )
 
@@ -31,6 +33,10 @@ type Options struct {
 	PSK      []byte
 	// Logf receives forwarder logs; nil silences them.
 	Logf func(format string, args ...any)
+	// Metrics receives the forwarder's own wsrpc instruments (upstream
+	// server + downstream client views). When nil a private registry is
+	// created (see Forwarder.Metrics).
+	Metrics *obs.Registry
 }
 
 // route maps one forwarded instance.
@@ -46,6 +52,7 @@ type route struct {
 type Forwarder struct {
 	opts Options
 	srv  *wsrpc.Server
+	reg  *obs.Registry
 
 	mu      sync.Mutex
 	downs   []*wsrpc.Client
@@ -71,8 +78,12 @@ func New(opts Options) (*Forwarder, error) {
 	}
 	f := &Forwarder{
 		opts:   opts,
+		reg:    opts.Metrics,
 		byFwd:  make(map[string]*route),
 		byReal: make(map[realKey]*route),
+	}
+	if f.reg == nil {
+		f.reg = obs.NewRegistry()
 	}
 	for i, addr := range opts.Dispatchers {
 		idx := i
@@ -82,6 +93,7 @@ func New(opts Options) (*Forwarder, error) {
 			OnNotify: func(method string, body json.RawMessage) {
 				f.onDownstreamNotify(idx, method, body)
 			},
+			Metrics: f.reg,
 		})
 		if err != nil {
 			f.closeDowns()
@@ -89,7 +101,7 @@ func New(opts Options) (*Forwarder, error) {
 		}
 		f.downs = append(f.downs, cli)
 	}
-	f.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: opts.Logf})
+	f.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: opts.Logf, Metrics: f.reg})
 	f.register()
 	return f, nil
 }
@@ -127,7 +139,13 @@ func (f *Forwarder) register() {
 	f.srv.Register(fproto.MethodSubmit, f.handleSubmit)
 	f.srv.Register(fproto.MethodCollect, f.handleCollect)
 	f.srv.Register(fproto.MethodStats, f.handleStats)
+	f.srv.Register(fproto.MethodMetrics, f.handleMetrics)
+	f.srv.Register(fproto.MethodEvents, f.handleEvents)
 }
+
+// Metrics returns the forwarder's own instrument registry (its wsrpc traffic
+// on both sides; dispatcher metrics are fetched and merged per request).
+func (f *Forwarder) Metrics() *obs.Registry { return f.reg }
 
 // onDownstreamNotify relays pushed results to the owning client.
 func (f *Forwarder) onDownstreamNotify(downIdx int, method string, body json.RawMessage) {
@@ -263,4 +281,52 @@ func (f *Forwarder) handleStats(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
 		agg.CacheMisses += st.CacheMisses
 	}
 	return agg, nil
+}
+
+// handleMetrics merges every downstream dispatcher's registry snapshot with
+// the forwarder's own: counters and gauges sum, fixed-layout histograms merge
+// bucket-wise, so stage quantiles stay computable across the whole tier.
+func (f *Forwarder) handleMetrics(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
+	return f.MergedMetricsSnapshot(), nil
+}
+
+// MergedMetricsSnapshot folds every reachable downstream dispatcher's
+// snapshot into the forwarder's own. An unreachable dispatcher is skipped
+// rather than failing the whole aggregate; its contribution simply drops
+// out of this sample.
+func (f *Forwarder) MergedMetricsSnapshot() obs.MetricsSnapshot {
+	agg := f.reg.Snapshot()
+	for _, down := range f.downs {
+		var ms fproto.MetricsReply
+		if err := down.Call(fproto.MethodMetrics, nil, &ms); err != nil {
+			continue
+		}
+		agg.Merge(ms)
+	}
+	return agg
+}
+
+// handleEvents interleaves every downstream dispatcher's trace window,
+// ordered by timestamp. Sequence numbers are per-dispatcher, so NextSeq is 0:
+// pagination is unavailable through a forwarder.
+func (f *Forwarder) handleEvents(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+	var req fproto.EventsRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+	}
+	var events []obs.Event
+	for _, down := range f.downs {
+		var er fproto.EventsReply
+		if err := down.Call(fproto.MethodEvents, req, &er); err != nil {
+			return nil, err
+		}
+		events = append(events, er.Events...)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	if req.Max > 0 && len(events) > req.Max {
+		events = events[len(events)-req.Max:]
+	}
+	return fproto.EventsReply{Events: events, NextSeq: 0}, nil
 }

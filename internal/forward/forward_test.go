@@ -10,6 +10,7 @@ import (
 	"falkon/internal/executor"
 	"falkon/internal/forward"
 	"falkon/internal/fproto"
+	"falkon/internal/obs"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -215,5 +216,74 @@ func TestForwarderSecureBothTiers(t *testing.T) {
 	}
 	if _, err := c.WaitN(25, 30*time.Second); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForwarderMergesMetricsAndEvents(t *testing.T) {
+	f, dispatchers := startTier(t, 2, 1)
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A second instance lands on the second dispatcher (round-robin), so
+	// both backends carry work.
+	c2, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Submit(task.Batch(&gen, 20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(20, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.WaitN(20, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ms, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged snapshot must equal the sum over both dispatchers.
+	var want int64
+	for _, d := range dispatchers {
+		want += d.MetricsSnapshot().Counters["falkon_tasks_completed_total"]
+	}
+	if want != 40 {
+		t.Fatalf("dispatchers completed %d, want 40", want)
+	}
+	if got := ms.Counters["falkon_tasks_completed_total"]; got != want {
+		t.Fatalf("merged completed = %d, want %d", got, want)
+	}
+	if h := ms.Histogram(obs.MetricE2ESeconds); h.Count != 40 {
+		t.Fatalf("merged e2e count = %d, want 40", h.Count)
+	}
+	// Both sides' work interleaves into one time-ordered event stream, with
+	// pagination unavailable (NextSeq 0).
+	er, err := c.Events(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.NextSeq != 0 {
+		t.Fatalf("NextSeq through forwarder = %d, want 0", er.NextSeq)
+	}
+	delivered := 0
+	for i, ev := range er.Events {
+		if i > 0 && ev.At < er.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+		if ev.Kind == obs.EvDelivered {
+			delivered++
+		}
+	}
+	if delivered != 40 {
+		t.Fatalf("merged delivered events = %d, want 40", delivered)
 	}
 }

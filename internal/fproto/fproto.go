@@ -14,6 +14,7 @@ package fproto
 import (
 	"time"
 
+	"falkon/internal/obs"
 	"falkon/internal/task"
 )
 
@@ -28,6 +29,8 @@ const (
 	MethodGetWork         = "falkon.get-work"
 	MethodDeliver         = "falkon.deliver"
 	MethodStats           = "falkon.stats"
+	MethodMetrics         = "falkon.metrics"
+	MethodEvents          = "falkon.events"
 )
 
 // Notification method names pushed by the dispatcher.
@@ -190,4 +193,24 @@ type StatsReply struct {
 	// dataset-tagged tasks.
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+}
+
+// MetricsReply is the falkon.metrics reply: a full registry snapshot —
+// counters, gauges, and mergeable stage/RPC latency histograms.
+type MetricsReply = obs.MetricsSnapshot
+
+// EventsRequest asks for task-lifecycle trace events after SinceSeq (0 for
+// the oldest retained); Max bounds the batch (0 = all retained).
+type EventsRequest struct {
+	SinceSeq uint64 `json:"since_seq,omitempty"`
+	Max      int    `json:"max,omitempty"`
+}
+
+// EventsReply carries trace events in recording order. NextSeq is the
+// newest recorded sequence — pass it as the next SinceSeq to tail the
+// stream (through a forwarder the streams interleave, so NextSeq is 0 and
+// pagination is unavailable).
+type EventsReply struct {
+	Events  []obs.Event `json:"events,omitempty"`
+	NextSeq uint64      `json:"next_seq"`
 }

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+)
+
+// FixedHistogram is the bounded-memory counterpart of Histogram: instead of
+// storing every observation it counts them into a fixed set of
+// logarithmically spaced buckets, so memory stays constant over arbitrarily
+// long live runs. Quantiles are approximate (linear interpolation within a
+// bucket, at most one bucket width of error — ~19% with the default
+// layout); the exact Histogram remains the right tool for the simulator's
+// figure reproduction.
+//
+// All FixedHistograms share one bucket layout so snapshots taken on
+// different processes (dispatcher, forwarder, executors) merge by summing
+// bucket counts.
+type FixedHistogram struct {
+	mu      sync.Mutex
+	buckets [fixedBuckets]int64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// The shared layout: bucket 0 holds values below fixedLo; bucket i (i >= 1)
+// holds [fixedLo*g^(i-1), fixedLo*g^i) with g = 2^(1/4); the last bucket
+// absorbs everything larger. The span covers 1µs to ~2.7ks when observing
+// seconds, and 1 to ~2.7e9 when observing bytes scaled by 1e6*fixedLo — in
+// practice any positive range, since out-of-span values clamp to the ends.
+const (
+	fixedLo      = 1e-6
+	fixedBuckets = 136
+)
+
+var fixedLnG = math.Log(2) / 4
+
+// fixedBound returns the upper bound of bucket i.
+func fixedBound(i int) float64 {
+	return fixedLo * math.Exp(float64(i)*fixedLnG)
+}
+
+// fixedIndex maps a value to its bucket.
+func fixedIndex(v float64) int {
+	if v < fixedLo {
+		return 0
+	}
+	i := 1 + int(math.Floor(math.Log(v/fixedLo)/fixedLnG))
+	if i >= fixedBuckets {
+		i = fixedBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value. Negative values count as zero.
+func (h *FixedHistogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.buckets[fixedIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *FixedHistogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the running total of observed values.
+func (h *FixedHistogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *FixedHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the approximate q'th quantile (0 <= q <= 1).
+func (h *FixedHistogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot copies the histogram state into a mergeable, JSON-encodable
+// form. Trailing empty buckets are trimmed to keep wire payloads small.
+func (h *FixedHistogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last := -1
+	for i, c := range h.buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), h.buckets[:last+1]...)
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a FixedHistogram, suitable for
+// JSON transport (the falkon.metrics RPC) and cross-process merging.
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Merge folds o into s (counts and buckets sum; min/max widen). Snapshots
+// from any FixedHistogram share the same bucket layout, so this is exact.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if s.Count == 0 || o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if len(o.Buckets) > len(s.Buckets) {
+		s.Buckets = append(s.Buckets, make([]int64, len(o.Buckets)-len(s.Buckets))...)
+	}
+	for i, c := range o.Buckets {
+		s.Buckets[i] += c
+	}
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns the approximate q'th quantile by locating the bucket
+// containing the target rank and interpolating linearly inside it. Results
+// clamp to the exact observed [Min, Max].
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = fixedBound(i - 1)
+			}
+			hi := fixedBound(i)
+			v := lo + (hi-lo)*(target-cum)/float64(c)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum = next
+	}
+	return s.Max
+}

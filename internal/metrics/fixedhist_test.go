@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFixedHistogramQuantileAccuracy(t *testing.T) {
+	var h FixedHistogram
+	// Uniform 1..1000 ms observed in seconds.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := q // uniform on (0, 1]
+		// One log-bucket of error: bounds grow by 2^(1/4) ≈ 19%.
+		if got < want/1.25 || got > want*1.25 {
+			t.Fatalf("q%.2f = %v, want within 25%% of %v", q, got, want)
+		}
+	}
+	if got := h.Quantile(0); got != 0.001 {
+		t.Fatalf("q0 = %v, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 1.0 {
+		t.Fatalf("q1 = %v, want exact max", got)
+	}
+	if mean := h.Mean(); math.Abs(mean-0.5005) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestFixedHistogramBoundedMemoryAndExtremes(t *testing.T) {
+	var h FixedHistogram
+	h.Observe(0)    // below first bound
+	h.Observe(-3)   // clamps to zero
+	h.Observe(1e12) // beyond last bound
+	s := h.Snapshot()
+	if s.Count != 3 || s.Min != 0 || s.Max != 1e12 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Buckets) > fixedBuckets {
+		t.Fatalf("bucket slice grew beyond layout: %d", len(s.Buckets))
+	}
+	if got := s.Quantile(0.99); got > 1e12 {
+		t.Fatalf("quantile above max: %v", got)
+	}
+}
+
+func TestHistSnapshotMergeMatchesCombinedObservations(t *testing.T) {
+	var a, b, both FixedHistogram
+	for i := 0; i < 500; i++ {
+		v := float64(i%37+1) / 100
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for i := 0; i < 300; i++ {
+		v := float64(i%11+1) / 10
+		b.Observe(v)
+		both.Observe(v)
+	}
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	w := both.Snapshot()
+	if m.Count != w.Count || math.Abs(m.Sum-w.Sum) > 1e-9 || m.Min != w.Min || m.Max != w.Max {
+		t.Fatalf("merged %+v != combined %+v", m, w)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		if got, want := m.Quantile(q), w.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q%.2f merged %v != combined %v", q, got, want)
+		}
+	}
+}
+
+func TestHistSnapshotJSONRoundTrip(t *testing.T) {
+	var h FixedHistogram
+	h.Observe(0.5)
+	h.Observe(2.5)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 2 || back.Quantile(1) != 2.5 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h FixedHistogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+}
+
+func TestRateSamplerZeroGapEmitsZeroSamples(t *testing.T) {
+	r := NewRateSampler("x", time.Second)
+	r.Observe(500*time.Millisecond, 3)
+	// Nothing for 4 seconds, then one event.
+	r.Observe(4500*time.Millisecond, 1)
+	s := r.Finish(5 * time.Second)
+	if s.Len() < 5 {
+		t.Fatalf("len = %d, want >= 5", s.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		if got := s.At(i).Value; got != 0 {
+			t.Fatalf("gap interval %d rate = %v, want 0", i, got)
+		}
+	}
+}
+
+func TestRateSamplerFinishFlushesPartialInterval(t *testing.T) {
+	r := NewRateSampler("x", time.Second)
+	r.Observe(300*time.Millisecond, 7)
+	// Finish mid-interval: the pending 7 events must still appear.
+	s := r.Finish(400 * time.Millisecond)
+	var sum float64
+	for _, smp := range s.Samples() {
+		sum += smp.Value
+	}
+	if sum != 7 {
+		t.Fatalf("flushed events = %v, want 7", sum)
+	}
+}
+
+func TestRateSamplerNonMonotonicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time going backwards")
+		}
+	}()
+	r := NewRateSampler("x", time.Second)
+	r.Observe(2*time.Second, 1)
+	r.Observe(1*time.Second, 1)
+}

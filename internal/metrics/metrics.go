@@ -14,13 +14,15 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a concurrency-safe monotonically increasing counter.
+// Counter is a concurrency-safe monotonically increasing counter. It is
+// lock-free (a single atomic) because counters sit on the dispatch hot path
+// once registered in an obs.Registry.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by delta (which must be >= 0).
@@ -28,35 +30,28 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		panic("metrics: negative Counter delta")
 	}
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
+	c.n.Add(delta)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Gauge is a concurrency-safe instantaneous value.
+// Gauge is a concurrency-safe instantaneous value (lock-free).
 type Gauge struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Set stores v.
-func (g *Gauge) Set(v int64) { g.mu.Lock(); g.v = v; g.mu.Unlock() }
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adjusts the gauge by delta (may be negative).
-func (g *Gauge) Add(delta int64) { g.mu.Lock(); g.v += delta; g.mu.Unlock() }
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current value.
-func (g *Gauge) Value() int64 { g.mu.Lock(); defer g.mu.Unlock(); return g.v }
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Sample is one (time, value) observation.
 type Sample struct {
@@ -170,6 +165,7 @@ type RateSampler struct {
 	interval time.Duration
 	nextAt   time.Duration
 	pending  int64
+	lastAt   time.Duration
 }
 
 // NewRateSampler creates a sampler emitting one sample per interval.
@@ -181,8 +177,13 @@ func NewRateSampler(name string, interval time.Duration) *RateSampler {
 }
 
 // Observe records n events occurring at time at, flushing any elapsed
-// sample intervals first. Times must be non-decreasing.
+// sample intervals first. Times must be non-decreasing; going backwards
+// would silently misattribute events to a later interval, so it panics.
 func (r *RateSampler) Observe(at time.Duration, n int64) {
+	if at < r.lastAt {
+		panic(fmt.Sprintf("metrics: RateSampler %q observation at %v before last %v", r.series.Name, at, r.lastAt))
+	}
+	r.lastAt = at
 	r.flushTo(at)
 	r.pending += n
 }

@@ -1,0 +1,194 @@
+// Package obs is the observability subsystem of the live Falkon runtime:
+// a lock-cheap task-lifecycle tracer (per-task timestamped events in a
+// bounded ring buffer), a registry of named counters/gauges/histograms
+// shared by the dispatcher, executors, forwarder, provisioner, and the
+// wsrpc transport, and exposition of both — over the wire as the
+// falkon.metrics / falkon.events RPCs and over HTTP as a Prometheus-style
+// text endpoint with net/http/pprof mounted beside it.
+//
+// The tracer exists to make the paper's Figure 10 observable on a real
+// run: a task's life decomposes into enqueue→notify, notify→pull,
+// pull→start, and start→deliver stages whose per-task latencies partition
+// the end-to-end latency exactly, so stage histograms printed by
+// falkon-top sum to what clients measure.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"falkon/internal/task"
+)
+
+// EventKind labels one point in a task's lifecycle.
+type EventKind uint8
+
+const (
+	// EvEnqueued: the task entered the dispatcher queue (submission and
+	// enqueue coincide in this dispatcher).
+	EvEnqueued EventKind = iota + 1
+	// EvNotified: a work-available push was sent to an executor. The
+	// event carries the executor id, not a task id — notifications are
+	// per-executor in the hybrid protocol.
+	EvNotified
+	// EvPulled: the task was assigned to an executor answering a
+	// get-work pull.
+	EvPulled
+	// EvAcked: the task was assigned piggy-backed on a deliver
+	// acknowledgment (no separate pull round trip).
+	EvAcked
+	// EvStarted: the executor began running the task (rebased onto the
+	// dispatcher epoch at delivery time).
+	EvStarted
+	// EvFinished: the task's command finished on the executor.
+	EvFinished
+	// EvDelivered: the result reached the dispatcher and was finalized.
+	EvDelivered
+	// EvRetried: the replay policy re-queued the task.
+	EvRetried
+	// EvFailed: the task was reported failed (retries exhausted or
+	// failure with replay disabled).
+	EvFailed
+)
+
+var kindNames = map[EventKind]string{
+	EvEnqueued:  "enqueued",
+	EvNotified:  "notified",
+	EvPulled:    "pulled",
+	EvAcked:     "acked",
+	EvStarted:   "started",
+	EvFinished:  "finished",
+	EvDelivered: "delivered",
+	EvRetried:   "retried",
+	EvFailed:    "failed",
+}
+
+// String returns the event name used on the wire and in span dumps.
+func (k EventKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its name, keeping event streams
+// self-describing for offline tooling.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes an event-kind name.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for kind, name := range kindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one timestamped lifecycle point. At is relative to the
+// recording process's epoch (the dispatcher epoch for dispatcher and —
+// via the register reply's epoch exchange — executor events).
+type Event struct {
+	Seq      uint64        `json:"seq"`
+	At       time.Duration `json:"at"`
+	Kind     EventKind     `json:"kind"`
+	Task     task.ID       `json:"task,omitempty"`
+	EPR      string        `json:"epr,omitempty"`
+	Executor string        `json:"exec,omitempty"`
+}
+
+// Tracer records lifecycle events into a bounded ring buffer. Recording is
+// one short critical section (no allocation once the ring is full); a nil
+// *Tracer discards events, so call sites need no guards.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // seq of the next event to record; seqs start at 1
+}
+
+// NewTracer returns a tracer retaining the last capacity events (default
+// 8192 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event stamped at.
+func (t *Tracer) Record(at time.Duration, kind EventKind, id task.ID, epr, exec string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next++
+	ev := Event{Seq: t.next, At: at, Kind: kind, Task: id, EPR: epr, Executor: exec}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[int((t.next-1)%uint64(cap(t.ring)))] = ev
+	}
+	t.mu.Unlock()
+}
+
+// Since returns up to max events with Seq > since in recording order, plus
+// the sequence to pass next time. Events older than the ring capacity are
+// gone; next always reflects the newest recorded event, so pollers resync
+// after a gap.
+func (t *Tracer) Since(since uint64, max int) (events []Event, next uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if n == 0 {
+		return nil, t.next
+	}
+	oldest := t.next - uint64(n) + 1
+	from := since + 1
+	if from < oldest {
+		from = oldest
+	}
+	if max <= 0 {
+		max = n
+	}
+	for seq := from; seq <= t.next && len(events) < max; seq++ {
+		events = append(events, t.ring[int((seq-1)%uint64(cap(t.ring)))])
+	}
+	return events, t.next
+}
+
+// Stage names of the Figure-10-style decomposition. Each task's four stage
+// latencies partition [enqueue, deliver] exactly:
+//
+//	enqueue_notify: task enqueued → executor notified (queue wait; for
+//	    pulls not triggered by a push, this absorbs the whole wait)
+//	notify_pull:    notification sent → executor's pull assigned the task
+//	pull_start:     assignment → command start on the executor
+//	start_deliver:  command start → result accepted by the dispatcher
+const (
+	StageEnqueueNotify = "enqueue_notify"
+	StageNotifyPull    = "notify_pull"
+	StagePullStart     = "pull_start"
+	StageStartDeliver  = "start_deliver"
+)
+
+// Stages lists the stage names in lifecycle order.
+var Stages = []string{StageEnqueueNotify, StageNotifyPull, StagePullStart, StageStartDeliver}
+
+// Metric names shared by recorders (dispatch) and consumers (falkon-top).
+const (
+	MetricStageSeconds = "falkon_stage_seconds" // labeled stage=<name>
+	MetricE2ESeconds   = "falkon_task_e2e_seconds"
+)
+
+// StageKey returns the registry key of one stage's latency histogram.
+func StageKey(stage string) string { return Labeled(MetricStageSeconds, "stage", stage) }

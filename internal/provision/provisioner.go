@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"falkon/internal/fproto"
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
 )
 
 // Allocator abstracts the resource-allocation pathway (the paper uses GRAM4
@@ -53,11 +55,19 @@ type Options struct {
 	PollInterval time.Duration
 	// Logf receives provisioner logs; nil silences them.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives allocation/release counters and a live
+	// allocation gauge.
+	Metrics *obs.Registry
 }
 
 // Provisioner drives dynamic resource provisioning for one dispatcher.
 type Provisioner struct {
 	opts Options
+
+	cAlloc    *metrics.Counter // falkon_provision_allocations_total
+	cRelease  *metrics.Counter // falkon_provision_releases_total
+	cRequests *metrics.Counter // falkon_provision_executors_requested_total
+	gLive     *metrics.Gauge   // falkon_provision_allocations_live
 
 	mu          sync.Mutex
 	allocations []string
@@ -89,11 +99,18 @@ func New(opts Options) (*Provisioner, error) {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = time.Second
 	}
-	return &Provisioner{
+	p := &Provisioner{
 		opts: opts,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
-	}, nil
+	}
+	// A nil registry hands back unregistered instruments, so the hot path
+	// needs no guards.
+	p.cAlloc = opts.Metrics.Counter("falkon_provision_allocations_total")
+	p.cRelease = opts.Metrics.Counter("falkon_provision_releases_total")
+	p.cRequests = opts.Metrics.Counter("falkon_provision_executors_requested_total")
+	p.gLive = opts.Metrics.Gauge("falkon_provision_allocations_live")
+	return p, nil
 }
 
 // Start begins the polling loop.
@@ -175,6 +192,9 @@ func (p *Provisioner) poll() {
 			p.allocations = append(p.allocations, id)
 			p.requested += n
 			p.mu.Unlock()
+			p.cAlloc.Inc()
+			p.cRequests.Add(int64(n))
+			p.gLive.Add(1)
 			p.logf("provision: allocated %s (%d executors)", id, n)
 		}
 	}
@@ -191,6 +211,8 @@ func (p *Provisioner) poll() {
 		}
 		p.mu.Unlock()
 		if id != "" {
+			p.cRelease.Inc()
+			p.gLive.Add(-1)
 			if err := p.opts.Allocator.Deallocate(id); err != nil {
 				p.logf("provision: deallocate %s: %v", id, err)
 			} else {
@@ -216,6 +238,8 @@ func (p *Provisioner) ReleaseAll() {
 	p.allocations = nil
 	p.releases += len(ids)
 	p.mu.Unlock()
+	p.cRelease.Add(int64(len(ids)))
+	p.gLive.Add(int64(-len(ids)))
 	for _, id := range ids {
 		if err := p.opts.Allocator.Deallocate(id); err != nil {
 			p.logf("provision: deallocate %s: %v", id, err)

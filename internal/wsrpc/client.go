@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
 )
 
 // ErrClientClosed is returned by calls made on (or interrupted by) a closed
@@ -34,13 +38,18 @@ type ClientOptions struct {
 	OnNotify NotifyHandler
 	// OnClose, when set, runs once when the connection ends for any reason.
 	OnClose func(err error)
+	// Metrics, when set, receives per-method call counts and round-trip
+	// latency histograms plus framed-byte counters (client-side view).
+	Metrics *obs.Registry
 }
 
 // Client is a wsrpc connection initiator: it issues concurrent calls and
 // receives pushed notifications.
 type Client struct {
-	fc   frameConn
-	opts ClientOptions
+	fc      frameConn
+	opts    ClientOptions
+	rxBytes *metrics.Counter
+	txBytes *metrics.Counter
 
 	mu      sync.Mutex
 	seq     uint64
@@ -63,6 +72,10 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	cl := &Client{fc: fc, opts: opts, pending: make(map[uint64]chan *frame), done: make(chan struct{})}
+	if opts.Metrics != nil {
+		cl.rxBytes = opts.Metrics.Counter("wsrpc_client_rx_bytes_total")
+		cl.txBytes = opts.Metrics.Counter("wsrpc_client_tx_bytes_total")
+	}
 	go cl.readLoop()
 	return cl, nil
 }
@@ -75,6 +88,9 @@ func (c *Client) readLoop() {
 		raw, err = c.fc.ReadFrame()
 		if err != nil {
 			break
+		}
+		if c.rxBytes != nil {
+			c.rxBytes.Add(int64(len(raw)))
 		}
 		var f *frame
 		f, err = decodeFrame(raw)
@@ -167,8 +183,12 @@ func (c *Client) CallContext(ctx context.Context, method string, arg, reply any)
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
+	start := time.Now()
 	raw, err := encodeFrame(&frame{Kind: kindCall, Seq: seq, Method: method, Body: body})
 	if err == nil {
+		if c.txBytes != nil {
+			c.txBytes.Add(int64(len(raw)))
+		}
 		err = c.fc.WriteFrame(raw)
 	}
 	if err != nil {
@@ -184,6 +204,10 @@ func (c *Client) CallContext(ctx context.Context, method string, arg, reply any)
 	case f, ok := <-ch:
 		if !ok {
 			return ErrClientClosed
+		}
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.Counter(obs.Labeled("wsrpc_client_calls_total", "method", method)).Inc()
+			c.opts.Metrics.Histogram(obs.Labeled("wsrpc_client_seconds", "method", method)).Observe(time.Since(start).Seconds())
 		}
 		if f.Err != "" {
 			return &RemoteError{Msg: f.Err}

@@ -9,6 +9,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
 )
 
 // Handler serves one RPC method. body is the caller's argument encoded as
@@ -24,6 +28,16 @@ type ServerOptions struct {
 	PSK []byte
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives per-method call counts and handler
+	// latency histograms plus framed-byte counters.
+	Metrics *obs.Registry
+}
+
+// methodStats holds one method's pre-created instruments, so the hot path
+// pays no registry lookup.
+type methodStats struct {
+	calls *metrics.Counter
+	lat   *metrics.FixedHistogram
 }
 
 // Server accepts wsrpc connections and dispatches calls to registered
@@ -33,6 +47,9 @@ type Server struct {
 	opts     ServerOptions
 	ln       net.Listener
 	handlers map[string]Handler
+	stats    map[string]*methodStats // read-only after Listen, like handlers
+	rxBytes  *metrics.Counter
+	txBytes  *metrics.Counter
 
 	mu     sync.Mutex
 	peers  map[*Peer]struct{}
@@ -45,11 +62,17 @@ type Server struct {
 
 // NewServer returns a server with no registered methods.
 func NewServer(opts ServerOptions) *Server {
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		handlers: make(map[string]Handler),
 		peers:    make(map[*Peer]struct{}),
 	}
+	if opts.Metrics != nil {
+		s.stats = make(map[string]*methodStats)
+		s.rxBytes = opts.Metrics.Counter("wsrpc_rx_bytes_total")
+		s.txBytes = opts.Metrics.Counter("wsrpc_tx_bytes_total")
+	}
+	return s
 }
 
 // Register installs a handler for method. Registration must finish before
@@ -62,6 +85,12 @@ func (s *Server) Register(method string, h Handler) {
 		panic("wsrpc: nil handler for " + method)
 	}
 	s.handlers[method] = h
+	if s.stats != nil {
+		s.stats[method] = &methodStats{
+			calls: s.opts.Metrics.Counter(obs.Labeled("wsrpc_calls_total", "method", method)),
+			lat:   s.opts.Metrics.Histogram(obs.Labeled("wsrpc_call_seconds", "method", method)),
+		}
+	}
 }
 
 // OnDisconnect installs a callback invoked (once) whenever a peer's
@@ -150,7 +179,7 @@ func (s *Server) handleConn(c net.Conn) {
 		c.Close()
 		return
 	}
-	peer := &Peer{fc: fc, id: s.nextID.Add(1), remote: c.RemoteAddr().String()}
+	peer := &Peer{fc: fc, id: s.nextID.Add(1), remote: c.RemoteAddr().String(), tx: s.txBytes}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -181,6 +210,9 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			return
 		}
+		if s.rxBytes != nil {
+			s.rxBytes.Add(int64(len(raw)))
+		}
 		f, err := decodeFrame(raw)
 		if err != nil {
 			s.logf("wsrpc: bad frame from %s: %v", peer.remote, err)
@@ -198,7 +230,12 @@ func (s *Server) handleConn(c net.Conn) {
 		calls.Add(1)
 		go func(f *frame) {
 			defer calls.Done()
+			start := time.Now()
 			res, err := h(peer, f.Body)
+			if ms := s.stats[f.Method]; ms != nil {
+				ms.calls.Inc()
+				ms.lat.Observe(time.Since(start).Seconds())
+			}
 			s.reply(peer, f.Seq, res, err)
 		}(f)
 	}
@@ -223,6 +260,9 @@ func (s *Server) reply(p *Peer, seq uint64, res any, herr error) {
 		s.logf("wsrpc: encode reply: %v", err)
 		return
 	}
+	if s.txBytes != nil {
+		s.txBytes.Add(int64(len(raw)))
+	}
 	if err := p.fc.WriteFrame(raw); err != nil {
 		// Peer is gone; the read loop will notice and clean up.
 		return
@@ -241,6 +281,7 @@ type Peer struct {
 	fc     frameConn
 	id     uint64
 	remote string
+	tx     *metrics.Counter // server tx byte counter; nil when unmetered
 
 	mu   sync.Mutex
 	meta any
@@ -273,6 +314,9 @@ func (p *Peer) Notify(method string, arg any) error {
 	raw, err := encodeFrame(&frame{Kind: kindNotify, Method: method, Body: body})
 	if err != nil {
 		return err
+	}
+	if p.tx != nil {
+		p.tx.Add(int64(len(raw)))
 	}
 	return p.fc.WriteFrame(raw)
 }

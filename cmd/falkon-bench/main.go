@@ -4,18 +4,33 @@
 //
 //	falkon-bench -experiment fig3            # one experiment
 //	falkon-bench -experiment fig8 -scale 0.1 # scaled-down endurance run
+//	falkon-bench -experiment live-throughput -json  # append a BENCH_live.json row
 //	falkon-bench -all                        # everything
 //	falkon-bench -list                       # available ids
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
 	"falkon/internal/bench"
 )
+
+// benchRow is one line of BENCH_live.json: a headline scalar per experiment
+// run, stamped with when and at which commit it was measured, so the perf
+// trajectory is tracked across PRs.
+type benchRow struct {
+	Experiment  string  `json:"experiment"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	Scale       float64 `json:"scale"`
+	Date        string  `json:"date"`
+	Commit      string  `json:"commit,omitempty"`
+}
 
 func main() {
 	var (
@@ -24,6 +39,8 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		plot       = flag.Bool("plot", false, "render ASCII charts for figure experiments")
+		jsonOut    = flag.Bool("json", false, "append machine-readable rows to -json-file for experiments with headline scalars")
+		jsonFile   = flag.String("json-file", "BENCH_live.json", "destination for -json rows (one JSON object per line)")
 	)
 	flag.Parse()
 
@@ -51,5 +68,46 @@ func main() {
 		if *plot {
 			fmt.Print(res.RenderPlots())
 		}
+		if *jsonOut {
+			if tput, ok := res.Values["tasks_per_sec"]; ok {
+				if err := appendRow(*jsonFile, benchRow{
+					Experiment:  res.ID,
+					TasksPerSec: tput,
+					Scale:       *scale,
+					Date:        time.Now().UTC().Format(time.RFC3339),
+					Commit:      gitCommit(),
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "falkon-bench:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "falkon-bench: appended %s row to %s\n", res.ID, *jsonFile)
+			}
+		}
 	}
+}
+
+// appendRow appends one JSON object per line, so successive runs accumulate
+// a trend file that is trivially diffable and parseable.
+func appendRow(path string, row benchRow) error {
+	b, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(b, '\n'))
+	return err
+}
+
+// gitCommit best-effort resolves the current short commit hash ("" outside
+// a git checkout).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -61,9 +61,9 @@ func main() {
 			fmt.Printf("\033[%dA", lines)
 		}
 		lines = 0
-		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) done=%d failed=%d retried=%d rate=%.0f/s\n",
+		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) dispatched=%d done=%d failed=%d retried=%d dup=%d rate=%.0f/s\n",
 			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
-			st.Completed, st.Failed, st.Retried, rate)
+			st.Dispatched, st.Completed, st.Failed, st.Retried, st.Duplicates, rate)
 		lines++
 
 		if *stages {

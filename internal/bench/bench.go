@@ -30,6 +30,9 @@ type Result struct {
 	// Plots carries time series for figure experiments, rendered by
 	// RenderPlots (falkon-bench -plot).
 	Plots []*metrics.Series
+	// Values holds headline scalars in machine-readable form (e.g.
+	// "tasks_per_sec") for falkon-bench -json trend tracking.
+	Values map[string]float64
 }
 
 // RenderPlots returns ASCII charts for the experiment's series.

@@ -46,6 +46,7 @@ func liveThroughput(scale float64) *Result {
 		}
 		return float64(nTasks) / time.Since(start).Seconds(), nil
 	}
+	best := 0.0
 	row := func(nExec int, secure bool, label string) {
 		tput, err := run(nExec, secure)
 		cell := f0(tput)
@@ -53,12 +54,16 @@ func liveThroughput(scale float64) *Result {
 			cell = "error"
 			res.Notes = append(res.Notes, fmt.Sprintf("%d executors (%s): %v", nExec, label, err))
 		}
+		if !secure && tput > best {
+			best = tput
+		}
 		res.Rows = append(res.Rows, []string{fmt.Sprint(nExec), label, fmt.Sprint(nTasks), cell})
 	}
 	for _, nExec := range []int{1, 2, 4, 8} {
 		row(nExec, false, "none")
 	}
 	row(8, true, "secure-conversation")
+	res.Values = map[string]float64{"tasks_per_sec": best}
 	res.Notes = append(res.Notes,
 		"the 2007 GT4/SOAP stack peaked at ~500 WS calls/s on a dual Xeon; the same architecture in Go with JSON framing sustains tens of thousands — the rewrite the paper proposed in §6 'Technologies'")
 	return res

@@ -1,80 +1,29 @@
 package dispatch
 
-import "falkon/internal/task"
+import (
+	"falkon/internal/sched"
+	"falkon/internal/task"
+)
 
 // Data-aware dispatch (the paper's §6 "data management" future work): when
 // tasks name the dataset they read (Task.IO.Dataset), the dispatcher tracks
 // which executors hold which datasets in their node-local cache and prefers
 // assigning each executor tasks whose data it already has, falling back to
-// next-available.
+// next-available. The policy itself — window scan, per-executor LRU cache,
+// hit/miss accounting — lives in internal/sched, shared with the
+// simulator.
 
 // DispatchPolicy selects how queued tasks map to executors.
-type DispatchPolicy uint8
+type DispatchPolicy = sched.Policy
 
 const (
 	// PolicyNextAvailable is the paper's evaluated policy: strict FIFO to
 	// the next free executor.
-	PolicyNextAvailable DispatchPolicy = iota
+	PolicyNextAvailable = sched.PolicyNextAvailable
 	// PolicyDataAware scans a bounded window at the queue head for a task
 	// whose dataset is cached on the pulling executor.
-	PolicyDataAware
+	PolicyDataAware = sched.PolicyDataAware
 )
-
-// String names the policy.
-func (p DispatchPolicy) String() string {
-	switch p {
-	case PolicyNextAvailable:
-		return "next-available"
-	case PolicyDataAware:
-		return "data-aware"
-	default:
-		return "policy(?)"
-	}
-}
-
-// dataAwareWindow bounds how deep into the FIFO the data-aware policy may
-// look; beyond this, age wins over locality (prevents starvation).
-const dataAwareWindow = 64
-
-// cacheSet is a per-executor LRU of cached dataset names.
-type cacheSet struct {
-	cap   int
-	items map[string]int64 // dataset -> last-touch tick
-	tick  int64
-}
-
-func newCacheSet(capacity int) *cacheSet {
-	return &cacheSet{cap: capacity, items: make(map[string]int64)}
-}
-
-// touch records that the executor now holds ds, evicting the least
-// recently used entry when full.
-func (c *cacheSet) touch(ds string) {
-	if ds == "" || c.cap <= 0 {
-		return
-	}
-	c.tick++
-	if _, ok := c.items[ds]; !ok && len(c.items) >= c.cap {
-		var oldest string
-		var oldestTick int64 = 1<<63 - 1
-		for k, t := range c.items {
-			if t < oldestTick {
-				oldest, oldestTick = k, t
-			}
-		}
-		delete(c.items, oldest)
-	}
-	c.items[ds] = c.tick
-}
-
-// has reports whether ds is cached.
-func (c *cacheSet) has(ds string) bool {
-	if ds == "" {
-		return false
-	}
-	_, ok := c.items[ds]
-	return ok
-}
 
 // taskDataset returns the dataset a task reads ("" when untagged).
 func taskDataset(t task.Task) string {
@@ -82,38 +31,4 @@ func taskDataset(t task.Task) string {
 		return ""
 	}
 	return t.IO.Dataset
-}
-
-// pickLocked selects the next pending task for ex under the configured
-// policy, removing it from the queue and reporting whether it is a cache
-// hit. FIFO order is preserved except that the data-aware policy may pull
-// a matching task forward from within the window. Callers hold d.mu.
-func (d *Dispatcher) pickLocked(ex *execState) (p pending, hit, ok bool) {
-	if d.opts.Policy != PolicyDataAware || ex.cache == nil {
-		p, ok = d.queue.pop()
-		return p, false, ok
-	}
-	// Scan the window for a cached dataset.
-	live := d.queue.window(dataAwareWindow)
-	for i := range live {
-		ds := taskDataset(live[i].t)
-		if ds != "" && ex.cache.has(ds) {
-			p = live[i]
-			d.queue.removeAt(i)
-			d.cacheHits++
-			return p, true, true
-		}
-	}
-	p, ok = d.queue.pop()
-	if ok && taskDataset(p.t) != "" {
-		d.cacheMisses++
-	}
-	return p, false, ok
-}
-
-// noteCompletionLocked records dataset residency after ex ran t.
-func (d *Dispatcher) noteCompletionLocked(ex *execState, dataset string) {
-	if d.opts.Policy == PolicyDataAware && ex.cache != nil {
-		ex.cache.touch(dataset)
-	}
 }

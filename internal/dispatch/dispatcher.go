@@ -6,6 +6,15 @@
 // requests, applies the replay policy (re-dispatch on failure or timeout),
 // and exposes the state the provisioner polls.
 //
+// The scheduling state machine itself — queue, executor table, outstanding
+// table, replay policy, pick policies — lives in internal/sched, shared
+// with the virtual-time simulator. This package drives it from wall-clock
+// time under one mutex and owns everything transport-shaped: wsrpc
+// connections, the notification engine, tracing, and metrics. Handlers
+// gather the core's effects (trace events, notification pushes, stage
+// observations) under the mutex and apply them after releasing it, so no
+// I/O ever runs inside the scheduler's critical section.
+//
 // In keeping with the paper's design (§1, §7), the dispatcher deliberately
 // omits LRM features: there are no priorities, no multiple queues, no
 // accounting, and no per-task resource limits.
@@ -19,6 +28,7 @@ import (
 	"falkon/internal/fproto"
 	"falkon/internal/metrics"
 	"falkon/internal/obs"
+	"falkon/internal/sched"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -67,17 +77,17 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
-// execState tracks one registered executor.
-type execState struct {
-	id           string
-	peer         *wsrpc.Peer
-	slots        int
-	assigned     int
-	notified     bool
-	inIdle       bool // present in the idle (has-free-capacity) stack
-	allocation   string
-	cache        *cacheSet     // datasets resident on the executor (data-aware)
-	lastNotifyAt time.Duration // when the last work-available push was sent
+// taskRef is the core's task payload: the owning instance plus the task.
+type taskRef struct {
+	epr string
+	t   task.Task
+}
+
+// execRef is the transport state hung off a sched.Exec (via Ref): the
+// executor's connection and provisioner allocation.
+type execRef struct {
+	peer       *wsrpc.Peer
+	allocation string
 }
 
 // outKey identifies an outstanding (dispatched, unacknowledged) task.
@@ -86,13 +96,54 @@ type outKey struct {
 	id  task.ID
 }
 
-// outstanding records one dispatched task awaiting its result.
-type outstanding struct {
-	p            pending
-	executor     string
-	dispatchedAt time.Duration
-	notifiedAt   time.Duration // when the executor was pushed work-available
-	// for this assignment (clamped into [queuedAt, dispatchedAt])
+// dcore aliases the scheduling core instantiated for the live dispatcher:
+// executors are identified by their string ID, outstanding tasks by
+// (instance, task ID).
+type dcore = sched.Core[string, outKey, taskRef]
+
+// traceEv is one deferred tracer record.
+type traceEv struct {
+	at   time.Duration
+	kind obs.EventKind
+	id   task.ID
+	epr  string
+	exec string
+}
+
+// resultPush is one deferred result notification ({8}) to a push-mode
+// client.
+type resultPush struct {
+	peer *wsrpc.Peer
+	epr  string
+	r    task.Result
+}
+
+// notifyPush is one deferred work-available notification ({3}). It holds a
+// snapshot of the executor fields taken under d.mu — never the live
+// *sched.Exec, which other handlers mutate concurrently once the lock is
+// released.
+type notifyPush struct {
+	peer   *wsrpc.Peer
+	exec   string
+	at     time.Duration
+	queued int
+}
+
+// fx accumulates a handler's side effects — trace records, stage-latency
+// observations, work-available notifications, and result pushes — gathered
+// while holding d.mu and applied by flush after releasing it. Keeping this
+// I/O outside the scheduler lock is what lets deliveries from many
+// executors pipeline instead of serializing on tracer and histogram
+// writes.
+type fx struct {
+	events   []traceEv
+	stamps   []sched.Stamps
+	notifies []notifyPush
+	pushes   []resultPush
+}
+
+func (f *fx) trace(at time.Duration, kind obs.EventKind, id task.ID, epr, exec string) {
+	f.events = append(f.events, traceEv{at, kind, id, epr, exec})
 }
 
 // Dispatcher is the Falkon dispatch service. Create with New, then Listen.
@@ -107,50 +158,42 @@ type Dispatcher struct {
 	// hStage indexes the Figure-10 stage latency histograms in obs.Stages
 	// order; hE2E is the end-to-end (enqueue→deliver) histogram the stages
 	// partition exactly.
-	hStage [4]*metrics.FixedHistogram
+	hStage [sched.NStages]*metrics.FixedHistogram
 	hE2E   *metrics.FixedHistogram
 
-	mu          sync.Mutex
-	instances   map[string]*instance
-	queue       fifo
-	execs       map[string]*execState
-	idle        []string // ids of fully idle, un-notified executors
-	out         map[outKey]*outstanding
-	nextEPR     int64
-	closed      bool
-	draining    bool
-	submitted   int64
-	completed   int64
-	failed      int64
-	retried     int64
-	duplicates  int64
-	dispatched  int64
-	cacheHits   int64
-	cacheMisses int64
+	mu        sync.Mutex
+	core      *dcore
+	instances map[string]*instance
+	nextEPR   int64
+	closed    bool
+	draining  bool
+	// drained wakes Drain when the system empties (queue and outstanding
+	// both zero); signalled by wakeDrainLocked.
+	drained     *sync.Cond
 	sweeperStop chan struct{}
 	sweeperDone chan struct{}
 }
 
 // New constructs a dispatcher (not yet listening).
 func New(opts Options) *Dispatcher {
-	if opts.MaxRetries == 0 {
-		opts.MaxRetries = 3
-	}
-	if opts.CacheCapacity == 0 {
-		opts.CacheCapacity = 16
-	}
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
 	d := &Dispatcher{
-		opts:      opts,
-		epoch:     time.Now(),
+		opts:  opts,
+		epoch: time.Now(),
+		core: sched.NewCore[string, outKey](sched.Options[taskRef]{
+			Policy:        opts.Policy,
+			CacheCapacity: opts.CacheCapacity,
+			MaxRetries:    opts.MaxRetries,
+			Dataset:       func(tr taskRef) string { return taskDataset(tr.t) },
+			TaskRetries:   func(tr taskRef) int { return tr.t.MaxRetries },
+		}),
 		instances: make(map[string]*instance),
-		execs:     make(map[string]*execState),
-		out:       make(map[outKey]*outstanding),
 		reg:       opts.Metrics,
 		tracer:    obs.NewTracer(opts.TraceCapacity),
 	}
+	d.drained = sync.NewCond(&d.mu)
 	for i, stage := range obs.Stages {
 		d.hStage[i] = d.reg.Histogram(obs.StageKey(stage))
 	}
@@ -169,6 +212,28 @@ func (d *Dispatcher) now() time.Duration { return time.Since(d.epoch) }
 func (d *Dispatcher) logf(format string, args ...any) {
 	if d.opts.Logf != nil {
 		d.opts.Logf(format, args...)
+	}
+}
+
+// flush applies the effects gathered under d.mu. Must be called after
+// releasing the mutex: the tracer, histograms, and notification engine
+// all have their own synchronization.
+func (d *Dispatcher) flush(f *fx) {
+	for _, e := range f.events {
+		d.tracer.Record(e.at, e.kind, e.id, e.epr, e.exec)
+	}
+	for _, s := range f.stamps {
+		for i, st := range s.Stages() {
+			d.hStage[i].Observe(st.Seconds())
+		}
+		d.hE2E.Observe(s.E2E().Seconds())
+	}
+	for _, n := range f.notifies {
+		d.tracer.Record(n.at, obs.EvNotified, 0, "", n.exec)
+		d.eng.notifyWork(n.peer, n.queued)
+	}
+	for _, p := range f.pushes {
+		d.eng.push(p.peer, fproto.NotifyResults, fproto.ResultsNotify{EPR: p.epr, Results: []task.Result{p.r}})
 	}
 }
 
@@ -198,6 +263,7 @@ func (d *Dispatcher) Close() error {
 	}
 	d.closed = true
 	d.mu.Unlock()
+	d.drained.Broadcast() // release any Drain blocked on a dead system
 	if d.sweeperStop != nil {
 		close(d.sweeperStop)
 		<-d.sweeperDone
@@ -207,27 +273,59 @@ func (d *Dispatcher) Close() error {
 	return err
 }
 
+// notifyLocked runs the core's notify pass and snapshots each notification
+// into f while still holding d.mu (the live *sched.Exec must not escape the
+// critical section — concurrent handlers mutate it).
+func (d *Dispatcher) notifyLocked(f *fx, now time.Duration) {
+	for _, n := range d.core.Notifications(now) {
+		f.notifies = append(f.notifies, notifyPush{
+			peer:   n.Exec.Ref.(*execRef).peer,
+			exec:   n.Exec.ID,
+			at:     n.Exec.LastNotifyAt,
+			queued: n.Queued,
+		})
+	}
+}
+
+// wakeDrainLocked wakes blocked Drain calls once the system is empty.
+// Callers hold d.mu and have just removed work from the queue or the
+// outstanding table.
+func (d *Dispatcher) wakeDrainLocked() {
+	if d.draining && d.core.Empty() {
+		d.drained.Broadcast()
+	}
+}
+
 // Drain puts the dispatcher into drain mode: new submissions are rejected
 // while queued and in-flight tasks complete. It returns once the system is
 // empty or the timeout expires (0 = wait forever), reporting whether the
-// drain finished.
+// drain finished. The wait is event-driven: handlers broadcast on the
+// queue-empty ∧ outstanding-empty transition, so Drain wakes as the last
+// result arrives rather than on a poll tick.
 func (d *Dispatcher) Drain(timeout time.Duration) bool {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.draining = true
-	d.mu.Unlock()
-	deadline := time.Now().Add(timeout)
-	for {
-		d.mu.Lock()
-		empty := d.queue.len() == 0 && len(d.out) == 0
-		d.mu.Unlock()
-		if empty {
-			return true
-		}
-		if timeout > 0 && time.Now().After(deadline) {
+	timedOut := false
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			d.mu.Lock()
+			timedOut = true
+			d.mu.Unlock()
+			d.drained.Broadcast()
+		})
+		defer t.Stop()
+	}
+	for !d.core.Empty() {
+		if timedOut {
 			return false
 		}
-		time.Sleep(10 * time.Millisecond)
+		if d.closed {
+			return d.core.Empty()
+		}
+		d.drained.Wait()
 	}
+	return true
 }
 
 // Stats snapshots dispatcher state (also served as an RPC for remote
@@ -250,8 +348,6 @@ func (d *Dispatcher) Tracer() *obs.Tracer { return d.tracer }
 func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
 	d.mu.Lock()
 	st := d.statsLocked()
-	dispatched := d.dispatched
-	duplicates := d.duplicates
 	d.mu.Unlock()
 	d.reg.Gauge("falkon_queue_depth").Set(int64(st.Queued))
 	d.reg.Gauge("falkon_outstanding_tasks").Set(int64(st.Outstanding))
@@ -259,37 +355,36 @@ func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
 	d.reg.Gauge(obs.Labeled("falkon_executors", "state", "idle")).Set(int64(st.IdleExecutors))
 	d.reg.Gauge(obs.Labeled("falkon_executors", "state", "busy")).Set(int64(st.BusyExecutors))
 	s := d.reg.Snapshot()
-	// Lifecycle counters live under d.mu rather than in the registry, so
-	// fold them into the snapshot here.
+	// Lifecycle counters live in the scheduling core rather than in the
+	// registry, so fold them into the snapshot here.
 	s.Counters["falkon_tasks_submitted_total"] = st.Submitted
 	s.Counters["falkon_tasks_completed_total"] = st.Completed
 	s.Counters["falkon_tasks_failed_total"] = st.Failed
 	s.Counters["falkon_tasks_retried_total"] = st.Retried
-	s.Counters["falkon_tasks_dispatched_total"] = dispatched
-	s.Counters["falkon_duplicate_deliveries_total"] = duplicates
+	s.Counters["falkon_tasks_dispatched_total"] = st.Dispatched
+	s.Counters["falkon_duplicate_deliveries_total"] = st.Duplicates
 	return s
 }
 
 func (d *Dispatcher) statsLocked() fproto.StatsReply {
+	ct := d.core.Counters
 	st := fproto.StatsReply{
-		Queued:      d.queue.len(),
-		Outstanding: len(d.out),
-		Submitted:   d.submitted,
-		Completed:   d.completed,
-		Failed:      d.failed,
-		Retried:     d.retried,
+		Queued:      d.core.QueueLen(),
+		Outstanding: d.core.OutstandingLen(),
+		Submitted:   ct.Submitted,
+		Completed:   ct.Completed,
+		Failed:      ct.Failed,
+		Retried:     ct.Retried,
+		Dispatched:  ct.Dispatched,
+		Duplicates:  ct.Duplicates,
 		Instances:   len(d.instances),
-		CacheHits:   d.cacheHits,
-		CacheMisses: d.cacheMisses,
+		CacheHits:   ct.CacheHits,
+		CacheMisses: ct.CacheMisses,
 	}
-	for _, ex := range d.execs {
-		st.TotalExecutors++
-		if ex.assigned > 0 {
-			st.BusyExecutors++
-		} else {
-			st.IdleExecutors++
-		}
-	}
+	total, busy := d.core.ExecStats()
+	st.TotalExecutors = total
+	st.BusyExecutors = busy
+	st.IdleExecutors = total - busy
 	return st
 }
 
@@ -300,107 +395,52 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	if meta == "" {
 		return
 	}
+	var f fx
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	ex, ok := d.execs[meta]
-	if !ok || ex.peer != p {
+	ex, ok := d.core.Exec(meta)
+	if !ok || ex.Ref.(*execRef).peer != p {
+		d.mu.Unlock()
+		return // a newer connection re-registered the id
+	}
+	_, dropped := d.core.DropExecutor(meta)
+	for _, o := range dropped {
+		d.replayLocked(&f, o, fmt.Sprintf("executor %s disconnected", meta))
+	}
+	if len(dropped) > 0 {
+		d.notifyLocked(&f, d.now())
+	}
+	d.wakeDrainLocked()
+	d.mu.Unlock()
+	if len(dropped) > 0 {
+		d.logf("dispatch: executor %s dropped with %d tasks in flight", meta, len(dropped))
+	}
+	d.flush(&f)
+}
+
+// replayLocked applies the replay policy to an orphaned attempt: the core
+// requeues it while retries remain, otherwise the task is finalized
+// failed. Callers hold d.mu.
+func (d *Dispatcher) replayLocked(f *fx, o *sched.Outstanding[string, outKey, taskRef], reason string) {
+	if d.core.Requeue(o.Item) {
+		f.trace(d.now(), obs.EvRetried, o.Item.X.t.ID, o.Item.X.epr, o.Executor)
 		return
 	}
-	delete(d.execs, meta)
-	d.removeIdleLocked(meta)
-	// Replay every task the executor held.
-	requeued := 0
-	for k, o := range d.out {
-		if o.executor != meta {
-			continue
-		}
-		delete(d.out, k)
-		d.replayLocked(o, fmt.Sprintf("executor %s disconnected", meta))
-		requeued++
-	}
-	if requeued > 0 {
-		d.logf("dispatch: executor %s dropped with %d tasks in flight", meta, requeued)
-		d.kickLocked()
-	}
-}
-
-// replayLocked re-queues o (or fails the task if retries are exhausted).
-// Tasks may carry their own retry bound; otherwise the dispatcher default
-// applies.
-func (d *Dispatcher) replayLocked(o *outstanding, reason string) {
-	limit := d.opts.MaxRetries
-	if o.p.t.MaxRetries > 0 {
-		limit = o.p.t.MaxRetries
-	}
-	if o.p.attempts >= limit+1 {
-		d.finalizeLocked(o.p.epr, task.Result{
-			ID:           o.p.t.ID,
-			Err:          "retries exhausted: " + reason,
-			ExitCode:     -1,
-			QueuedAt:     o.p.queuedAt,
-			DispatchedAt: o.dispatchedAt,
-			StartedAt:    d.now(),
-			FinishedAt:   d.now(),
-			Attempts:     o.p.attempts,
-		})
-		return
-	}
-	d.retried++
-	d.tracer.Record(d.now(), obs.EvRetried, o.p.t.ID, o.p.epr, o.executor)
-	d.queue.push(o.p)
-}
-
-// kickLocked notifies executors with free capacity until the queue is
-// covered. Each executor gets at most one outstanding notification (the
-// notified flag) — it clears when the executor next pulls or delivers.
-func (d *Dispatcher) kickLocked() {
-	queued := d.queue.len()
-	for queued > 0 && len(d.idle) > 0 {
-		id := d.idle[len(d.idle)-1]
-		d.idle = d.idle[:len(d.idle)-1]
-		ex, ok := d.execs[id]
-		if !ok {
-			continue
-		}
-		ex.inIdle = false
-		free := ex.slots - ex.assigned
-		if free <= 0 || ex.notified {
-			continue
-		}
-		ex.notified = true
-		ex.lastNotifyAt = d.now()
-		d.tracer.Record(ex.lastNotifyAt, obs.EvNotified, 0, "", ex.id)
-		d.eng.notifyWork(ex.peer, queued)
-		queued -= free
-	}
-}
-
-// removeIdleLocked removes id from the idle stack if present.
-func (d *Dispatcher) removeIdleLocked(id string) {
-	for i, v := range d.idle {
-		if v == id {
-			d.idle = append(d.idle[:i], d.idle[i+1:]...)
-			if ex, ok := d.execs[id]; ok {
-				ex.inIdle = false
-			}
-			return
-		}
-	}
-}
-
-// offerLocked records that the executor has free capacity and no pending
-// notification, making it eligible for work-available pushes.
-func (d *Dispatcher) offerLocked(ex *execState) {
-	if !ex.inIdle && !ex.notified && ex.assigned < ex.slots {
-		ex.inIdle = true
-		d.idle = append(d.idle, ex.id)
-	}
+	d.finalizeLocked(f, o.Item.X.epr, task.Result{
+		ID:           o.Item.X.t.ID,
+		Err:          "retries exhausted: " + reason,
+		ExitCode:     -1,
+		QueuedAt:     o.Item.QueuedAt,
+		DispatchedAt: o.DispatchedAt,
+		StartedAt:    d.now(),
+		FinishedAt:   d.now(),
+		Attempts:     o.Item.Attempts,
+	})
 }
 
 // assignLocked pops up to max tasks for executor ex, recording them as
 // outstanding. It returns the protocol assignments. piggy marks
 // assignments riding a deliver acknowledgment rather than a work pull.
-func (d *Dispatcher) assignLocked(ex *execState, max int, piggy bool) []fproto.Assignment {
+func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy bool) []fproto.Assignment {
 	if max <= 0 {
 		max = 1
 	}
@@ -411,39 +451,28 @@ func (d *Dispatcher) assignLocked(ex *execState, max int, piggy bool) []fproto.A
 	var as []fproto.Assignment
 	now := d.now()
 	for len(as) < max {
-		p, hit, ok := d.pickLocked(ex)
+		it, hit, ok := d.core.Pick(ex)
 		if !ok {
 			break
 		}
-		if inst, ok := d.instances[p.epr]; !ok || inst.destroyed {
+		if inst, ok := d.instances[it.X.epr]; !ok || inst.destroyed {
 			continue // instance destroyed while queued
 		}
-		p.attempts++
-		// Attribute the wait so the four stages partition exactly: the
-		// enqueue→notify stage ends at the last push sent to this executor,
-		// or absorbs the whole wait when no push followed the enqueue
-		// (piggy-backed and re-pulled assignments).
-		notifiedAt := ex.lastNotifyAt
-		if notifiedAt < p.queuedAt || notifiedAt > now {
-			notifiedAt = now
-		}
-		d.out[outKey{p.epr, p.t.ID}] = &outstanding{p: p, executor: ex.id, dispatchedAt: now, notifiedAt: notifiedAt}
-		ex.assigned++
-		d.dispatched++
-		d.tracer.Record(now, kind, p.t.ID, p.epr, ex.id)
-		as = append(as, fproto.Assignment{EPR: p.epr, Task: p.t, CacheHit: hit})
+		d.core.Assign(now, ex, outKey{it.X.epr, it.X.t.ID}, it)
+		f.trace(now, kind, it.X.t.ID, it.X.epr, ex.ID)
+		as = append(as, fproto.Assignment{EPR: it.X.epr, Task: it.X.t, CacheHit: hit})
 	}
 	return as
 }
 
 // finalizeLocked delivers a finished result to its instance (push or
-// buffer).
-func (d *Dispatcher) finalizeLocked(epr string, r task.Result) {
+// buffer). Callers hold d.mu; the push itself is deferred into f.
+func (d *Dispatcher) finalizeLocked(f *fx, epr string, r task.Result) {
 	if r.Failed() {
-		d.failed++
-		d.tracer.Record(d.now(), obs.EvFailed, r.ID, epr, r.ExecutorID)
+		d.core.Counters.Failed++
+		f.trace(d.now(), obs.EvFailed, r.ID, epr, r.ExecutorID)
 	} else {
-		d.completed++
+		d.core.Counters.Completed++
 	}
 	inst, ok := d.instances[epr]
 	if !ok || inst.destroyed {
@@ -451,7 +480,7 @@ func (d *Dispatcher) finalizeLocked(epr string, r task.Result) {
 	}
 	inst.inFlight--
 	if inst.notify {
-		d.eng.push(inst.peer, fproto.NotifyResults, fproto.ResultsNotify{EPR: epr, Results: []task.Result{r}})
+		f.pushes = append(f.pushes, resultPush{peer: inst.peer, epr: epr, r: r})
 		return
 	}
 	inst.addResult(r)
@@ -473,25 +502,20 @@ func (d *Dispatcher) sweeper() {
 		case <-tick.C:
 		}
 		cutoff := d.now() - d.opts.ReplayTimeout
+		var f fx
 		d.mu.Lock()
-		var expired []*outstanding
-		for k, o := range d.out {
-			if o.dispatchedAt < cutoff {
-				delete(d.out, k)
-				expired = append(expired, o)
-			}
-		}
+		expired := d.core.Expire(cutoff)
 		for _, o := range expired {
-			if ex, ok := d.execs[o.executor]; ok && ex.assigned > 0 {
-				ex.assigned--
-				d.offerLocked(ex)
-			}
-			d.replayLocked(o, "replay timeout")
+			d.replayLocked(&f, o, "replay timeout")
 		}
 		if len(expired) > 0 {
-			d.logf("dispatch: replayed %d timed-out tasks", len(expired))
-			d.kickLocked()
+			d.notifyLocked(&f, d.now())
 		}
+		d.wakeDrainLocked()
 		d.mu.Unlock()
+		if len(expired) > 0 {
+			d.logf("dispatch: replayed %d timed-out tasks", len(expired))
+		}
+		d.flush(&f)
 	}
 }

@@ -1,0 +1,64 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"falkon/internal/task"
+)
+
+func TestDrainEmptySystemReturnsImmediately(t *testing.T) {
+	d := New(Options{})
+	start := time.Now()
+	if !d.Drain(time.Second) {
+		t.Fatal("drain of empty system failed")
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("empty drain took %v", el)
+	}
+}
+
+// TestDrainWakesPromptly pins the sync.Cond behaviour: Drain must wake on
+// the empty transition itself, not on a poll tick.
+func TestDrainWakesPromptly(t *testing.T) {
+	d := New(Options{})
+	d.mu.Lock()
+	d.core.Enqueue(0, taskRef{epr: "x", t: task.Task{ID: 1}})
+	d.mu.Unlock()
+
+	done := make(chan bool, 1)
+	go func() { done <- d.Drain(10 * time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let Drain block on the condition
+
+	start := time.Now()
+	d.mu.Lock()
+	d.core.DropQueued(func(taskRef) bool { return true })
+	d.wakeDrainLocked()
+	d.mu.Unlock()
+
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("drain reported timeout")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("drain never woke after the system emptied")
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("drain woke after %v, want immediate broadcast wake", el)
+	}
+}
+
+func TestDrainTimesOutWhileWorkRemains(t *testing.T) {
+	d := New(Options{})
+	d.mu.Lock()
+	d.core.Enqueue(0, taskRef{epr: "x", t: task.Task{ID: 1}})
+	d.mu.Unlock()
+	start := time.Now()
+	if d.Drain(50 * time.Millisecond) {
+		t.Fatal("drain succeeded with work queued")
+	}
+	if el := time.Since(start); el < 40*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("timed-out drain returned after %v", el)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"falkon/internal/fproto"
 	"falkon/internal/obs"
+	"falkon/internal/sched"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -65,8 +66,9 @@ func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) 
 	}
 	inst.destroyed = true
 	delete(d.instances, req.EPR)
-	d.queue.dropInstance(req.EPR)
+	d.core.DropQueued(func(tr taskRef) bool { return tr.epr == req.EPR })
 	// Outstanding tasks' results will be dropped on delivery.
+	d.wakeDrainLocked()
 	return struct{}{}, nil
 }
 
@@ -75,24 +77,27 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	if err != nil {
 		return nil, err
 	}
+	var f fx
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	inst, ok := d.instances[req.EPR]
 	if !ok || inst.destroyed {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
 	}
 	if d.draining {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: draining, not accepting submissions")
 	}
 	now := d.now()
 	for _, t := range req.Tasks {
-		d.queue.push(pending{epr: req.EPR, t: t, queuedAt: now})
-		d.tracer.Record(now, obs.EvEnqueued, t.ID, req.EPR, "")
+		d.core.Enqueue(now, taskRef{epr: req.EPR, t: t})
+		f.trace(now, obs.EvEnqueued, t.ID, req.EPR, "")
 	}
 	inst.submitted += int64(len(req.Tasks))
 	inst.inFlight += len(req.Tasks)
-	d.submitted += int64(len(req.Tasks))
-	d.kickLocked()
+	d.notifyLocked(&f, now)
+	d.mu.Unlock()
+	d.flush(&f)
 	return fproto.SubmitReply{Accepted: len(req.Tasks)}, nil
 }
 
@@ -134,24 +139,17 @@ func (d *Dispatcher) handleRegister(p *wsrpc.Peer, body json.RawMessage) (any, e
 	if req.ExecutorID == "" {
 		return nil, fmt.Errorf("dispatch: empty executor id")
 	}
-	slots := req.Slots
-	if slots <= 0 {
-		slots = 1
-	}
 	p.SetMeta(req.ExecutorID)
+	var f fx
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if old, ok := d.execs[req.ExecutorID]; ok {
-		// A re-register replaces the old connection (e.g. executor restart).
-		d.removeIdleLocked(old.id)
-	}
-	ex := &execState{id: req.ExecutorID, peer: p, slots: slots, allocation: req.Allocation}
-	if d.opts.Policy == PolicyDataAware {
-		ex.cache = newCacheSet(d.opts.CacheCapacity)
-	}
-	d.execs[req.ExecutorID] = ex
-	d.offerLocked(ex)
-	d.kickLocked()
+	// A re-register replaces the old connection (e.g. executor restart);
+	// the core keeps outstanding entries so late results still resolve.
+	ex := d.core.AddExec(req.ExecutorID, req.Slots)
+	ex.Ref = &execRef{peer: p, allocation: req.Allocation}
+	d.core.Offer(ex)
+	d.notifyLocked(&f, d.now())
+	d.mu.Unlock()
+	d.flush(&f)
 	return fproto.RegisterReply{OK: true, DispatcherEpoch: d.epoch.UnixNano()}, nil
 }
 
@@ -160,20 +158,16 @@ func (d *Dispatcher) handleDeregister(_ *wsrpc.Peer, body json.RawMessage) (any,
 	if err != nil {
 		return nil, err
 	}
+	var f fx
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.execs[req.ExecutorID]; !ok {
-		return struct{}{}, nil // already gone
+	_, dropped := d.core.DropExecutor(req.ExecutorID)
+	for _, o := range dropped {
+		d.replayLocked(&f, o, "executor deregistered")
 	}
-	delete(d.execs, req.ExecutorID)
-	d.removeIdleLocked(req.ExecutorID)
-	for k, o := range d.out {
-		if o.executor == req.ExecutorID {
-			delete(d.out, k)
-			d.replayLocked(o, "executor deregistered")
-		}
-	}
-	d.kickLocked()
+	d.notifyLocked(&f, d.now())
+	d.wakeDrainLocked()
+	d.mu.Unlock()
+	d.flush(&f)
 	return struct{}{}, nil
 }
 
@@ -182,18 +176,22 @@ func (d *Dispatcher) handleGetWork(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	if err != nil {
 		return nil, err
 	}
+	var f fx
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	ex, ok := d.execs[req.ExecutorID]
+	ex, ok := d.core.Exec(req.ExecutorID)
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
 	}
-	ex.notified = false
-	as := d.assignLocked(ex, req.Max, false)
-	d.offerLocked(ex)
+	ex.Notified = false
+	as := d.assignLocked(&f, ex, req.Max, false)
+	d.core.Offer(ex)
 	if len(as) > 0 {
-		d.kickLocked() // other executors may still be needed for the rest
+		// Other executors may still be needed for the rest of the queue.
+		d.notifyLocked(&f, d.now())
 	}
+	d.mu.Unlock()
+	d.flush(&f)
 	return fproto.GetWorkReply{Assignments: as}, nil
 }
 
@@ -202,61 +200,59 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	if err != nil {
 		return nil, err
 	}
+	var f fx
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	ex, ok := d.execs[req.ExecutorID]
+	ex, ok := d.core.Exec(req.ExecutorID)
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
 	}
 	now := d.now()
 	for _, tr := range req.Results {
-		key := outKey{tr.EPR, tr.Result.ID}
-		o, ok := d.out[key]
-		if !ok || o.executor != req.ExecutorID {
-			d.duplicates++ // late result after replay, or bogus delivery
-			continue
-		}
-		delete(d.out, key)
-		if ex.assigned > 0 {
-			ex.assigned--
+		o, ok := d.core.Complete(req.ExecutorID, outKey{tr.EPR, tr.Result.ID})
+		if !ok {
+			continue // duplicate delivery, counted by the core
 		}
 		r := tr.Result
 		// Rebase executor-local timing onto the dispatcher epoch: the run
-		// duration is trusted, absolute stamps are not (clock skew).
-		r.QueuedAt = o.p.queuedAt
-		r.DispatchedAt = o.dispatchedAt
-		r.FinishedAt = now
-		r.StartedAt = now - tr.RunDur
-		if r.StartedAt < r.DispatchedAt {
-			r.StartedAt = r.DispatchedAt
-		}
-		r.Attempts = o.p.attempts
+		// duration is trusted, absolute stamps are not (clock skew). The
+		// core clamped NotifiedAt at assignment; Stamps.Clamp enforces the
+		// rest of the Figure-10 ordering, so the four stages partition
+		// end-to-end latency exactly.
+		s := sched.Stamps{
+			Queued:     o.Item.QueuedAt,
+			Notified:   o.NotifiedAt,
+			Dispatched: o.DispatchedAt,
+			Started:    now - tr.RunDur,
+			Finished:   now,
+		}.Clamp()
+		r.QueuedAt = s.Queued
+		r.DispatchedAt = s.Dispatched
+		r.StartedAt = s.Started
+		r.FinishedAt = s.Finished
+		r.Attempts = o.Item.Attempts
 		r.ExecutorID = req.ExecutorID
-		d.noteCompletionLocked(ex, taskDataset(o.p.t))
+		d.core.NoteCompletion(ex, taskDataset(o.Item.X.t))
 		if r.Failed() && !d.opts.NoRetryOnFailure {
-			d.replayLocked(o, "task failed: "+failReason(r))
+			d.replayLocked(&f, o, "task failed: "+failReason(r))
 			continue
 		}
-		// Stage breakdown (Figure 10): the clamps here and in assignLocked
-		// guarantee queuedAt <= notifiedAt <= dispatchedAt <= startedAt <=
-		// now, so the four stages partition end-to-end latency exactly.
-		d.tracer.Record(r.StartedAt, obs.EvStarted, r.ID, tr.EPR, req.ExecutorID)
-		d.tracer.Record(r.FinishedAt, obs.EvFinished, r.ID, tr.EPR, req.ExecutorID)
-		d.tracer.Record(now, obs.EvDelivered, r.ID, tr.EPR, req.ExecutorID)
-		d.hStage[0].Observe((o.notifiedAt - o.p.queuedAt).Seconds())
-		d.hStage[1].Observe((r.DispatchedAt - o.notifiedAt).Seconds())
-		d.hStage[2].Observe((r.StartedAt - r.DispatchedAt).Seconds())
-		d.hStage[3].Observe((now - r.StartedAt).Seconds())
-		d.hE2E.Observe((now - o.p.queuedAt).Seconds())
-		d.finalizeLocked(tr.EPR, r)
+		f.trace(s.Started, obs.EvStarted, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(s.Finished, obs.EvFinished, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(now, obs.EvDelivered, r.ID, tr.EPR, req.ExecutorID)
+		f.stamps = append(f.stamps, s)
+		d.finalizeLocked(&f, tr.EPR, r)
 	}
-	ex.notified = false
+	ex.Notified = false
 	var as []fproto.Assignment
 	if req.WantWork {
-		as = d.assignLocked(ex, req.MaxNew, true)
+		as = d.assignLocked(&f, ex, req.MaxNew, true)
 	}
-	d.offerLocked(ex)
-	d.kickLocked()
+	d.core.Offer(ex)
+	d.notifyLocked(&f, now)
+	d.wakeDrainLocked()
+	d.mu.Unlock()
+	d.flush(&f)
 	return fproto.DeliverReply{Assignments: as}, nil
 }
 

@@ -1,0 +1,46 @@
+package dispatch
+
+import (
+	"testing"
+
+	"falkon/internal/task"
+)
+
+func TestInstanceResultBuffer(t *testing.T) {
+	in := &instance{epr: "x"}
+	for i := 1; i <= 5; i++ {
+		in.addResult(task.Result{ID: task.ID(i)})
+	}
+	got := in.takeResults(2)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("take(2) = %v", got)
+	}
+	got = in.takeResults(0) // 0 = all
+	if len(got) != 3 || got[0].ID != 3 {
+		t.Fatalf("take(all) = %v", got)
+	}
+	if got := in.takeResults(0); got != nil {
+		t.Fatalf("empty take = %v", got)
+	}
+}
+
+func TestInstanceWaitersWoken(t *testing.T) {
+	in := &instance{epr: "x"}
+	w := make(chan struct{}, 1)
+	in.waiters = append(in.waiters, w)
+	in.addResult(task.Result{ID: 1})
+	select {
+	case <-w:
+	default:
+		t.Fatal("waiter not woken")
+	}
+	if len(in.waiters) != 0 {
+		t.Fatal("waiters not cleared")
+	}
+}
+
+func TestDispatchPolicyString(t *testing.T) {
+	if PolicyNextAvailable.String() != "next-available" || PolicyDataAware.String() != "data-aware" {
+		t.Fatal("policy names")
+	}
+}

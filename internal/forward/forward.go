@@ -276,6 +276,8 @@ func (f *Forwarder) handleStats(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
 		agg.Completed += st.Completed
 		agg.Failed += st.Failed
 		agg.Retried += st.Retried
+		agg.Dispatched += st.Dispatched
+		agg.Duplicates += st.Duplicates
 		agg.Instances += st.Instances
 		agg.CacheHits += st.CacheHits
 		agg.CacheMisses += st.CacheMisses

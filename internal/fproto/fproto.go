@@ -189,6 +189,11 @@ type StatsReply struct {
 	Failed         int64 `json:"failed"`
 	Retried        int64 `json:"retried"`
 	Instances      int   `json:"instances"`
+	// Dispatched counts assignments (attempts, not tasks); Duplicates
+	// counts deliveries dropped as stale (late result after replay, or a
+	// bogus executor).
+	Dispatched int64 `json:"dispatched"`
+	Duplicates int64 `json:"duplicates,omitempty"`
 	// CacheHits and CacheMisses count data-aware dispatch outcomes for
 	// dataset-tagged tasks.
 	CacheHits   int64 `json:"cache_hits,omitempty"`

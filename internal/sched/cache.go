@@ -1,0 +1,48 @@
+package sched
+
+// DatasetCache is a per-executor LRU set of the dataset names resident on
+// the executor's node — the bookkeeping behind data-aware dispatch (the
+// paper's §6 "data management" future work). The dispatcher and the
+// simulator share this one implementation.
+type DatasetCache struct {
+	cap   int
+	items map[string]int64 // dataset -> last-touch tick
+	tick  int64
+}
+
+// NewDatasetCache returns a cache evicting beyond capacity entries.
+func NewDatasetCache(capacity int) *DatasetCache {
+	return &DatasetCache{cap: capacity, items: make(map[string]int64)}
+}
+
+// Touch records that the executor now holds ds, evicting the least
+// recently used entry when full.
+func (c *DatasetCache) Touch(ds string) {
+	if ds == "" || c.cap <= 0 {
+		return
+	}
+	c.tick++
+	if _, ok := c.items[ds]; !ok && len(c.items) >= c.cap {
+		var oldest string
+		var oldestTick int64 = 1<<63 - 1
+		for k, t := range c.items {
+			if t < oldestTick {
+				oldest, oldestTick = k, t
+			}
+		}
+		delete(c.items, oldest)
+	}
+	c.items[ds] = c.tick
+}
+
+// Has reports whether ds is cached.
+func (c *DatasetCache) Has(ds string) bool {
+	if ds == "" {
+		return false
+	}
+	_, ok := c.items[ds]
+	return ok
+}
+
+// Len returns the number of cached datasets.
+func (c *DatasetCache) Len() int { return len(c.items) }

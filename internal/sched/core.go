@@ -1,0 +1,440 @@
+package sched
+
+import "time"
+
+// Policy selects how queued tasks map to executors.
+type Policy uint8
+
+const (
+	// PolicyNextAvailable is the paper's evaluated policy: strict FIFO to
+	// the next free executor.
+	PolicyNextAvailable Policy = iota
+	// PolicyDataAware scans a bounded window at the queue head for a task
+	// whose dataset is cached on the picking executor.
+	PolicyDataAware
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNextAvailable:
+		return "next-available"
+	case PolicyDataAware:
+		return "data-aware"
+	default:
+		return "policy(?)"
+	}
+}
+
+// DefaultWindow bounds how deep into the FIFO the data-aware policy may
+// look; beyond this, age wins over locality (prevents starvation).
+const DefaultWindow = 64
+
+// Item is one queued (or re-queued) task: the caller's payload plus the
+// bookkeeping the core owns. QueuedAt is the first enqueue time and
+// survives retries; Attempts counts dispatches so far.
+type Item[T any] struct {
+	X        T
+	QueuedAt time.Duration
+	Attempts int
+}
+
+// Exec is the core's per-executor scheduling record. Ref is an opaque
+// caller attachment (the live runtime hangs its connection state there,
+// the simulator its timer state) carried back on effects.
+type Exec[E comparable] struct {
+	ID       E
+	Slots    int
+	Assigned int
+	// Notified marks an un-acknowledged work-available push; an executor
+	// gets at most one (it clears when the executor next pulls or
+	// delivers).
+	Notified bool
+	// LastNotifyAt is when the last work-available push was sent — the
+	// anchor of the Figure-10 enqueue→notify stage.
+	LastNotifyAt time.Duration
+	// Cache is the executor's dataset cache (nil unless data-aware).
+	Cache *DatasetCache
+	Ref   any
+
+	idlePos int // index in the idle stack, -1 when absent
+}
+
+// Free returns the executor's unassigned slots.
+func (x *Exec[E]) Free() int { return x.Slots - x.Assigned }
+
+// Idle reports membership in the idle (has-free-capacity) stack.
+func (x *Exec[E]) Idle() bool { return x.idlePos >= 0 }
+
+// Outstanding records one dispatched task awaiting its result.
+type Outstanding[E comparable, K comparable, T any] struct {
+	Key      K
+	Item     Item[T]
+	Executor E
+	// DispatchedAt is assignment time; NotifiedAt is the notification the
+	// assignment answered, clamped into [Item.QueuedAt, DispatchedAt] so
+	// the Figure-10 stages partition exactly (see Stamps).
+	DispatchedAt time.Duration
+	NotifiedAt   time.Duration
+}
+
+// Notification is one work-available push the caller owes an executor.
+type Notification[E comparable] struct {
+	Exec *Exec[E]
+	// Queued is the queue-depth hint carried in the push.
+	Queued int
+}
+
+// Counters aggregates the scheduling lifecycle counts both runtimes
+// report. The core increments the counters tied to its own transitions
+// (Submitted, Dispatched, Retried, Duplicates, CacheHits, CacheMisses);
+// callers increment Completed/Failed when they finalize results, since
+// finalization is a runtime-side effect.
+type Counters struct {
+	Submitted   int64
+	Completed   int64
+	Failed      int64
+	Retried     int64
+	Dispatched  int64
+	Duplicates  int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Options configures a Core.
+type Options[T any] struct {
+	// Policy selects the pick policy (default next-available).
+	Policy Policy
+	// Window bounds the data-aware scan depth (default DefaultWindow).
+	Window int
+	// CacheCapacity sizes per-executor dataset caches (default 16).
+	CacheCapacity int
+	// MaxRetries bounds per-task re-dispatches (default 3); a task may be
+	// requeued MaxRetries times, so it runs at most MaxRetries+1 times.
+	MaxRetries int
+	// Dataset extracts the dataset a task reads ("" when untagged); nil
+	// disables data-aware matching.
+	Dataset func(T) string
+	// TaskRetries extracts a per-task retry bound overriding MaxRetries
+	// (0 = no override); nil disables overrides.
+	TaskRetries func(T) int
+}
+
+// Core is the scheduling state machine: pending queue, executor table
+// with idle tracking, outstanding table, replay bookkeeping, and pick
+// policies. It is not safe for concurrent use — the live dispatcher
+// serializes access under its mutex, the simulator is single-threaded.
+//
+// Type parameters: E identifies executors, K identifies outstanding
+// (dispatched, unacknowledged) tasks, T is the caller's task payload.
+type Core[E comparable, K comparable, T any] struct {
+	opts  Options[T]
+	queue Ring[Item[T]]
+	execs map[E]*Exec[E]
+	idle  []*Exec[E] // LIFO stack; nil slots are tombstones
+	dead  int        // tombstone count in idle
+	out   map[K]*Outstanding[E, K, T]
+
+	// Counters is exported state: the caller owns Completed/Failed (see
+	// Counters doc) and snapshots the rest.
+	Counters Counters
+}
+
+// NewCore constructs a core with opts defaults resolved.
+func NewCore[E comparable, K comparable, T any](opts Options[T]) *Core[E, K, T] {
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.CacheCapacity <= 0 {
+		opts.CacheCapacity = 16
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
+	return &Core[E, K, T]{
+		opts:  opts,
+		execs: make(map[E]*Exec[E]),
+		out:   make(map[K]*Outstanding[E, K, T]),
+	}
+}
+
+// SetPolicy switches the pick policy and cache sizing (capacity <= 0
+// keeps the current value). Executors added afterwards get caches per the
+// new policy; existing executors keep theirs.
+func (c *Core[E, K, T]) SetPolicy(p Policy, cacheCapacity int) {
+	c.opts.Policy = p
+	if cacheCapacity > 0 {
+		c.opts.CacheCapacity = cacheCapacity
+	}
+}
+
+// SetMaxRetries updates the default retry bound (n <= 0 keeps current).
+func (c *Core[E, K, T]) SetMaxRetries(n int) {
+	if n > 0 {
+		c.opts.MaxRetries = n
+	}
+}
+
+// Policy returns the active pick policy.
+func (c *Core[E, K, T]) Policy() Policy { return c.opts.Policy }
+
+// QueueLen returns queued (not yet dispatched) tasks.
+func (c *Core[E, K, T]) QueueLen() int { return c.queue.Len() }
+
+// OutstandingLen returns dispatched, unacknowledged tasks.
+func (c *Core[E, K, T]) OutstandingLen() int { return len(c.out) }
+
+// Empty reports that nothing is queued or outstanding (drain condition).
+func (c *Core[E, K, T]) Empty() bool { return c.queue.Len() == 0 && len(c.out) == 0 }
+
+// Enqueue admits a new task at now. Requeues go through Requeue instead so
+// Submitted counts tasks, not attempts.
+func (c *Core[E, K, T]) Enqueue(now time.Duration, x T) {
+	c.queue.Push(Item[T]{X: x, QueuedAt: now})
+	c.Counters.Submitted++
+}
+
+// DropQueued removes every queued task matching the predicate.
+func (c *Core[E, K, T]) DropQueued(match func(T) bool) int {
+	return c.queue.DropWhere(func(it Item[T]) bool { return match(it.X) })
+}
+
+// AddExec registers (or re-registers, replacing scheduling state but
+// keeping outstanding entries) an executor with the given slot capacity.
+func (c *Core[E, K, T]) AddExec(id E, slots int) *Exec[E] {
+	if slots <= 0 {
+		slots = 1
+	}
+	if old, ok := c.execs[id]; ok {
+		c.RemoveIdle(old)
+	}
+	x := &Exec[E]{ID: id, Slots: slots, idlePos: -1}
+	if c.opts.Policy == PolicyDataAware {
+		x.Cache = NewDatasetCache(c.opts.CacheCapacity)
+	}
+	c.execs[id] = x
+	return x
+}
+
+// Exec looks an executor up by id.
+func (c *Core[E, K, T]) Exec(id E) (*Exec[E], bool) {
+	x, ok := c.execs[id]
+	return x, ok
+}
+
+// ExecStats returns registered and busy (assigned > 0) executor counts.
+func (c *Core[E, K, T]) ExecStats() (total, busy int) {
+	for _, x := range c.execs {
+		total++
+		if x.Assigned > 0 {
+			busy++
+		}
+	}
+	return total, busy
+}
+
+// DropExecutor removes an executor (disconnect, deregister, release) and
+// returns its outstanding tasks for the caller to replay or finalize.
+func (c *Core[E, K, T]) DropExecutor(id E) (x *Exec[E], dropped []*Outstanding[E, K, T]) {
+	x, ok := c.execs[id]
+	if !ok {
+		return nil, nil
+	}
+	delete(c.execs, id)
+	c.RemoveIdle(x)
+	for k, o := range c.out {
+		if o.Executor == id {
+			delete(c.out, k)
+			dropped = append(dropped, o)
+		}
+	}
+	return x, dropped
+}
+
+// Offer records that x has free capacity and no pending notification,
+// pushing it on the idle stack. It reports whether x became idle.
+func (c *Core[E, K, T]) Offer(x *Exec[E]) bool {
+	if x.idlePos >= 0 || x.Notified || x.Assigned >= x.Slots {
+		return false
+	}
+	x.idlePos = len(c.idle)
+	c.idle = append(c.idle, x)
+	return true
+}
+
+// PopIdle pops the most recently idled executor (LIFO, matching the
+// paper's stack behaviour) or reports ok=false when none remain.
+func (c *Core[E, K, T]) PopIdle() (*Exec[E], bool) {
+	for n := len(c.idle); n > 0; n = len(c.idle) {
+		x := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		if x == nil {
+			c.dead--
+			continue
+		}
+		x.idlePos = -1
+		return x, true
+	}
+	return nil, false
+}
+
+// RemoveIdle drops x from the idle stack in O(1) by tombstoning its
+// tracked position (the old implementations scanned the whole stack).
+// Remaining executors keep their relative order, so pop order — and with
+// it simulator determinism — is unchanged.
+func (c *Core[E, K, T]) RemoveIdle(x *Exec[E]) {
+	if x.idlePos < 0 {
+		return
+	}
+	c.idle[x.idlePos] = nil
+	x.idlePos = -1
+	c.dead++
+	// Compact when tombstones dominate, keeping the stack at 2x live.
+	if c.dead > 64 && c.dead*2 >= len(c.idle) {
+		kept := c.idle[:0]
+		for _, v := range c.idle {
+			if v != nil {
+				v.idlePos = len(kept)
+				kept = append(kept, v)
+			}
+		}
+		clearTail(c.idle, len(kept))
+		c.idle = kept
+		c.dead = 0
+	}
+}
+
+// Pick selects the next task for x under the configured policy, removing
+// it from the queue and reporting whether it is a dataset cache hit. FIFO
+// order is preserved except that the data-aware policy may pull a
+// matching task forward from within the window.
+func (c *Core[E, K, T]) Pick(x *Exec[E]) (it Item[T], hit, ok bool) {
+	if c.opts.Policy != PolicyDataAware || x.Cache == nil || c.opts.Dataset == nil {
+		it, ok = c.queue.Pop()
+		return it, false, ok
+	}
+	live := c.queue.Window(c.opts.Window)
+	for i := range live {
+		if ds := c.opts.Dataset(live[i].X); ds != "" && x.Cache.Has(ds) {
+			it = live[i]
+			c.queue.RemoveAt(i)
+			c.Counters.CacheHits++
+			return it, true, true
+		}
+	}
+	it, ok = c.queue.Pop()
+	if ok && c.opts.Dataset(it.X) != "" {
+		c.Counters.CacheMisses++
+	}
+	return it, false, ok
+}
+
+// NoteCompletion records dataset residency after x ran a task reading
+// dataset (no-op unless data-aware).
+func (c *Core[E, K, T]) NoteCompletion(x *Exec[E], dataset string) {
+	if c.opts.Policy == PolicyDataAware && x.Cache != nil {
+		x.Cache.Touch(dataset)
+	}
+}
+
+// Assign marks it dispatched to x at now under key, incrementing the
+// attempt count and recording the outstanding entry. NotifiedAt is
+// clamped so that the enqueue→notify stage ends at the last push sent to
+// this executor, or absorbs the whole wait when no push followed the
+// enqueue (piggy-backed and re-pulled assignments).
+func (c *Core[E, K, T]) Assign(now time.Duration, x *Exec[E], key K, it Item[T]) *Outstanding[E, K, T] {
+	it.Attempts++
+	notifiedAt := x.LastNotifyAt
+	if notifiedAt < it.QueuedAt || notifiedAt > now {
+		notifiedAt = now
+	}
+	o := &Outstanding[E, K, T]{Key: key, Item: it, Executor: x.ID, DispatchedAt: now, NotifiedAt: notifiedAt}
+	c.out[key] = o
+	x.Assigned++
+	c.Counters.Dispatched++
+	return o
+}
+
+// Complete acknowledges key's result from executor id, removing the
+// outstanding entry and freeing the slot. ok=false marks a duplicate
+// (late result after replay, or bogus delivery), which is counted.
+func (c *Core[E, K, T]) Complete(id E, key K) (*Outstanding[E, K, T], bool) {
+	o, ok := c.out[key]
+	if !ok || o.Executor != id {
+		c.Counters.Duplicates++
+		return nil, false
+	}
+	delete(c.out, key)
+	if x, ok := c.execs[o.Executor]; ok && x.Assigned > 0 {
+		x.Assigned--
+	}
+	return o, true
+}
+
+// Expire removes every outstanding task dispatched before cutoff (the
+// timeout half of the replay policy), freeing the executors' slots and
+// re-offering them. The caller replays or finalizes the returned entries.
+func (c *Core[E, K, T]) Expire(cutoff time.Duration) []*Outstanding[E, K, T] {
+	var expired []*Outstanding[E, K, T]
+	for k, o := range c.out {
+		if o.DispatchedAt < cutoff {
+			delete(c.out, k)
+			expired = append(expired, o)
+		}
+	}
+	for _, o := range expired {
+		if x, ok := c.execs[o.Executor]; ok && x.Assigned > 0 {
+			x.Assigned--
+			c.Offer(x)
+		}
+	}
+	return expired
+}
+
+// RetryLimit returns the retry bound applying to it (the per-task
+// override when present, the default otherwise).
+func (c *Core[E, K, T]) RetryLimit(it Item[T]) int {
+	if c.opts.TaskRetries != nil {
+		if tr := c.opts.TaskRetries(it.X); tr > 0 {
+			return tr
+		}
+	}
+	return c.opts.MaxRetries
+}
+
+// Requeue applies the §3.1 replay policy to a failed, timed-out, or
+// orphaned attempt: when retries remain the item returns to the queue
+// (keeping its original QueuedAt) and Requeue reports true; when
+// exhausted it reports false and the caller finalizes the failure.
+func (c *Core[E, K, T]) Requeue(it Item[T]) bool {
+	if it.Attempts > c.RetryLimit(it) {
+		return false
+	}
+	c.Counters.Retried++
+	c.queue.Push(it)
+	return true
+}
+
+// Notifications runs the notify half of the hybrid push/pull protocol:
+// it pops idle executors until the queue is covered, marking each
+// notified and stamping LastNotifyAt = now, and returns the pushes the
+// caller owes. Each executor gets at most one outstanding notification.
+func (c *Core[E, K, T]) Notifications(now time.Duration) []Notification[E] {
+	queued := c.queue.Len()
+	var ns []Notification[E]
+	for queued > 0 {
+		x, ok := c.PopIdle()
+		if !ok {
+			break
+		}
+		free := x.Free()
+		if free <= 0 || x.Notified {
+			continue
+		}
+		x.Notified = true
+		x.LastNotifyAt = now
+		ns = append(ns, Notification[E]{Exec: x, Queued: queued})
+		queued -= free
+	}
+	return ns
+}

@@ -1,0 +1,408 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// payload is the test task type; ds is its dataset tag.
+type payload struct {
+	id int
+	ds string
+}
+
+func newTestCore(opts Options[payload]) *Core[string, int, payload] {
+	if opts.Dataset == nil {
+		opts.Dataset = func(p payload) string { return p.ds }
+	}
+	return NewCore[string, int, payload](opts)
+}
+
+func TestDatasetCacheLRU(t *testing.T) {
+	c := NewDatasetCache(2)
+	c.Touch("a")
+	c.Touch("b")
+	if !c.Has("a") || !c.Has("b") {
+		t.Fatal("entries missing")
+	}
+	c.Touch("a") // refresh a; b becomes LRU
+	c.Touch("c") // evicts b
+	if !c.Has("a") || !c.Has("c") || c.Has("b") {
+		t.Fatalf("LRU eviction wrong: a=%v b=%v c=%v", c.Has("a"), c.Has("b"), c.Has("c"))
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want capacity 2", c.Len())
+	}
+}
+
+func TestDatasetCacheIgnoresEmptyAndZeroCap(t *testing.T) {
+	c := NewDatasetCache(2)
+	c.Touch("")
+	if c.Has("") {
+		t.Fatal("empty dataset cached")
+	}
+	z := NewDatasetCache(0)
+	z.Touch("x")
+	if z.Has("x") {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestDatasetCacheEvictionSweep(t *testing.T) {
+	c := NewDatasetCache(4)
+	for i := 0; i < 10; i++ {
+		c.Touch(fmt.Sprintf("d%d", i))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache size = %d, want capacity 4", c.Len())
+	}
+	if !c.Has("d9") || c.Has("d0") {
+		t.Fatal("LRU eviction wrong")
+	}
+	c.Touch("d6") // refresh
+	c.Touch("dZ") // evicts d7 (oldest untouched)
+	if !c.Has("d6") || c.Has("d7") {
+		t.Fatal("refreshed entry evicted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyNextAvailable.String() != "next-available" || PolicyDataAware.String() != "data-aware" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestIdleStackLIFOWithRemovals(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	a := c.AddExec("a", 1)
+	b := c.AddExec("b", 1)
+	d := c.AddExec("d", 1)
+	c.Offer(a)
+	c.Offer(b)
+	c.Offer(d)
+	if !a.Idle() || !b.Idle() || !d.Idle() {
+		t.Fatal("offers not recorded")
+	}
+	c.RemoveIdle(b) // O(1) tombstone in the middle
+	if b.Idle() {
+		t.Fatal("b still idle after removal")
+	}
+	// Pop order must skip the tombstone and preserve LIFO.
+	x, ok := c.PopIdle()
+	if !ok || x != d {
+		t.Fatalf("pop 1 = %v", x)
+	}
+	x, ok = c.PopIdle()
+	if !ok || x != a {
+		t.Fatalf("pop 2 = %v", x)
+	}
+	if _, ok := c.PopIdle(); ok {
+		t.Fatal("pop from empty idle stack")
+	}
+	// Double offer is a no-op.
+	c.Offer(a)
+	if !c.Offer(b) {
+		t.Fatal("re-offer of removed exec failed")
+	}
+	if c.Offer(a) {
+		t.Fatal("duplicate offer accepted")
+	}
+}
+
+func TestIdleStackCompaction(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	execs := make([]*Exec[string], 400)
+	for i := range execs {
+		execs[i] = c.AddExec(fmt.Sprint(i), 1)
+	}
+	// Repeated offer + mid-stack removal accumulates tombstones; the
+	// stack must stay bounded at ~2x live.
+	for round := 0; round < 50; round++ {
+		for _, x := range execs {
+			c.Offer(x)
+		}
+		for i, x := range execs {
+			if i%2 == 0 {
+				c.RemoveIdle(x)
+			}
+		}
+		if len(c.idle) > 2*len(execs)+1 {
+			t.Fatalf("idle stack grew to %d for %d executors", len(c.idle), len(execs))
+		}
+		for {
+			if _, ok := c.PopIdle(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func TestPickNextAvailableFIFO(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 1)
+	for i := 1; i <= 3; i++ {
+		c.Enqueue(0, payload{id: i})
+	}
+	for i := 1; i <= 3; i++ {
+		it, hit, ok := c.Pick(x)
+		if !ok || hit || it.X.id != i {
+			t.Fatalf("pick %d = %+v hit=%v ok=%v", i, it, hit, ok)
+		}
+	}
+	if c.Counters.Submitted != 3 {
+		t.Fatalf("submitted = %d", c.Counters.Submitted)
+	}
+}
+
+func TestPickDataAwarePullsForwardWithinWindow(t *testing.T) {
+	c := newTestCore(Options[payload]{Policy: PolicyDataAware, Window: 8})
+	x := c.AddExec("x", 1)
+	if x.Cache == nil {
+		t.Fatal("data-aware executor missing cache")
+	}
+	c.NoteCompletion(x, "hot")
+	c.Enqueue(0, payload{id: 1, ds: "cold"})
+	c.Enqueue(0, payload{id: 2, ds: "hot"})
+	c.Enqueue(0, payload{id: 3, ds: "cold"})
+	it, hit, ok := c.Pick(x)
+	if !ok || !hit || it.X.id != 2 {
+		t.Fatalf("pick = %+v hit=%v", it, hit)
+	}
+	// Next pick falls back to FIFO head and counts a miss.
+	it, hit, ok = c.Pick(x)
+	if !ok || hit || it.X.id != 1 {
+		t.Fatalf("fallback pick = %+v hit=%v", it, hit)
+	}
+	if c.Counters.CacheHits != 1 || c.Counters.CacheMisses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Counters.CacheHits, c.Counters.CacheMisses)
+	}
+}
+
+func TestPickDataAwareWindowBoundsStarvation(t *testing.T) {
+	c := newTestCore(Options[payload]{Policy: PolicyDataAware, Window: 4})
+	x := c.AddExec("x", 1)
+	c.NoteCompletion(x, "hot")
+	for i := 1; i <= 6; i++ {
+		c.Enqueue(0, payload{id: i, ds: "cold"})
+	}
+	c.Enqueue(0, payload{id: 7, ds: "hot"}) // beyond the window
+	it, hit, ok := c.Pick(x)
+	if !ok || hit || it.X.id != 1 {
+		t.Fatalf("pick beyond window = %+v hit=%v", it, hit)
+	}
+}
+
+func TestAssignCompleteLifecycle(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 2)
+	c.Enqueue(5, payload{id: 1})
+	it, _, _ := c.Pick(x)
+	x.LastNotifyAt = 7
+	o := c.Assign(10, x, 1, it)
+	if o.Item.Attempts != 1 || o.NotifiedAt != 7 || o.DispatchedAt != 10 {
+		t.Fatalf("outstanding = %+v", o)
+	}
+	if x.Assigned != 1 || c.OutstandingLen() != 1 || c.Counters.Dispatched != 1 {
+		t.Fatal("assign bookkeeping wrong")
+	}
+	// Duplicate / wrong-executor deliveries are counted and rejected.
+	if _, ok := c.Complete("y", 1); ok {
+		t.Fatal("wrong-executor complete accepted")
+	}
+	got, ok := c.Complete("x", 1)
+	if !ok || got != o || x.Assigned != 0 {
+		t.Fatal("complete failed")
+	}
+	if _, ok := c.Complete("x", 1); ok {
+		t.Fatal("duplicate complete accepted")
+	}
+	if c.Counters.Duplicates != 2 {
+		t.Fatalf("duplicates = %d", c.Counters.Duplicates)
+	}
+}
+
+func TestAssignClampsNotifyStamp(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 1)
+	// No notification since enqueue: the stamp collapses onto dispatch.
+	c.Enqueue(20, payload{id: 1})
+	it, _, _ := c.Pick(x)
+	x.LastNotifyAt = 5 // stale push, before this task was queued
+	if o := c.Assign(30, x, 1, it); o.NotifiedAt != 30 {
+		t.Fatalf("stale notify not clamped: %v", o.NotifiedAt)
+	}
+}
+
+func TestRequeueReplayPolicy(t *testing.T) {
+	c := newTestCore(Options[payload]{MaxRetries: 2})
+	it := Item[payload]{X: payload{id: 1}, QueuedAt: 3}
+	for attempt := 1; attempt <= 2; attempt++ {
+		it.Attempts = attempt
+		if !c.Requeue(it) {
+			t.Fatalf("attempt %d not retried", attempt)
+		}
+		got, ok := c.queue.Pop()
+		if !ok || got.QueuedAt != 3 || got.Attempts != attempt {
+			t.Fatalf("requeued item = %+v", got)
+		}
+	}
+	it.Attempts = 3
+	if c.Requeue(it) {
+		t.Fatal("retries not exhausted after MaxRetries requeues")
+	}
+	if c.Counters.Retried != 2 {
+		t.Fatalf("retried = %d", c.Counters.Retried)
+	}
+}
+
+func TestRequeuePerTaskOverride(t *testing.T) {
+	c := newTestCore(Options[payload]{
+		MaxRetries:  1,
+		TaskRetries: func(p payload) int { return p.id }, // id doubles as bound
+	})
+	it := Item[payload]{X: payload{id: 5}, Attempts: 4}
+	if !c.Requeue(it) {
+		t.Fatal("per-task override ignored")
+	}
+	it.Attempts = 6
+	if c.Requeue(it) {
+		t.Fatal("per-task bound not enforced")
+	}
+}
+
+func TestNotificationsCoverQueue(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	a := c.AddExec("a", 1)
+	b := c.AddExec("b", 2)
+	c.Offer(a)
+	c.Offer(b)
+	c.Enqueue(0, payload{id: 1})
+	c.Enqueue(0, payload{id: 2})
+	ns := c.Notifications(9)
+	// b (top of stack, 2 slots) covers the 2-deep queue alone.
+	if len(ns) != 1 || ns[0].Exec != b || ns[0].Queued != 2 {
+		t.Fatalf("notifications = %+v", ns)
+	}
+	if !b.Notified || b.LastNotifyAt != 9 || b.Idle() {
+		t.Fatal("notified state wrong")
+	}
+	// a stays idle for the next kick; b is not re-notified.
+	c.Enqueue(0, payload{id: 3})
+	ns = c.Notifications(10)
+	if len(ns) != 1 || ns[0].Exec != a {
+		t.Fatalf("second kick = %+v", ns)
+	}
+	if ns2 := c.Notifications(11); len(ns2) != 0 {
+		t.Fatalf("third kick notified %+v with no idle executors", ns2)
+	}
+}
+
+func TestExpireReplaysOutstanding(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 1)
+	c.Enqueue(0, payload{id: 1})
+	it, _, _ := c.Pick(x)
+	c.Assign(10, x, 1, it)
+	if exp := c.Expire(5); len(exp) != 0 {
+		t.Fatalf("premature expiry: %+v", exp)
+	}
+	exp := c.Expire(20)
+	if len(exp) != 1 || exp[0].Item.X.id != 1 {
+		t.Fatalf("expire = %+v", exp)
+	}
+	if x.Assigned != 0 || !x.Idle() {
+		t.Fatal("expired executor not freed and re-offered")
+	}
+}
+
+func TestDropExecutorReturnsOutstanding(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 2)
+	for i := 1; i <= 2; i++ {
+		c.Enqueue(0, payload{id: i})
+		it, _, _ := c.Pick(x)
+		c.Assign(1, x, i, it)
+	}
+	_, dropped := c.DropExecutor("x")
+	if len(dropped) != 2 || c.OutstandingLen() != 0 {
+		t.Fatalf("dropped = %+v", dropped)
+	}
+	if _, ok := c.Exec("x"); ok {
+		t.Fatal("executor still registered")
+	}
+	total, busy := c.ExecStats()
+	if total != 0 || busy != 0 {
+		t.Fatalf("stats = %d/%d", total, busy)
+	}
+}
+
+func TestReRegisterKeepsOutstanding(t *testing.T) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 1)
+	c.Enqueue(0, payload{id: 1})
+	it, _, _ := c.Pick(x)
+	c.Assign(1, x, 1, it)
+	c.Offer(x) // no free slots: rejected
+	nx := c.AddExec("x", 1)
+	if nx == x {
+		t.Fatal("re-register returned old state")
+	}
+	// The old connection's outstanding task still completes under the id.
+	if _, ok := c.Complete("x", 1); !ok {
+		t.Fatal("outstanding lost across re-register")
+	}
+}
+
+func TestStampsClampAndPartition(t *testing.T) {
+	cases := []Stamps{
+		{Queued: 10, Notified: 12, Dispatched: 15, Started: 18, Finished: 30},
+		{Queued: 10, Notified: 2, Dispatched: 15, Started: 18, Finished: 30},  // stale notify
+		{Queued: 10, Notified: 22, Dispatched: 15, Started: 18, Finished: 30}, // notify after pull
+		{Queued: 10, Notified: 12, Dispatched: 15, Started: 9, Finished: 30},  // skewed executor clock
+		{Queued: 10, Notified: 0, Dispatched: 15, Started: 40, Finished: 30},  // run longer than delivery gap
+	}
+	for i, raw := range cases {
+		s := raw.Clamp()
+		if !(s.Queued <= s.Notified && s.Notified <= s.Dispatched && s.Started >= s.Dispatched && s.Finished >= s.Started) {
+			t.Fatalf("case %d: ordering violated: %+v", i, s)
+		}
+		var sum time.Duration
+		for _, st := range s.Stages() {
+			if st < 0 {
+				t.Fatalf("case %d: negative stage in %+v", i, s.Stages())
+			}
+			sum += st
+		}
+		if sum != s.E2E() {
+			t.Fatalf("case %d: stages sum %v != e2e %v", i, sum, s.E2E())
+		}
+	}
+}
+
+// BenchmarkDatasetCache measures the data-aware policy's LRU bookkeeping.
+func BenchmarkDatasetCache(b *testing.B) {
+	c := NewDatasetCache(16)
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("ds-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(names[i%64])
+		c.Has(names[(i*7)%64])
+	}
+}
+
+// BenchmarkCorePickAssignComplete measures the core's per-task hot path.
+func BenchmarkCorePickAssignComplete(b *testing.B) {
+	c := newTestCore(Options[payload]{})
+	x := c.AddExec("x", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Enqueue(time.Duration(i), payload{id: i})
+		it, _, _ := c.Pick(x)
+		c.Assign(time.Duration(i), x, i, it)
+		c.Complete("x", i)
+	}
+}

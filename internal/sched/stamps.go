@@ -1,0 +1,58 @@
+package sched
+
+import "time"
+
+// Stamps is one task attempt's lifecycle timeline on whichever clock the
+// runtime uses (the dispatcher epoch live, the virtual clock simulated).
+// The Figure-10 decomposition depends on the ordering
+//
+//	Queued ≤ Notified ≤ Dispatched ≤ Started ≤ Finished
+//
+// which raw measurements do not guarantee: a task may be pulled before
+// any notification or long after one, and executor-reported start times
+// are not trusted across clocks. Clamp enforces the ordering once, for
+// both runtimes, so the four stage latencies partition the end-to-end
+// latency exactly.
+type Stamps struct {
+	Queued     time.Duration // entered the dispatch queue
+	Notified   time.Duration // last work-available push to the executor
+	Dispatched time.Duration // assignment (pull answered / piggy-backed)
+	Started    time.Duration // command start on the executor
+	Finished   time.Duration // result accepted (delivery)
+}
+
+// Clamp returns s with the partition ordering enforced: Notified is
+// clamped into [Queued, Dispatched] (absorbing the whole wait into
+// enqueue→notify when no push preceded the assignment), Started to at
+// least Dispatched, and Finished to at least Started.
+func (s Stamps) Clamp() Stamps {
+	if s.Notified < s.Queued || s.Notified > s.Dispatched {
+		s.Notified = s.Dispatched
+	}
+	if s.Started < s.Dispatched {
+		s.Started = s.Dispatched
+	}
+	if s.Finished < s.Started {
+		s.Finished = s.Started
+	}
+	return s
+}
+
+// NStages is the number of lifecycle stages in the Figure-10 partition.
+const NStages = 4
+
+// Stages returns the four stage latencies in lifecycle order —
+// enqueue→notify, notify→pull, pull→start, start→deliver. On clamped
+// stamps they are non-negative and sum to E2E exactly.
+func (s Stamps) Stages() [NStages]time.Duration {
+	return [NStages]time.Duration{
+		s.Notified - s.Queued,
+		s.Dispatched - s.Notified,
+		s.Started - s.Dispatched,
+		s.Finished - s.Started,
+	}
+}
+
+// E2E returns the end-to-end (enqueue→deliver) latency the stages
+// partition.
+func (s Stamps) E2E() time.Duration { return s.Finished - s.Queued }

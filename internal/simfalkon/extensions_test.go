@@ -162,20 +162,29 @@ func TestDataAwareCacheHitsSkipStaging(t *testing.T) {
 }
 
 func TestDataAwareCacheEviction(t *testing.T) {
-	x := &Exec{}
+	// The model must wire each executor a capacity-bounded LRU dataset
+	// cache from the shared scheduling core.
+	e := sim.New(1)
+	m := New(e, NoSecurity())
+	m.DataAware = true
+	m.CacheCapacity = 4
+	x := m.AddExecutor(0, nil)
+	if x.sx.Cache == nil {
+		t.Fatal("data-aware executor has no dataset cache")
+	}
 	for i := 0; i < 10; i++ {
-		x.cacheTouch(fmt.Sprintf("d%d", i), 4)
+		x.sx.Cache.Touch(fmt.Sprintf("d%d", i))
 	}
-	if len(x.cache) != 4 {
-		t.Fatalf("cache size = %d, want capacity 4", len(x.cache))
+	if x.sx.Cache.Len() != 4 {
+		t.Fatalf("cache size = %d, want capacity 4", x.sx.Cache.Len())
 	}
-	if !x.cacheHas("d9") || x.cacheHas("d0") {
+	if !x.sx.Cache.Has("d9") || x.sx.Cache.Has("d0") {
 		t.Fatal("LRU eviction wrong")
 	}
 	// Touching an entry refreshes it.
-	x.cacheTouch("d6", 4)
-	x.cacheTouch("dZ", 4) // evicts d7 (oldest untouched)
-	if !x.cacheHas("d6") {
+	x.sx.Cache.Touch("d6")
+	x.sx.Cache.Touch("dZ") // evicts d7 (oldest untouched)
+	if !x.sx.Cache.Has("d6") {
 		t.Fatal("refreshed entry evicted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"falkon/internal/metrics"
+	"falkon/internal/sched"
 	"falkon/internal/sim"
 )
 
@@ -31,6 +32,7 @@ type Rec struct {
 	ID         int
 	Stage      int
 	Queued     time.Duration
+	Notified   time.Duration
 	Dispatched time.Duration
 	Started    time.Duration
 	Finished   time.Duration
@@ -48,61 +50,27 @@ func (r Rec) QueueTime() time.Duration { return r.Dispatched - r.Queued }
 // ExecTime returns dispatch-to-delivery time (Table 3's execution time).
 func (r Rec) ExecTime() time.Duration { return r.Finished - r.Dispatched }
 
-// mtask is one queued task inside the model.
+// Stamps returns the record's lifecycle timeline. Records are clamped at
+// completion, so the ordering Queued ≤ Notified ≤ Dispatched ≤ Started ≤
+// Finished already holds.
+func (r Rec) Stamps() sched.Stamps {
+	return sched.Stamps{Queued: r.Queued, Notified: r.Notified, Dispatched: r.Dispatched, Started: r.Started, Finished: r.Finished}
+}
+
+// Stages returns the Figure-10 four-stage latencies, which partition the
+// end-to-end latency exactly (same decomposition as the live dispatcher).
+func (r Rec) Stages() [sched.NStages]time.Duration { return r.Stamps().Stages() }
+
+// mtask is one queued task inside the model (the core's payload; enqueue
+// time and attempt counts live on the sched.Item wrapper).
 type mtask struct {
 	id         int
 	dur        time.Duration
 	stage      int
-	queuedAt   time.Duration
 	tag        any
 	dataset    string
 	stageIn    time.Duration
 	stageBytes int64
-	attempts   int
-}
-
-// ring is an amortized O(1) FIFO; the endurance run queues 1.5M tasks.
-type ring[T any] struct {
-	items []T
-	head  int
-}
-
-func (q *ring[T]) push(v T) { q.items = append(q.items, v) }
-
-func (q *ring[T]) pop() (T, bool) {
-	var zero T
-	if q.head >= len(q.items) {
-		return zero, false
-	}
-	v := q.items[q.head]
-	q.items[q.head] = zero
-	q.head++
-	if q.head > 1024 && q.head*2 >= len(q.items) {
-		n := copy(q.items, q.items[q.head:])
-		q.items = q.items[:n]
-		q.head = 0
-	}
-	return v, true
-}
-
-func (q *ring[T]) len() int { return len(q.items) - q.head }
-
-// window returns up to n items from the head without removing them.
-func (q *ring[T]) window(n int) []T {
-	live := q.items[q.head:]
-	if n < len(live) {
-		live = live[:n]
-	}
-	return live
-}
-
-// removeAt removes the item at offset i from the head, preserving order.
-func (q *ring[T]) removeAt(i int) {
-	var zero T
-	idx := q.head + i
-	copy(q.items[idx:], q.items[idx+1:])
-	q.items[len(q.items)-1] = zero
-	q.items = q.items[:len(q.items)-1]
 }
 
 // Exec is one modeled executor. It moves idle -> notified (earmarked for a
@@ -121,41 +89,9 @@ type Exec struct {
 	pollTimer    *sim.Timer
 	onRelease    func(*Exec)
 
-	// cache holds dataset names resident on this executor's node (data-
-	// aware scheduling); ticks implement LRU eviction.
-	cache     map[string]int64
-	cacheTick int64
-}
-
-// cacheTouch records dataset residency with LRU eviction at capacity.
-func (x *Exec) cacheTouch(ds string, capacity int) {
-	if ds == "" || capacity <= 0 {
-		return
-	}
-	if x.cache == nil {
-		x.cache = make(map[string]int64)
-	}
-	x.cacheTick++
-	if _, ok := x.cache[ds]; !ok && len(x.cache) >= capacity {
-		var oldest string
-		var oldestTick int64 = 1<<63 - 1
-		for k, t := range x.cache {
-			if t < oldestTick {
-				oldest, oldestTick = k, t
-			}
-		}
-		delete(x.cache, oldest)
-	}
-	x.cache[ds] = x.cacheTick
-}
-
-// cacheHas reports dataset residency.
-func (x *Exec) cacheHas(ds string) bool {
-	if ds == "" {
-		return false
-	}
-	_, ok := x.cache[ds]
-	return ok
+	// sx is the executor's scheduling record in the shared core (idle
+	// membership, dataset cache, slot accounting).
+	sx *sched.Exec[int]
 }
 
 // BusyFor returns the executor's accumulated payload time.
@@ -182,30 +118,29 @@ type dispJob struct {
 	fn   func()
 }
 
-// Model is the virtual-time Falkon system.
+// Model is the virtual-time Falkon system. The scheduling state machine —
+// queue, executor/idle tracking, outstanding table, pick policies, replay
+// policy — is the same internal/sched core the live dispatcher runs on;
+// the model drives it from the discrete-event clock and prices every
+// transition with the Profile's costs.
 type Model struct {
 	E *sim.Engine
 	P Profile
 
-	queue ring[mtask]
-	dq    ring[dispJob]
-	sq    ring[dispJob] // submission pipeline (container thread pool)
+	core *sched.Core[int, int, mtask]
+
+	dq sched.Ring[dispJob]
+	sq sched.Ring[dispJob] // submission pipeline (container thread pool)
 
 	dispBusy bool
 	subBusy  bool
 	gcBusy   time.Duration
 
 	execs    []*Exec
-	idle     []*Exec
 	busyN    int
 	liveN    int
 	nextExec int
 	nextTask int
-
-	submitted int
-	completed int
-	failed    int
-	retried   int
 
 	// KeepRecords retains a Rec per task (leave off for multi-million task
 	// runs).
@@ -234,8 +169,6 @@ type Model struct {
 	// each executor's cached datasets (default 16 when DataAware is set).
 	DataAware     bool
 	CacheCapacity int
-	cacheHits     int
-	cacheMisses   int
 
 	// Stager prices dynamic data staging: given a task's StageBytes and the
 	// number of concurrent stagings (including this one), it returns the
@@ -250,11 +183,27 @@ type Model struct {
 
 // New creates a model on engine e.
 func New(e *sim.Engine, p Profile) *Model {
-	return &Model{E: e, P: p}
+	return &Model{
+		E: e, P: p,
+		core: sched.NewCore[int, int](sched.Options[mtask]{
+			MaxRetries: p.MaxRetries,
+			Dataset:    func(t mtask) string { return t.dataset },
+		}),
+	}
+}
+
+// syncCore folds the model's public knobs (set after New, before work
+// arrives) into the core. Called from every public entry point that adds
+// executors or tasks.
+func (m *Model) syncCore() {
+	if m.DataAware && m.core.Policy() != sched.PolicyDataAware {
+		m.core.SetPolicy(sched.PolicyDataAware, m.CacheCapacity)
+	}
+	m.core.SetMaxRetries(m.P.MaxRetries)
 }
 
 // QueueLen returns queued (not yet dispatched) tasks.
-func (m *Model) QueueLen() int { return m.queue.len() }
+func (m *Model) QueueLen() int { return m.core.QueueLen() }
 
 // BusyExecutors returns executors currently running a task.
 func (m *Model) BusyExecutors() int { return m.busyN }
@@ -270,20 +219,19 @@ func (m *Model) Executors() []*Exec { return m.execs }
 
 // Submitted and Completed return task counters (Completed includes tasks
 // that exhausted retries and were reported failed).
-func (m *Model) Submitted() int { return m.submitted }
-func (m *Model) Completed() int { return m.completed }
+func (m *Model) Submitted() int { return int(m.core.Counters.Submitted) }
+func (m *Model) Completed() int {
+	return int(m.core.Counters.Completed + m.core.Counters.Failed)
+}
 
 // Failed and Retried report replay-policy activity under failure
 // injection.
-func (m *Model) Failed() int  { return m.failed }
-func (m *Model) Retried() int { return m.retried }
+func (m *Model) Failed() int  { return int(m.core.Counters.Failed) }
+func (m *Model) Retried() int { return int(m.core.Counters.Retried) }
 
-// maxRetries returns the configured retry bound.
-func (m *Model) maxRetries() int {
-	if m.P.MaxRetries > 0 {
-		return m.P.MaxRetries
-	}
-	return 3
+// CacheStats returns data-aware dispatch hit/miss counts.
+func (m *Model) CacheStats() (hits, misses int) {
+	return int(m.core.Counters.CacheHits), int(m.core.Counters.CacheMisses)
 }
 
 // stateChanged invokes the observer hook.
@@ -297,6 +245,7 @@ func (m *Model) stateChanged() {
 // idle release; onRelease observes the release (the provisioner returns the
 // node).
 func (m *Model) AddExecutor(idleTimeout time.Duration, onRelease func(*Exec)) *Exec {
+	m.syncCore()
 	m.nextExec++
 	x := &Exec{
 		ID:           m.nextExec,
@@ -305,9 +254,11 @@ func (m *Model) AddExecutor(idleTimeout time.Duration, onRelease func(*Exec)) *E
 		idleTimeout:  idleTimeout,
 		onRelease:    onRelease,
 	}
+	x.sx = m.core.AddExec(x.ID, 1)
+	x.sx.Ref = x
 	m.execs = append(m.execs, x)
 	m.liveN++
-	m.idle = append(m.idle, x)
+	m.core.Offer(x.sx)
 	m.armIdleTimer(x)
 	m.armPollTimer(x)
 	m.stateChanged()
@@ -346,25 +297,15 @@ func (m *Model) armPollTimer(x *Exec) {
 			if x.released || !x.idle || m.pollingStopped {
 				return
 			}
-			if t, ok := m.pickFor(x); ok {
-				m.removeIdle(x)
+			if it, ok := m.pickFor(x.sx); ok {
+				m.core.RemoveIdle(x.sx)
 				m.wakeExec(x)
-				m.runOn(x, t)
+				m.runOn(x, it)
 				return
 			}
 			m.armPollTimer(x)
 		})
 	})
-}
-
-// removeIdle drops x from the idle stack.
-func (m *Model) removeIdle(x *Exec) {
-	for i, v := range m.idle {
-		if v == x {
-			m.idle = append(m.idle[:i], m.idle[i+1:]...)
-			return
-		}
-	}
 }
 
 // armIdleTimer starts x's distributed-release countdown.
@@ -387,12 +328,7 @@ func (m *Model) releaseExec(x *Exec) {
 		x.pollTimer.Stop()
 		x.pollTimer = nil
 	}
-	for i, v := range m.idle {
-		if v == x {
-			m.idle = append(m.idle[:i], m.idle[i+1:]...)
-			break
-		}
-	}
+	m.core.RemoveIdle(x.sx)
 	m.liveN--
 	m.stateChanged()
 	if x.onRelease != nil {
@@ -402,7 +338,7 @@ func (m *Model) releaseExec(x *Exec) {
 
 // dispSubmit charges the dispatcher CPU with one message-handling job.
 func (m *Model) dispSubmit(cost time.Duration, fn func()) {
-	m.dq.push(dispJob{cost: cost, fn: fn})
+	m.dq.Push(dispJob{cost: cost, fn: fn})
 	if !m.dispBusy {
 		m.dispRun()
 	}
@@ -410,7 +346,7 @@ func (m *Model) dispSubmit(cost time.Duration, fn func()) {
 
 // dispRun serves dispatcher jobs FIFO, injecting GC stalls.
 func (m *Model) dispRun() {
-	job, ok := m.dq.pop()
+	job, ok := m.dq.Pop()
 	if !ok {
 		m.dispBusy = false
 		return
@@ -434,7 +370,7 @@ func (m *Model) dispRun() {
 // subSubmit charges the submission pipeline (the GT4 container's thread
 // pool, which runs on the dispatcher machine's other CPU).
 func (m *Model) subSubmit(cost time.Duration, fn func()) {
-	m.sq.push(dispJob{cost: cost, fn: fn})
+	m.sq.Push(dispJob{cost: cost, fn: fn})
 	if !m.subBusy {
 		m.subRun()
 	}
@@ -442,7 +378,7 @@ func (m *Model) subSubmit(cost time.Duration, fn func()) {
 
 // subRun serves submission jobs FIFO.
 func (m *Model) subRun() {
-	job, ok := m.sq.pop()
+	job, ok := m.sq.Pop()
 	if !ok {
 		m.subBusy = false
 		return
@@ -459,6 +395,7 @@ func (m *Model) subRun() {
 // envelope on the submission pipeline, plus a SubmitShare fraction that
 // contends with the dispatch path.
 func (m *Model) Submit(specs []Spec, bundle int) {
+	m.syncCore()
 	if bundle <= 0 {
 		bundle = 1
 	}
@@ -477,9 +414,8 @@ func (m *Model) Submit(specs []Spec, bundle int) {
 			now := m.E.Now()
 			for _, s := range batch {
 				m.nextTask++
-				m.queue.push(mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, queuedAt: now, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes})
+				m.core.Enqueue(now, mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes})
 			}
-			m.submitted += n
 			if share := m.P.SubmitShare; share > 0 {
 				m.dispSubmit(time.Duration(share*float64(cost)), m.kick)
 			} else {
@@ -496,12 +432,12 @@ func (m *Model) Submit(specs []Spec, bundle int) {
 // benchmarks use it to measure the pure dispatch rate with a deep queue,
 // the way the paper's throughput tests kept the wait queue full.
 func (m *Model) PreloadQueue(n int, dur time.Duration) {
+	m.syncCore()
 	now := m.E.Now()
 	for i := 0; i < n; i++ {
 		m.nextTask++
-		m.queue.push(mtask{id: m.nextTask, dur: dur, queuedAt: now})
+		m.core.Enqueue(now, mtask{id: m.nextTask, dur: dur})
 	}
-	m.submitted += n
 	m.kick()
 }
 
@@ -514,42 +450,15 @@ func (m *Model) SubmitSleepStream(total int, dur time.Duration, bundle int) {
 	m.Submit(specs, bundle)
 }
 
-// dataAwareWindow bounds how deep the data-aware policy looks into the
-// FIFO; beyond it, age wins over locality.
-const dataAwareWindow = 64
-
-// pickFor selects the next task for x: FIFO, or dataset-affinity within
-// the window under data-aware dispatch.
-func (m *Model) pickFor(x *Exec) (mtask, bool) {
-	if !m.DataAware {
-		return m.queue.pop()
+// pickFor selects the next task for sx under the core's policy. On a
+// data-aware cache hit the staging cost is dropped — the dataset is
+// already resident on the executor's node.
+func (m *Model) pickFor(sx *sched.Exec[int]) (sched.Item[mtask], bool) {
+	it, hit, ok := m.core.Pick(sx)
+	if hit {
+		it.X.stageIn = 0
 	}
-	live := m.queue.window(dataAwareWindow)
-	for i := range live {
-		if live[i].dataset != "" && x.cacheHas(live[i].dataset) {
-			t := live[i]
-			m.queue.removeAt(i)
-			m.cacheHits++
-			t.stageIn = 0 // resident: staging skipped
-			return t, true
-		}
-	}
-	t, ok := m.queue.pop()
-	if ok && t.dataset != "" {
-		m.cacheMisses++
-	}
-	return t, ok
-}
-
-// CacheStats returns data-aware dispatch hit/miss counts.
-func (m *Model) CacheStats() (hits, misses int) { return m.cacheHits, m.cacheMisses }
-
-// cacheCapacity returns the configured per-executor cache size.
-func (m *Model) cacheCapacity() int {
-	if m.CacheCapacity > 0 {
-		return m.CacheCapacity
-	}
-	return 16
+	return it, ok
 }
 
 // kick assigns queued tasks to idle executors over the cold dispatch path
@@ -559,13 +468,19 @@ func (m *Model) kick() {
 	if m.P.PurePullInterval > 0 {
 		return
 	}
-	for m.queue.len() > 0 && len(m.idle) > 0 {
-		x := m.idle[len(m.idle)-1]
-		m.idle = m.idle[:len(m.idle)-1]
-		t, _ := m.pickFor(x)
+	for _, n := range m.core.Notifications(m.E.Now()) {
+		sx := n.Exec
+		x := sx.Ref.(*Exec)
+		it, ok := m.pickFor(sx)
+		if !ok {
+			// The queue drained while earmarking; return the executor.
+			sx.Notified = false
+			m.core.Offer(sx)
+			break
+		}
 		m.wakeExec(x)
 		m.dispSubmit(m.P.NotifyCost+m.P.GetWorkCost, func() {
-			m.runOn(x, t)
+			m.runOn(x, it)
 		})
 	}
 }
@@ -583,15 +498,19 @@ func (m *Model) wakeExec(x *Exec) {
 	m.stateChanged()
 }
 
-// runOn executes t on x starting now (the executor has just received the
+// runOn executes it on x starting now (the executor has just received the
 // assignment), then delivers the result.
-func (m *Model) runOn(x *Exec, t mtask) {
+func (m *Model) runOn(x *Exec, it sched.Item[mtask]) {
+	sx := x.sx
+	sx.Notified = false // the pull consumed any pending notification
 	if !x.busy {
 		x.busy = true
 		m.busyN++
 		m.stateChanged()
 	}
 	dispatchedAt := m.E.Now()
+	t := it.X
+	o := m.core.Assign(dispatchedAt, sx, t.id, it)
 	over := m.P.ExecOverhead
 	if j := m.P.ExecOverheadJitter; j > 0 {
 		over += m.E.ExpDuration(j)
@@ -614,15 +533,15 @@ func (m *Model) runOn(x *Exec, t mtask) {
 		// Pre-fetching (§6): grab the next task at run completion — its
 		// pull round trip was hidden behind execution, but the dispatcher
 		// still paid a GetWork call for it.
-		var next *mtask
+		var next *sched.Item[mtask]
 		if m.P.Prefetch {
-			if nt, ok := m.pickFor(x); ok {
+			if nt, ok := m.pickFor(sx); ok {
 				next = &nt
 				m.dispSubmit(m.P.GetWorkCost, func() {})
 			}
 		}
 		m.dispSubmit(m.P.DeliverCost, func() {
-			m.finish(x, t, dispatchedAt, startedAt, next != nil)
+			m.finish(x, o, startedAt, next != nil)
 		})
 		if next != nil {
 			m.runOn(x, *next)
@@ -630,41 +549,50 @@ func (m *Model) runOn(x *Exec, t mtask) {
 	})
 }
 
-// finish records t's completion on x and piggy-backs the next task if one
+// finish records o's completion on x and piggy-backs the next task if one
 // is queued; otherwise x goes idle. prefetched marks completions whose
 // successor was already claimed at run end (Prefetch mode), so finish must
 // neither piggy-back nor idle the executor.
-func (m *Model) finish(x *Exec, t mtask, dispatchedAt, startedAt time.Duration, prefetched bool) {
+func (m *Model) finish(x *Exec, o *sched.Outstanding[int, int, mtask], startedAt time.Duration, prefetched bool) {
 	now := m.E.Now()
-	t.attempts++
+	m.core.Complete(x.sx.ID, o.Key)
+	t := o.Item.X
 	x.busyFor += t.dur
-	if m.DataAware {
-		x.cacheTouch(t.dataset, m.cacheCapacity())
-	}
+	m.core.NoteCompletion(x.sx, t.dataset)
 	// Failure injection: the replay policy re-queues the task unless its
 	// retries are exhausted.
 	taskFailed := false
 	if p := m.P.FailureProb; p > 0 && m.E.Rand().Float64() < p {
-		if t.attempts <= m.maxRetries() {
-			m.retried++
-			m.queue.push(t)
+		if m.core.Requeue(o.Item) {
 			m.afterDelivery(x, prefetched)
 			return
 		}
 		taskFailed = true
-		m.failed++
+		m.core.Counters.Failed++
 	}
-	m.completed++
+	if !taskFailed {
+		m.core.Counters.Completed++
+	}
+	// One clamp for both runtimes: the Figure-10 stages of the resulting
+	// record partition its end-to-end latency exactly.
+	s := sched.Stamps{
+		Queued:     o.Item.QueuedAt,
+		Notified:   o.NotifiedAt,
+		Dispatched: o.DispatchedAt,
+		Started:    startedAt,
+		Finished:   now,
+	}.Clamp()
 	rec := Rec{
 		ID:         t.id,
 		Stage:      t.stage,
-		Queued:     t.queuedAt,
-		Dispatched: dispatchedAt,
-		Started:    startedAt,
-		Finished:   now,
+		Queued:     s.Queued,
+		Notified:   s.Notified,
+		Dispatched: s.Dispatched,
+		Started:    s.Started,
+		Finished:   s.Finished,
 		Exec:       x.ID,
 		Tag:        t.tag,
-		Attempts:   t.attempts,
+		Attempts:   o.Item.Attempts,
 		Failed:     taskFailed,
 	}
 	if m.KeepRecords {
@@ -683,17 +611,17 @@ func (m *Model) afterDelivery(x *Exec, prefetched bool) {
 		return // the executor is already running its next task
 	}
 	if !m.P.NoPiggyback {
-		if next, ok := m.pickFor(x); ok {
+		if it, ok := m.pickFor(x.sx); ok {
 			// Piggy-back: the delivery acknowledgment already carried the
 			// next task; no additional dispatcher cost.
-			m.runOn(x, next)
+			m.runOn(x, it)
 			return
 		}
 	}
 	x.busy = false
 	x.idle = true
 	m.busyN--
-	m.idle = append(m.idle, x)
+	m.core.Offer(x.sx)
 	m.armIdleTimer(x)
 	m.armPollTimer(x)
 	m.stateChanged()

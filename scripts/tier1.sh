@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# tier1.sh — the repo's tier-1 verification flow, as documented in
+# ROADMAP.md. CI and humans run this one command before merging:
+#
+#   ./scripts/tier1.sh
+#
+# Each step must pass; the script stops at the first failure.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./...

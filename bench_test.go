@@ -15,6 +15,7 @@ import (
 // while preserving each experiment's shape.
 func benchExperiment(b *testing.B, id string, scale float64) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Run(id, scale)
 		if err != nil {
@@ -88,6 +89,7 @@ func BenchmarkLiveDispatchThroughput(b *testing.B) {
 	defer sys.Close()
 	var gen falkon.IDGen
 	const batch = 1000
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -117,6 +119,7 @@ func BenchmarkLiveSecureDispatch(b *testing.B) {
 	defer sys.Close()
 	var gen falkon.IDGen
 	const batch = 1000
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {

@@ -27,6 +27,8 @@ import (
 type benchRow struct {
 	Experiment  string  `json:"experiment"`
 	TasksPerSec float64 `json:"tasks_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Scale       float64 `json:"scale"`
 	Date        string  `json:"date"`
 	Commit      string  `json:"commit,omitempty"`
@@ -73,6 +75,8 @@ func main() {
 				if err := appendRow(*jsonFile, benchRow{
 					Experiment:  res.ID,
 					TasksPerSec: tput,
+					NsPerOp:     res.Values["ns_per_op"],
+					AllocsPerOp: res.Values["allocs_per_op"],
 					Scale:       *scale,
 					Date:        time.Now().UTC().Format(time.RFC3339),
 					Commit:      gitCommit(),

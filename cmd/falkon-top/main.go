@@ -61,9 +61,15 @@ func main() {
 			fmt.Printf("\033[%dA", lines)
 		}
 		lines = 0
-		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) dispatched=%d done=%d failed=%d retried=%d dup=%d rate=%.0f/s\n",
+		// notify_errs appears only when nonzero: failed pushes are rare but
+		// explain otherwise-mysterious replay timeouts, so they must surface.
+		notifyErrs := ""
+		if st.NotifyErrors > 0 {
+			notifyErrs = fmt.Sprintf(" notify_errs=%d", st.NotifyErrors)
+		}
+		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) dispatched=%d done=%d failed=%d retried=%d dup=%d%s rate=%.0f/s\n",
 			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
-			st.Dispatched, st.Completed, st.Failed, st.Retried, st.Duplicates, rate)
+			st.Dispatched, st.Completed, st.Failed, st.Retried, st.Duplicates, notifyErrs, rate)
 		lines++
 
 		if *stages {

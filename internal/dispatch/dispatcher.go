@@ -146,6 +146,32 @@ func (f *fx) trace(at time.Duration, kind obs.EventKind, id task.ID, epr, exec s
 	f.events = append(f.events, traceEv{at, kind, id, epr, exec})
 }
 
+// fxPool recycles fx backing arrays between handler calls: every Deliver
+// gathers a handful of effects, and without reuse the append growth paths
+// dominate the dispatcher's allocation profile.
+var fxPool = sync.Pool{New: func() any { return new(fx) }}
+
+func getFx() *fx { return fxPool.Get().(*fx) }
+
+// putFx clears element references (peers, results, strings) so the pooled
+// arrays don't pin them, and drops arrays that grew unusually large so one
+// burst doesn't park megabytes in the pool.
+func putFx(f *fx) {
+	const keep = 1024
+	if cap(f.events) > keep || cap(f.stamps) > keep || cap(f.notifies) > keep || cap(f.pushes) > keep {
+		*f = fx{}
+	} else {
+		clear(f.events)
+		clear(f.notifies)
+		clear(f.pushes)
+		f.events = f.events[:0]
+		f.stamps = f.stamps[:0]
+		f.notifies = f.notifies[:0]
+		f.pushes = f.pushes[:0]
+	}
+	fxPool.Put(f)
+}
+
 // Dispatcher is the Falkon dispatch service. Create with New, then Listen.
 type Dispatcher struct {
 	opts  Options
@@ -199,7 +225,8 @@ func New(opts Options) *Dispatcher {
 	}
 	d.hE2E = d.reg.Histogram(obs.MetricE2ESeconds)
 	d.eng = newNotifyEngine(opts.NotifyWorkers, opts.Logf,
-		d.reg.Gauge("falkon_notify_queue_depth"), d.reg.Counter("falkon_notifications_total"))
+		d.reg.Gauge("falkon_notify_queue_depth"), d.reg.Counter("falkon_notifications_total"),
+		d.reg.Counter("falkon_notify_errors_total"))
 	d.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: d.logf, Metrics: d.reg})
 	d.register()
 	d.srv.OnDisconnect(d.onDisconnect)
@@ -232,8 +259,22 @@ func (d *Dispatcher) flush(f *fx) {
 		d.tracer.Record(n.at, obs.EvNotified, 0, "", n.exec)
 		d.eng.notifyWork(n.peer, n.queued)
 	}
-	for _, p := range f.pushes {
-		d.eng.push(p.peer, fproto.NotifyResults, fproto.ResultsNotify{EPR: p.epr, Results: []task.Result{p.r}})
+	// Batch result pushes per (peer, instance): one ResultsNotify frame per
+	// contiguous run instead of one per result. A Deliver handler's flush is
+	// normally a single run, so the whole batch rides one frame; contiguity
+	// (rather than a map) keeps per-instance result order intact.
+	for start := 0; start < len(f.pushes); {
+		p := f.pushes[start]
+		end := start + 1
+		for end < len(f.pushes) && f.pushes[end].peer == p.peer && f.pushes[end].epr == p.epr {
+			end++
+		}
+		results := make([]task.Result, end-start)
+		for i := start; i < end; i++ {
+			results[i-start] = f.pushes[i].r
+		}
+		d.eng.push(p.peer, fproto.NotifyResults, fproto.ResultsNotify{EPR: p.epr, Results: results})
+		start = end
 	}
 }
 
@@ -369,17 +410,18 @@ func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
 func (d *Dispatcher) statsLocked() fproto.StatsReply {
 	ct := d.core.Counters
 	st := fproto.StatsReply{
-		Queued:      d.core.QueueLen(),
-		Outstanding: d.core.OutstandingLen(),
-		Submitted:   ct.Submitted,
-		Completed:   ct.Completed,
-		Failed:      ct.Failed,
-		Retried:     ct.Retried,
-		Dispatched:  ct.Dispatched,
-		Duplicates:  ct.Duplicates,
-		Instances:   len(d.instances),
-		CacheHits:   ct.CacheHits,
-		CacheMisses: ct.CacheMisses,
+		Queued:       d.core.QueueLen(),
+		Outstanding:  d.core.OutstandingLen(),
+		Submitted:    ct.Submitted,
+		Completed:    ct.Completed,
+		Failed:       ct.Failed,
+		Retried:      ct.Retried,
+		Dispatched:   ct.Dispatched,
+		Duplicates:   ct.Duplicates,
+		Instances:    len(d.instances),
+		CacheHits:    ct.CacheHits,
+		CacheMisses:  ct.CacheMisses,
+		NotifyErrors: d.eng.errs.Value(),
 	}
 	total, busy := d.core.ExecStats()
 	st.TotalExecutors = total
@@ -395,7 +437,8 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	if meta == "" {
 		return
 	}
-	var f fx
+	f := getFx()
+	defer putFx(f)
 	d.mu.Lock()
 	ex, ok := d.core.Exec(meta)
 	if !ok || ex.Ref.(*execRef).peer != p {
@@ -404,17 +447,17 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	}
 	_, dropped := d.core.DropExecutor(meta)
 	for _, o := range dropped {
-		d.replayLocked(&f, o, fmt.Sprintf("executor %s disconnected", meta))
+		d.replayLocked(f, o, fmt.Sprintf("executor %s disconnected", meta))
 	}
 	if len(dropped) > 0 {
-		d.notifyLocked(&f, d.now())
+		d.notifyLocked(f, d.now())
 	}
 	d.wakeDrainLocked()
 	d.mu.Unlock()
 	if len(dropped) > 0 {
 		d.logf("dispatch: executor %s dropped with %d tasks in flight", meta, len(dropped))
 	}
-	d.flush(&f)
+	d.flush(f)
 }
 
 // replayLocked applies the replay policy to an orphaned attempt: the core

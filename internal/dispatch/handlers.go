@@ -12,19 +12,24 @@ import (
 	"falkon/internal/wsrpc"
 )
 
-// register installs the protocol handlers on the wsrpc server.
+// register installs the protocol handlers on the wsrpc server. Everything
+// except Collect dispatches inline on the connection's read goroutine
+// (RegisterFast): the handlers only take d.mu briefly and defer I/O through
+// fx/flush, so skipping the per-call goroutine removes the dominant
+// scheduling overhead on the Submit/Deliver hot path. Collect long-polls
+// and must keep its own goroutine.
 func (d *Dispatcher) register() {
-	d.srv.Register(fproto.MethodCreateInstance, d.handleCreateInstance)
-	d.srv.Register(fproto.MethodDestroyInstance, d.handleDestroyInstance)
-	d.srv.Register(fproto.MethodSubmit, d.handleSubmit)
+	d.srv.RegisterFast(fproto.MethodCreateInstance, d.handleCreateInstance)
+	d.srv.RegisterFast(fproto.MethodDestroyInstance, d.handleDestroyInstance)
+	d.srv.RegisterFast(fproto.MethodSubmit, d.handleSubmit)
 	d.srv.Register(fproto.MethodCollect, d.handleCollect)
-	d.srv.Register(fproto.MethodRegister, d.handleRegister)
-	d.srv.Register(fproto.MethodDeregister, d.handleDeregister)
-	d.srv.Register(fproto.MethodGetWork, d.handleGetWork)
-	d.srv.Register(fproto.MethodDeliver, d.handleDeliver)
-	d.srv.Register(fproto.MethodStats, d.handleStats)
-	d.srv.Register(fproto.MethodMetrics, d.handleMetrics)
-	d.srv.Register(fproto.MethodEvents, d.handleEvents)
+	d.srv.RegisterFast(fproto.MethodRegister, d.handleRegister)
+	d.srv.RegisterFast(fproto.MethodDeregister, d.handleDeregister)
+	d.srv.RegisterFast(fproto.MethodGetWork, d.handleGetWork)
+	d.srv.RegisterFast(fproto.MethodDeliver, d.handleDeliver)
+	d.srv.RegisterFast(fproto.MethodStats, d.handleStats)
+	d.srv.RegisterFast(fproto.MethodMetrics, d.handleMetrics)
+	d.srv.RegisterFast(fproto.MethodEvents, d.handleEvents)
 }
 
 func decode[T any](body json.RawMessage) (*T, error) {
@@ -77,7 +82,8 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	if err != nil {
 		return nil, err
 	}
-	var f fx
+	f := getFx()
+	defer putFx(f)
 	d.mu.Lock()
 	inst, ok := d.instances[req.EPR]
 	if !ok || inst.destroyed {
@@ -95,9 +101,9 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	}
 	inst.submitted += int64(len(req.Tasks))
 	inst.inFlight += len(req.Tasks)
-	d.notifyLocked(&f, now)
+	d.notifyLocked(f, now)
 	d.mu.Unlock()
-	d.flush(&f)
+	d.flush(f)
 	return fproto.SubmitReply{Accepted: len(req.Tasks)}, nil
 }
 
@@ -140,16 +146,17 @@ func (d *Dispatcher) handleRegister(p *wsrpc.Peer, body json.RawMessage) (any, e
 		return nil, fmt.Errorf("dispatch: empty executor id")
 	}
 	p.SetMeta(req.ExecutorID)
-	var f fx
+	f := getFx()
+	defer putFx(f)
 	d.mu.Lock()
 	// A re-register replaces the old connection (e.g. executor restart);
 	// the core keeps outstanding entries so late results still resolve.
 	ex := d.core.AddExec(req.ExecutorID, req.Slots)
 	ex.Ref = &execRef{peer: p, allocation: req.Allocation}
 	d.core.Offer(ex)
-	d.notifyLocked(&f, d.now())
+	d.notifyLocked(f, d.now())
 	d.mu.Unlock()
-	d.flush(&f)
+	d.flush(f)
 	return fproto.RegisterReply{OK: true, DispatcherEpoch: d.epoch.UnixNano()}, nil
 }
 
@@ -158,16 +165,17 @@ func (d *Dispatcher) handleDeregister(_ *wsrpc.Peer, body json.RawMessage) (any,
 	if err != nil {
 		return nil, err
 	}
-	var f fx
+	f := getFx()
+	defer putFx(f)
 	d.mu.Lock()
 	_, dropped := d.core.DropExecutor(req.ExecutorID)
 	for _, o := range dropped {
-		d.replayLocked(&f, o, "executor deregistered")
+		d.replayLocked(f, o, "executor deregistered")
 	}
-	d.notifyLocked(&f, d.now())
+	d.notifyLocked(f, d.now())
 	d.wakeDrainLocked()
 	d.mu.Unlock()
-	d.flush(&f)
+	d.flush(f)
 	return struct{}{}, nil
 }
 
@@ -176,7 +184,8 @@ func (d *Dispatcher) handleGetWork(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	if err != nil {
 		return nil, err
 	}
-	var f fx
+	f := getFx()
+	defer putFx(f)
 	d.mu.Lock()
 	ex, ok := d.core.Exec(req.ExecutorID)
 	if !ok {
@@ -184,14 +193,14 @@ func (d *Dispatcher) handleGetWork(_ *wsrpc.Peer, body json.RawMessage) (any, er
 		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
 	}
 	ex.Notified = false
-	as := d.assignLocked(&f, ex, req.Max, false)
+	as := d.assignLocked(f, ex, req.Max, false)
 	d.core.Offer(ex)
 	if len(as) > 0 {
 		// Other executors may still be needed for the rest of the queue.
-		d.notifyLocked(&f, d.now())
+		d.notifyLocked(f, d.now())
 	}
 	d.mu.Unlock()
-	d.flush(&f)
+	d.flush(f)
 	return fproto.GetWorkReply{Assignments: as}, nil
 }
 
@@ -200,7 +209,8 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	if err != nil {
 		return nil, err
 	}
-	var f fx
+	f := getFx()
+	defer putFx(f)
 	d.mu.Lock()
 	ex, ok := d.core.Exec(req.ExecutorID)
 	if !ok {
@@ -234,25 +244,25 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 		r.ExecutorID = req.ExecutorID
 		d.core.NoteCompletion(ex, taskDataset(o.Item.X.t))
 		if r.Failed() && !d.opts.NoRetryOnFailure {
-			d.replayLocked(&f, o, "task failed: "+failReason(r))
+			d.replayLocked(f, o, "task failed: "+failReason(r))
 			continue
 		}
 		f.trace(s.Started, obs.EvStarted, r.ID, tr.EPR, req.ExecutorID)
 		f.trace(s.Finished, obs.EvFinished, r.ID, tr.EPR, req.ExecutorID)
 		f.trace(now, obs.EvDelivered, r.ID, tr.EPR, req.ExecutorID)
 		f.stamps = append(f.stamps, s)
-		d.finalizeLocked(&f, tr.EPR, r)
+		d.finalizeLocked(f, tr.EPR, r)
 	}
 	ex.Notified = false
 	var as []fproto.Assignment
 	if req.WantWork {
-		as = d.assignLocked(&f, ex, req.MaxNew, true)
+		as = d.assignLocked(f, ex, req.MaxNew, true)
 	}
 	d.core.Offer(ex)
-	d.notifyLocked(&f, now)
+	d.notifyLocked(f, now)
 	d.wakeDrainLocked()
 	d.mu.Unlock()
-	d.flush(&f)
+	d.flush(f)
 	return fproto.DeliverReply{Assignments: as}, nil
 }
 

@@ -8,17 +8,31 @@ import (
 	"falkon/internal/wsrpc"
 )
 
+// maxMergedResults bounds how many results a worker folds into one
+// ResultsNotify frame, keeping merged frames comfortably under typical
+// socket buffer sizes so one slow client can't monopolize a worker.
+const maxMergedResults = 256
+
 // notifyEngine is the shared notification engine of the paper (§3.2): a
 // queue of pending executor notifications drained by a pool of worker
 // goroutines. Pushing a notification never blocks the dispatcher's critical
 // section on network writes.
+//
+// Workers merge contiguous queue runs addressed to the same peer before
+// writing: ResultsNotify runs for one instance concatenate their result
+// slices (bounded by maxMergedResults), and WorkAvailable runs collapse to
+// the freshest queue hint. Under burst load this turns N queued pushes into
+// one wire frame, compounding with the transport's write coalescing.
 type notifyEngine struct {
 	depth *metrics.Gauge   // live queue depth (falkon_notify_queue_depth)
 	sent  *metrics.Counter // notifications delivered (falkon_notifications_total)
+	errs  *metrics.Counter // failed pushes (falkon_notify_errors_total)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []notifyItem
+	head    int // queue[head:] is pending; reset when drained to reuse the array
+	failed  map[uint64]bool
 	closed  bool
 	workers sync.WaitGroup
 }
@@ -29,40 +43,111 @@ type notifyItem struct {
 	body   any
 }
 
-// newNotifyEngine starts workers goroutines draining the queue. depth and
-// sent instrument the queue; they must be non-nil (use an unregistered
-// gauge/counter when unmetered).
-func newNotifyEngine(workers int, logf func(string, ...any), depth *metrics.Gauge, sent *metrics.Counter) *notifyEngine {
+// newNotifyEngine starts workers goroutines draining the queue. The
+// instruments must be non-nil (use unregistered ones when unmetered).
+func newNotifyEngine(workers int, logf func(string, ...any), depth *metrics.Gauge, sent, errs *metrics.Counter) *notifyEngine {
 	if workers <= 0 {
 		workers = 4
 	}
-	e := &notifyEngine{depth: depth, sent: sent}
+	e := &notifyEngine{depth: depth, sent: sent, errs: errs, failed: make(map[uint64]bool)}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < workers; i++ {
 		e.workers.Add(1)
 		go func() {
 			defer e.workers.Done()
-			for {
-				e.mu.Lock()
-				for len(e.queue) == 0 && !e.closed {
-					e.cond.Wait()
-				}
-				if e.closed && len(e.queue) == 0 {
-					e.mu.Unlock()
-					return
-				}
-				item := e.queue[0]
-				e.queue = e.queue[1:]
-				e.mu.Unlock()
-				e.depth.Add(-1)
-				if err := item.peer.Notify(item.method, item.body); err != nil && logf != nil {
-					logf("dispatch: notify %s: %v", item.method, err)
-				}
-				e.sent.Inc()
-			}
+			e.drain(logf)
 		}()
 	}
 	return e
+}
+
+// drain is one worker's loop: pop a mergeable run, deliver it, account.
+func (e *notifyEngine) drain(logf func(string, ...any)) {
+	for {
+		e.mu.Lock()
+		for e.head == len(e.queue) && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed && e.head == len(e.queue) {
+			e.mu.Unlock()
+			return
+		}
+		item, n := e.popRunLocked()
+		e.mu.Unlock()
+		e.depth.Add(int64(-n))
+		err := item.peer.Notify(item.method, item.body)
+		e.sent.Add(int64(n))
+		if err != nil {
+			e.noteError(item, err, logf)
+		} else {
+			e.noteOK(item.peer)
+		}
+	}
+}
+
+// popRunLocked removes the head item plus any contiguous mergeable
+// successors, returning the merged item and how many entries it covers.
+// Merging preserves per-instance result order because only adjacent entries
+// for the same peer combine.
+func (e *notifyEngine) popRunLocked() (notifyItem, int) {
+	item := e.queue[e.head]
+	n := 1
+	switch body := item.body.(type) {
+	case fproto.ResultsNotify:
+		for e.head+n < len(e.queue) && len(body.Results) < maxMergedResults {
+			next := e.queue[e.head+n]
+			nb, ok := next.body.(fproto.ResultsNotify)
+			if !ok || next.peer != item.peer || nb.EPR != body.EPR {
+				break
+			}
+			body.Results = append(body.Results, nb.Results...)
+			n++
+		}
+		item.body = body
+	case fproto.WorkAvailable:
+		for e.head+n < len(e.queue) {
+			next := e.queue[e.head+n]
+			nb, ok := next.body.(fproto.WorkAvailable)
+			if !ok || next.peer != item.peer {
+				break
+			}
+			item.body = nb // the later hint is fresher
+			n++
+		}
+	}
+	for i := e.head; i < e.head+n; i++ {
+		e.queue[i] = notifyItem{} // drop peer/body refs while the array idles
+	}
+	e.head += n
+	if e.head == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.head = 0
+	}
+	return item, n
+}
+
+// noteError counts a failed push and logs the first failure per peer, so a
+// wedged connection surfaces once instead of flooding the log (or worse,
+// vanishing entirely).
+func (e *notifyEngine) noteError(item notifyItem, err error, logf func(string, ...any)) {
+	e.errs.Inc()
+	e.mu.Lock()
+	first := !e.failed[item.peer.ID()]
+	if first && len(e.failed) < 1024 {
+		e.failed[item.peer.ID()] = true
+	}
+	e.mu.Unlock()
+	if first && logf != nil {
+		logf("dispatch: notify %s to peer %d (%s): %v", item.method, item.peer.ID(), item.peer.RemoteAddr(), err)
+	}
+}
+
+// noteOK clears a peer's failure mark, so a connection that recovers and
+// wedges again logs again.
+func (e *notifyEngine) noteOK(p *wsrpc.Peer) {
+	e.mu.Lock()
+	delete(e.failed, p.ID())
+	e.mu.Unlock()
 }
 
 // push enqueues a notification for delivery.

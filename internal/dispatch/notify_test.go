@@ -53,7 +53,7 @@ func TestNotifyEngineDeliversThroughWorkerPool(t *testing.T) {
 	for i := range peers {
 		peers[i], counts[i] = connect()
 	}
-	eng := newNotifyEngine(2, t.Logf, new(metrics.Gauge), new(metrics.Counter))
+	eng := newNotifyEngine(2, t.Logf, new(metrics.Gauge), new(metrics.Counter), new(metrics.Counter))
 	const per = 25
 	for i := 0; i < per; i++ {
 		for j, p := range peers {
@@ -81,7 +81,7 @@ func TestNotifyEngineDeliversThroughWorkerPool(t *testing.T) {
 func TestNotifyEnginePushAfterCloseDropped(t *testing.T) {
 	_, connect := startNotifyTarget(t)
 	p, count := connect()
-	eng := newNotifyEngine(1, t.Logf, new(metrics.Gauge), new(metrics.Counter))
+	eng := newNotifyEngine(1, t.Logf, new(metrics.Gauge), new(metrics.Counter), new(metrics.Counter))
 	eng.close()
 	eng.notifyWork(p, 1) // must not panic or deliver
 	time.Sleep(50 * time.Millisecond)
@@ -95,7 +95,7 @@ func TestNotifyEngineSurvivesDeadPeer(t *testing.T) {
 	dead, _ := connect()
 	dead.Close() // connection torn down; Notify will fail
 	alive, count := connect()
-	eng := newNotifyEngine(1, t.Logf, new(metrics.Gauge), new(metrics.Counter))
+	eng := newNotifyEngine(1, t.Logf, new(metrics.Gauge), new(metrics.Counter), new(metrics.Counter))
 	eng.notifyWork(dead, 1) // error logged, worker keeps going
 	eng.notifyWork(alive, 1)
 	eng.close()

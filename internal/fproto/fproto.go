@@ -198,6 +198,10 @@ type StatsReply struct {
 	// dataset-tagged tasks.
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// NotifyErrors counts failed notification pushes (wedged or dropped
+	// peer connections) — nonzero here usually explains replay-timeout
+	// noise.
+	NotifyErrors int64 `json:"notify_errors,omitempty"`
 }
 
 // MetricsReply is the falkon.metrics reply: a full registry snapshot —

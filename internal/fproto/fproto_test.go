@@ -67,7 +67,7 @@ func TestAssignmentCacheHitOmittedWhenFalse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(b) != `{"epr":"i","task":{"id":1,"engine":0,"command":""}}` {
+	if string(b) != `{"epr":"i","task":{"id":1}}` {
 		t.Fatalf("json = %s", b)
 	}
 }

@@ -382,6 +382,7 @@ func TestStampsClampAndPartition(t *testing.T) {
 
 // BenchmarkDatasetCache measures the data-aware policy's LRU bookkeeping.
 func BenchmarkDatasetCache(b *testing.B) {
+	b.ReportAllocs()
 	c := NewDatasetCache(16)
 	names := make([]string, 64)
 	for i := range names {
@@ -396,6 +397,7 @@ func BenchmarkDatasetCache(b *testing.B) {
 
 // BenchmarkCorePickAssignComplete measures the core's per-task hot path.
 func BenchmarkCorePickAssignComplete(b *testing.B) {
+	b.ReportAllocs()
 	c := newTestCore(Options[payload]{})
 	x := c.AddExec("x", 1)
 	b.ResetTimer()

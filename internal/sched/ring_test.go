@@ -220,6 +220,7 @@ func TestRingPropertyFIFO(t *testing.T) {
 // BenchmarkRing measures the queue under sustained load — the structure
 // that holds 1.5M pending tasks in the endurance run.
 func BenchmarkRing(b *testing.B) {
+	b.ReportAllocs()
 	var q Ring[int]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -232,6 +233,7 @@ func BenchmarkRing(b *testing.B) {
 
 // BenchmarkRingDeep measures pops against a deep queue (compaction path).
 func BenchmarkRingDeep(b *testing.B) {
+	b.ReportAllocs()
 	var q Ring[int]
 	for i := 0; i < 100000; i++ {
 		q.Push(i)

@@ -8,6 +8,7 @@ import (
 // BenchmarkEngineEventThroughput measures raw event processing — the
 // substrate cost under the 2M-task endurance run (~10M events).
 func BenchmarkEngineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	e := New(1)
 	var chain func()
 	n := 0
@@ -27,6 +28,7 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 
 // BenchmarkEngineHeapChurn measures scheduling with many pending events.
 func BenchmarkEngineHeapChurn(b *testing.B) {
+	b.ReportAllocs()
 	e := New(1)
 	// Keep ~10K events pending while processing b.N.
 	const pending = 10000
@@ -42,6 +44,7 @@ func BenchmarkEngineHeapChurn(b *testing.B) {
 
 // BenchmarkServer measures the serial-resource primitive.
 func BenchmarkServer(b *testing.B) {
+	b.ReportAllocs()
 	e := New(1)
 	s := NewServer(e, "cpu")
 	b.ResetTimer()

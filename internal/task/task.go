@@ -119,9 +119,9 @@ type IOSpec struct {
 // bookkeeping lives in the dispatcher and in Result.
 type Task struct {
 	ID      ID       `json:"id"`
-	Engine  Engine   `json:"engine"`
+	Engine  Engine   `json:"engine,omitempty"`
 	Dir     string   `json:"dir,omitempty"`
-	Command string   `json:"command"`
+	Command string   `json:"command,omitempty"`
 	Args    []string `json:"args,omitempty"`
 	Env     []string `json:"env,omitempty"`
 	IO      *IOSpec  `json:"io,omitempty"`
@@ -146,7 +146,7 @@ func Sleep(id ID, d time.Duration) Task {
 // Result reports a completed (or failed) task.
 type Result struct {
 	ID       ID     `json:"id"`
-	ExitCode int    `json:"exit_code"`
+	ExitCode int    `json:"exit_code,omitempty"`
 	Stdout   string `json:"stdout,omitempty"`
 	Stderr   string `json:"stderr,omitempty"`
 	Err      string `json:"err,omitempty"`
@@ -157,10 +157,12 @@ type Result struct {
 	// Timing in nanoseconds since the owning instance's epoch. In the live
 	// runtime the epoch is wall-clock start; in the simulator it is virtual
 	// time zero. QueuedAt <= DispatchedAt <= StartedAt <= FinishedAt.
-	QueuedAt     time.Duration `json:"queued_at"`
-	DispatchedAt time.Duration `json:"dispatched_at"`
-	StartedAt    time.Duration `json:"started_at"`
-	FinishedAt   time.Duration `json:"finished_at"`
+	// omitempty: executors upload results before the dispatcher rebases
+	// these stamps, so they are zero on the wire's hottest leg.
+	QueuedAt     time.Duration `json:"queued_at,omitempty"`
+	DispatchedAt time.Duration `json:"dispatched_at,omitempty"`
+	StartedAt    time.Duration `json:"started_at,omitempty"`
+	FinishedAt   time.Duration `json:"finished_at,omitempty"`
 
 	// Attempts counts dispatches including the successful one.
 	Attempts int `json:"attempts,omitempty"`

@@ -1,0 +1,84 @@
+//go:build !race
+
+package wsrpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// nopConn is a net.Conn that discards writes and serves reads from a
+// repeating pre-recorded frame stream.
+type nopConn struct {
+	stream []byte // repeated on wrap-around; empty means reads block forever
+	off    int
+}
+
+func (c *nopConn) Read(p []byte) (int, error) {
+	if len(c.stream) == 0 {
+		select {} // the encode tests never read
+	}
+	if c.off == len(c.stream) {
+		c.off = 0
+	}
+	n := copy(p, c.stream[c.off:])
+	c.off += n
+	return n, nil
+}
+
+func (c *nopConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *nopConn) Close() error                     { return nil }
+func (c *nopConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *nopConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *nopConn) SetDeadline(time.Time) error      { return nil }
+func (c *nopConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *nopConn) SetWriteDeadline(time.Time) error { return nil }
+
+// The encode path — envelope construction plus cork commit — must stay
+// allocation-free in steady state: it runs twice per task (call + reply) at
+// dispatch rates where every object becomes GC pressure.
+func TestWriteEnvelopeAllocFree(t *testing.T) {
+	p := newPlainConn(&nopConn{}, flushStats{})
+	body, _ := json.Marshal("ping")
+	for i := 0; i < 8; i++ { // warm the cork buffer to steady-state capacity
+		if _, err := p.WriteEnvelope(kindCall, uint64(i), "falkon.deliver", "", body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := p.WriteEnvelope(kindCall, 9, "falkon.deliver", "", body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("WriteEnvelope allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// The read path must reuse its scratch buffer: decode work is the callers'
+// business, but framing itself stays allocation-free.
+func TestReadFrameAllocFree(t *testing.T) {
+	raw := appendFrame(nil, kindCall, 42, "falkon.deliver", "", []byte(`"ping"`))
+	var one []byte
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	one = append(one, hdr[:]...)
+	one = append(one, raw...)
+	p := newPlainConn(&nopConn{stream: one}, flushStats{})
+	for i := 0; i < 8; i++ {
+		if _, err := p.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := p.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("ReadFrame allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -25,7 +25,9 @@ func (e *RemoteError) Error() string { return e.Msg }
 
 // NotifyHandler receives server-pushed notifications. It runs on the
 // client's read loop goroutine: implementations must not block (hand off to
-// a channel or goroutine for real work).
+// a channel or goroutine for real work). body aliases the connection's read
+// buffer and is valid only for the duration of the call — decode it in
+// place (json.Unmarshal copies what it keeps) or copy it to retain it.
 type NotifyHandler func(method string, body json.RawMessage)
 
 // ClientOptions configures Dial.
@@ -57,6 +59,8 @@ type Client struct {
 	closed  bool
 	readErr error
 
+	interned map[string]string // notify method names; readLoop-only
+
 	done chan struct{}
 }
 
@@ -66,7 +70,14 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wsrpc: dial %s: %w", addr, err)
 	}
-	fc, err := newFrameConn(c, opts.Security, opts.PSK, true)
+	var stats flushStats
+	if opts.Metrics != nil {
+		stats = flushStats{
+			flushes:  opts.Metrics.Counter("wsrpc_client_flushes_total"),
+			perFlush: opts.Metrics.Histogram("wsrpc_client_frames_per_flush"),
+		}
+	}
+	fc, err := newFrameConn(c, opts.Security, opts.PSK, true, stats)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -92,32 +103,60 @@ func (c *Client) readLoop() {
 		if c.rxBytes != nil {
 			c.rxBytes.Add(int64(len(raw)))
 		}
-		var f *frame
-		f, err = decodeFrame(raw)
-		if err != nil {
-			break
+		v, ok := fastParseFrame(raw)
+		if !ok {
+			var f *frame
+			f, err = decodeFrame(raw)
+			if err != nil {
+				break
+			}
+			v = frameView{kind: f.Kind, seq: f.Seq, method: []byte(f.Method), errs: []byte(f.Err), body: f.Body}
 		}
-		switch f.Kind {
+		switch v.kind {
 		case kindReply:
 			c.mu.Lock()
-			ch := c.pending[f.Seq]
-			delete(c.pending, f.Seq)
+			ch := c.pending[v.seq]
+			delete(c.pending, v.seq)
 			c.mu.Unlock()
 			if ch != nil {
+				// Copy out of the read scratch: the waiter consumes the
+				// frame after this loop has moved on to the next read.
+				f := &frame{Kind: kindReply, Seq: v.seq, Err: string(v.errs)}
+				if len(v.body) > 0 {
+					f.Body = append(json.RawMessage(nil), v.body...)
+				}
 				ch <- f
 			}
 		case kindNotify:
 			if c.opts.OnNotify != nil {
-				c.opts.OnNotify(f.Method, f.Body)
+				c.opts.OnNotify(c.intern(v.method), v.body)
 			}
 		default:
-			err = fmt.Errorf("wsrpc: unexpected frame kind %d from server", f.Kind)
+			err = fmt.Errorf("wsrpc: unexpected frame kind %d from server", v.kind)
 		}
 		if err != nil {
 			break
 		}
 	}
 	c.teardown(err)
+}
+
+// intern returns the string for a notify method name, reusing one
+// allocation per distinct name (the set is small and stable). Called only
+// from readLoop, so the map needs no lock; the size cap guards against a
+// misbehaving server minting unbounded names.
+func (c *Client) intern(b []byte) string {
+	if s, ok := c.interned[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if c.interned == nil {
+		c.interned = make(map[string]string, 8)
+	}
+	if len(c.interned) < 64 {
+		c.interned[s] = s
+	}
+	return s
 }
 
 // teardown fails all pending calls and signals closure.
@@ -184,12 +223,9 @@ func (c *Client) CallContext(ctx context.Context, method string, arg, reply any)
 	c.mu.Unlock()
 
 	start := time.Now()
-	raw, err := encodeFrame(&frame{Kind: kindCall, Seq: seq, Method: method, Body: body})
-	if err == nil {
-		if c.txBytes != nil {
-			c.txBytes.Add(int64(len(raw)))
-		}
-		err = c.fc.WriteFrame(raw)
+	n, err := c.fc.WriteEnvelope(kindCall, seq, method, "", body)
+	if err == nil && c.txBytes != nil {
+		c.txBytes.Add(int64(n))
 	}
 	if err != nil {
 		c.mu.Lock()

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
 )
 
 // MaxFrameSize bounds a single frame; large task bundles fit comfortably,
@@ -42,61 +41,95 @@ type frame struct {
 
 // frameConn reads and writes whole frames. Implementations must support one
 // concurrent reader and any number of concurrent writers.
+//
+// ReadFrame returns a buffer owned by the connection, valid only until the
+// next ReadFrame; callers that keep payload bytes past that point must copy
+// (decodeFrame's json.RawMessage copy satisfies this).
 type frameConn interface {
 	ReadFrame() ([]byte, error)
+	// WriteEnvelope encodes a frame envelope straight into the connection's
+	// corked write buffer — the fast path; body must be pre-marshalled JSON.
+	// It returns the envelope's encoded size for byte accounting.
+	WriteEnvelope(kind frameKind, seq uint64, method, errStr string, body []byte) (int, error)
+	// WriteFrame sends an already-encoded payload verbatim (compat/test
+	// path; the fast path is WriteEnvelope).
 	WriteFrame(p []byte) error
 	Close() error
 }
 
 // plainConn is the no-security frame transport: 4-byte big-endian length
-// prefix followed by the payload.
+// prefix followed by the payload. Writes coalesce through a corkedWriter;
+// reads reuse a per-connection scratch buffer.
 type plainConn struct {
-	c  net.Conn
-	r  *bufio.Reader
-	wm sync.Mutex
-	w  *bufio.Writer
+	c    net.Conn
+	r    *bufio.Reader
+	rbuf []byte
+	hdr  [4]byte // read-side length prefix scratch (avoids an escape per frame)
+	cw   corkedWriter
 }
 
-func newPlainConn(c net.Conn) *plainConn {
-	return &plainConn{c: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
+func newPlainConn(c net.Conn, stats flushStats) *plainConn {
+	p := &plainConn{c: c, r: bufio.NewReaderSize(c, 64<<10)}
+	p.cw.init(c, stats)
+	return p
 }
 
 func (p *plainConn) ReadFrame() ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(p.r, p.hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(p.hdr[:])
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("wsrpc: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(p.r, buf); err != nil {
+	p.rbuf = growScratch(p.rbuf, int(n))
+	if _, err := io.ReadFull(p.r, p.rbuf); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return p.rbuf, nil
+}
+
+func (p *plainConn) WriteEnvelope(kind frameKind, seq uint64, method, errStr string, body []byte) (int, error) {
+	buf, err := p.cw.beginFrame()
+	if err != nil {
+		return 0, err
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length prefix, backfilled below
+	buf = appendFrame(buf, kind, seq, method, errStr, body)
+	n := len(buf) - start - 4
+	if n > MaxFrameSize {
+		p.cw.cancel(buf[:start])
+		return 0, fmt.Errorf("wsrpc: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	return n, p.cw.endFrame(buf)
 }
 
 func (p *plainConn) WriteFrame(b []byte) error {
 	if len(b) > MaxFrameSize {
 		return fmt.Errorf("wsrpc: frame of %d bytes exceeds limit", len(b))
 	}
-	p.wm.Lock()
-	defer p.wm.Unlock()
+	buf, err := p.cw.beginFrame()
+	if err != nil {
+		return err
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := p.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := p.w.Write(b); err != nil {
-		return err
-	}
-	return p.w.Flush()
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, b...)
+	return p.cw.endFrame(buf)
 }
 
-func (p *plainConn) Close() error { return p.c.Close() }
+func (p *plainConn) Close() error {
+	err := p.c.Close()
+	p.cw.fail(net.ErrClosed)
+	return err
+}
 
-// encodeFrame marshals a frame envelope.
+// encodeFrame marshals a frame envelope through encoding/json — the
+// reference encoding that WriteEnvelope's appendFrame must stay
+// decode-equivalent with (the property tests compare the two).
 func encodeFrame(f *frame) ([]byte, error) {
 	b, err := json.Marshal(f)
 	if err != nil {
@@ -105,7 +138,9 @@ func encodeFrame(f *frame) ([]byte, error) {
 	return b, nil
 }
 
-// decodeFrame unmarshals a frame envelope.
+// decodeFrame unmarshals a frame envelope. The input may be a reused read
+// buffer: json.RawMessage's UnmarshalJSON copies the body bytes, so the
+// returned frame does not alias b.
 func decodeFrame(b []byte) (*frame, error) {
 	var f frame
 	if err := json.Unmarshal(b, &f); err != nil {

@@ -124,7 +124,7 @@ func TestSecureFrameTamperDetected(t *testing.T) {
 			srvc <- res{nil, err}
 			return
 		}
-		fc, err := newSecureConn(c, psk, false)
+		fc, err := newSecureConn(c, psk, false, flushStats{})
 		srvc <- res{fc, err}
 	}()
 	cc, err := net.Dial("tcp", ln.Addr().String())
@@ -134,7 +134,7 @@ func TestSecureFrameTamperDetected(t *testing.T) {
 	// Tampering man-in-the-middle: wrap the client conn to flip a bit in
 	// the first data frame after the handshake.
 	tc := &tamperConn{Conn: cc, skip: 32 + 32} // nonce + proof pass through
-	cli, err := newSecureConn(tc, psk, true)
+	cli, err := newSecureConn(tc, psk, true, flushStats{})
 	if err != nil {
 		t.Fatal(err)
 	}

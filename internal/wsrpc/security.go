@@ -11,9 +11,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"net"
-	"sync"
 )
 
 // SecurityProfile selects the per-connection security mode, mirroring the
@@ -52,24 +52,33 @@ const nonceLen = 32
 
 // secureConn wraps a net.Conn with framewise AES-CTR encryption and
 // HMAC-SHA256 authentication, keyed from a pre-shared key and per-connection
-// nonces.
+// nonces. Sealing happens in place inside the cork buffer — the envelope is
+// appended, encrypted where it lies, and MAC'd with a persistent (Reset)
+// HMAC state, so the send path allocates nothing per frame. The CTR stream
+// and send counter are guarded by the cork mutex, which already serializes
+// frame order; the receive side is single-reader by the frameConn contract.
 type secureConn struct {
 	c net.Conn
 	r *bufio.Reader
 
-	wm    sync.Mutex
-	w     *bufio.Writer
-	sendC cipher.Stream
-	sendK []byte // mac key
-	sendN uint64
-	recvC cipher.Stream
-	recvK []byte
-	recvN uint64
+	cw      corkedWriter
+	sendC   cipher.Stream
+	sendMAC hash.Hash
+	sendN   uint64
+	sendCnt [8]byte // MAC counter scratch, guarded by cw's mutex
+
+	rbuf    []byte
+	macBuf  []byte
+	hdr     [4]byte
+	recvC   cipher.Stream
+	recvMAC hash.Hash
+	recvN   uint64
+	recvCnt [8]byte // MAC counter scratch, single-reader like rbuf
 }
 
 // newSecureConn runs the handshake (client initiates) and returns the
 // secured frame transport.
-func newSecureConn(c net.Conn, psk []byte, isClient bool) (*secureConn, error) {
+func newSecureConn(c net.Conn, psk []byte, isClient bool, stats flushStats) (*secureConn, error) {
 	if len(psk) == 0 {
 		return nil, fmt.Errorf("%w: empty pre-shared key", errHandshake)
 	}
@@ -78,12 +87,9 @@ func newSecureConn(c net.Conn, psk []byte, isClient bool) (*secureConn, error) {
 		return nil, fmt.Errorf("%w: %v", errHandshake, err)
 	}
 	r := bufio.NewReaderSize(c, 64<<10)
-	w := bufio.NewWriterSize(c, 64<<10)
 	send := func(b []byte) error {
-		if _, err := w.Write(b); err != nil {
-			return err
-		}
-		return w.Flush()
+		_, err := c.Write(b)
+		return err
 	}
 	// Exchange nonces: client sends first, server responds. Then both sides
 	// prove key possession with an HMAC over both nonces.
@@ -148,88 +154,105 @@ func newSecureConn(c net.Conn, psk []byte, isClient bool) (*secureConn, error) {
 	c2sEnc, s2cEnc := derive("enc:c2s"), derive("enc:s2c")
 	c2sMac, s2cMac := derive("mac:c2s"), derive("mac:s2c")
 
-	sc := &secureConn{c: c, r: r, w: w}
+	sc := &secureConn{c: c, r: r, macBuf: make([]byte, 0, sha256.Size)}
+	sc.cw.init(c, stats)
 	if isClient {
-		sc.sendC, sc.sendK = mkStream(c2sEnc), c2sMac
-		sc.recvC, sc.recvK = mkStream(s2cEnc), s2cMac
+		sc.sendC, sc.sendMAC = mkStream(c2sEnc), hmac.New(sha256.New, c2sMac)
+		sc.recvC, sc.recvMAC = mkStream(s2cEnc), hmac.New(sha256.New, s2cMac)
 	} else {
-		sc.sendC, sc.sendK = mkStream(s2cEnc), s2cMac
-		sc.recvC, sc.recvK = mkStream(c2sEnc), c2sMac
+		sc.sendC, sc.sendMAC = mkStream(s2cEnc), hmac.New(sha256.New, s2cMac)
+		sc.recvC, sc.recvMAC = mkStream(c2sEnc), hmac.New(sha256.New, c2sMac)
 	}
 	return sc, nil
 }
 
-// mac computes the frame MAC over (counter, ciphertext).
-func frameMAC(key []byte, counter uint64, ct []byte) []byte {
-	m := hmac.New(sha256.New, key)
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], counter)
-	m.Write(n[:])
-	m.Write(ct)
-	return m.Sum(nil)
+// sealLocked encrypts buf[start+4:] in place, backfills the length prefix,
+// and appends the frame MAC over (counter, ciphertext). Must run with the
+// cork mutex held (beginFrame) — the CTR stream and counter are stateful and
+// must advance in wire order.
+func (s *secureConn) sealLocked(buf []byte, start int) []byte {
+	ct := buf[start+4:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(ct)))
+	s.sendC.XORKeyStream(ct, ct)
+	binary.BigEndian.PutUint64(s.sendCnt[:], s.sendN)
+	s.sendN++
+	s.sendMAC.Reset()
+	s.sendMAC.Write(s.sendCnt[:])
+	s.sendMAC.Write(ct)
+	return s.sendMAC.Sum(buf)
+}
+
+func (s *secureConn) WriteEnvelope(kind frameKind, seq uint64, method, errStr string, body []byte) (int, error) {
+	buf, err := s.cw.beginFrame()
+	if err != nil {
+		return 0, err
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = appendFrame(buf, kind, seq, method, errStr, body)
+	n := len(buf) - start - 4
+	if n > MaxFrameSize {
+		s.cw.cancel(buf[:start])
+		return 0, fmt.Errorf("wsrpc: frame of %d bytes exceeds limit", n)
+	}
+	return n, s.cw.endFrame(s.sealLocked(buf, start))
 }
 
 func (s *secureConn) WriteFrame(b []byte) error {
 	if len(b) > MaxFrameSize {
 		return fmt.Errorf("wsrpc: frame of %d bytes exceeds limit", len(b))
 	}
-	s.wm.Lock()
-	defer s.wm.Unlock()
-	ct := make([]byte, len(b))
-	s.sendC.XORKeyStream(ct, b)
-	mac := frameMAC(s.sendK, s.sendN, ct)
-	s.sendN++
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(ct)))
-	if _, err := s.w.Write(hdr[:]); err != nil {
+	buf, err := s.cw.beginFrame()
+	if err != nil {
 		return err
 	}
-	if _, err := s.w.Write(ct); err != nil {
-		return err
-	}
-	if _, err := s.w.Write(mac); err != nil {
-		return err
-	}
-	return s.w.Flush()
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, b...)
+	return s.cw.endFrame(s.sealLocked(buf, start))
 }
 
 func (s *secureConn) ReadFrame() ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(s.r, s.hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(s.hdr[:])
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("wsrpc: frame of %d bytes exceeds limit", n)
 	}
-	ct := make([]byte, n)
-	if _, err := io.ReadFull(s.r, ct); err != nil {
+	s.rbuf = growScratch(s.rbuf, int(n)+sha256.Size)
+	if _, err := io.ReadFull(s.r, s.rbuf); err != nil {
 		return nil, err
 	}
-	var mac [sha256.Size]byte
-	if _, err := io.ReadFull(s.r, mac[:]); err != nil {
-		return nil, err
-	}
-	want := frameMAC(s.recvK, s.recvN, ct)
-	if subtle.ConstantTimeCompare(mac[:], want) != 1 {
+	ct, mac := s.rbuf[:n], s.rbuf[n:]
+	binary.BigEndian.PutUint64(s.recvCnt[:], s.recvN)
+	s.recvMAC.Reset()
+	s.recvMAC.Write(s.recvCnt[:])
+	s.recvMAC.Write(ct)
+	s.macBuf = s.recvMAC.Sum(s.macBuf[:0])
+	if subtle.ConstantTimeCompare(mac, s.macBuf) != 1 {
 		return nil, ErrBadMAC
 	}
 	s.recvN++
-	pt := make([]byte, len(ct))
-	s.recvC.XORKeyStream(pt, ct)
-	return pt, nil
+	s.recvC.XORKeyStream(ct, ct) // decrypt in place
+	return ct, nil
 }
 
-func (s *secureConn) Close() error { return s.c.Close() }
+func (s *secureConn) Close() error {
+	err := s.c.Close()
+	s.cw.fail(net.ErrClosed)
+	return err
+}
 
 // newFrameConn wraps c according to the profile; psk is required for the
-// secure profile.
-func newFrameConn(c net.Conn, profile SecurityProfile, psk []byte, isClient bool) (frameConn, error) {
+// secure profile. stats instruments the corked write path (zero value for
+// unmetered connections).
+func newFrameConn(c net.Conn, profile SecurityProfile, psk []byte, isClient bool, stats flushStats) (frameConn, error) {
 	switch profile {
 	case SecurityNone:
-		return newPlainConn(c), nil
+		return newPlainConn(c, stats), nil
 	case SecuritySecureConversation:
-		return newSecureConn(c, psk, isClient)
+		return newSecureConn(c, psk, isClient, stats)
 	default:
 		return nil, fmt.Errorf("wsrpc: unknown security profile %v", profile)
 	}

@@ -16,8 +16,9 @@ import (
 )
 
 // Handler serves one RPC method. body is the caller's argument encoded as
-// JSON; the returned value is encoded as the reply. Handlers run on their
-// own goroutine per call and may block.
+// JSON; the returned value is encoded as the reply. Handlers installed with
+// Register run on their own goroutine per call and may block; handlers
+// installed with RegisterFast run inline on the read loop and must not.
 type Handler func(peer *Peer, body json.RawMessage) (any, error)
 
 // ServerOptions configures a Server.
@@ -44,12 +45,14 @@ type methodStats struct {
 // handlers. It also supports server-initiated notifications to connected
 // peers — the "push" half of Falkon's hybrid dispatch protocol.
 type Server struct {
-	opts     ServerOptions
-	ln       net.Listener
-	handlers map[string]Handler
-	stats    map[string]*methodStats // read-only after Listen, like handlers
-	rxBytes  *metrics.Counter
-	txBytes  *metrics.Counter
+	opts       ServerOptions
+	ln         net.Listener
+	handlers   map[string]Handler
+	fast       map[string]bool         // methods dispatched inline (RegisterFast)
+	stats      map[string]*methodStats // read-only after Listen, like handlers
+	rxBytes    *metrics.Counter
+	txBytes    *metrics.Counter
+	flushStats flushStats
 
 	mu     sync.Mutex
 	peers  map[*Peer]struct{}
@@ -65,12 +68,17 @@ func NewServer(opts ServerOptions) *Server {
 	s := &Server{
 		opts:     opts,
 		handlers: make(map[string]Handler),
+		fast:     make(map[string]bool),
 		peers:    make(map[*Peer]struct{}),
 	}
 	if opts.Metrics != nil {
 		s.stats = make(map[string]*methodStats)
 		s.rxBytes = opts.Metrics.Counter("wsrpc_rx_bytes_total")
 		s.txBytes = opts.Metrics.Counter("wsrpc_tx_bytes_total")
+		s.flushStats = flushStats{
+			flushes:  opts.Metrics.Counter("wsrpc_flushes_total"),
+			perFlush: opts.Metrics.Histogram("wsrpc_frames_per_flush"),
+		}
 	}
 	return s
 }
@@ -91,6 +99,18 @@ func (s *Server) Register(method string, h Handler) {
 			lat:   s.opts.Metrics.Histogram(obs.Labeled("wsrpc_call_seconds", "method", method)),
 		}
 	}
+}
+
+// RegisterFast installs a handler dispatched inline on the connection's
+// read goroutine instead of a goroutine per call. This removes the
+// per-call goroutine spawn on hot methods, but the handler must be
+// non-blocking: while it runs, no further frame is read from that
+// connection (long-polling handlers like collect must stay on Register).
+// The body passed to a fast handler may alias the connection's read buffer
+// and is valid only for the duration of the call.
+func (s *Server) RegisterFast(method string, h Handler) {
+	s.Register(method, h)
+	s.fast[method] = true
 }
 
 // OnDisconnect installs a callback invoked (once) whenever a peer's
@@ -173,7 +193,7 @@ func (s *Server) logf(format string, args ...any) {
 
 // handleConn owns one connection for its lifetime.
 func (s *Server) handleConn(c net.Conn) {
-	fc, err := newFrameConn(c, s.opts.Security, s.opts.PSK, false)
+	fc, err := newFrameConn(c, s.opts.Security, s.opts.PSK, false, s.flushStats)
 	if err != nil {
 		s.logf("wsrpc: handshake with %s: %v", c.RemoteAddr(), err)
 		c.Close()
@@ -213,59 +233,78 @@ func (s *Server) handleConn(c net.Conn) {
 		if s.rxBytes != nil {
 			s.rxBytes.Add(int64(len(raw)))
 		}
-		f, err := decodeFrame(raw)
-		if err != nil {
-			s.logf("wsrpc: bad frame from %s: %v", peer.remote, err)
-			return
+		v, okFast := fastParseFrame(raw)
+		if !okFast {
+			f, err := decodeFrame(raw)
+			if err != nil {
+				s.logf("wsrpc: bad frame from %s: %v", peer.remote, err)
+				return
+			}
+			v = frameView{kind: f.Kind, seq: f.Seq, method: []byte(f.Method), errs: []byte(f.Err), body: f.Body}
 		}
-		if f.Kind != kindCall {
-			s.logf("wsrpc: unexpected %d frame from %s", f.Kind, peer.remote)
+		if v.kind != kindCall {
+			s.logf("wsrpc: unexpected %d frame from %s", v.kind, peer.remote)
 			continue
 		}
-		h, ok := s.handlers[f.Method]
+		h, ok := s.handlers[string(v.method)] // no-alloc map lookup
 		if !ok {
-			s.reply(peer, f.Seq, nil, fmt.Errorf("wsrpc: no such method %q", f.Method))
+			s.reply(peer, v.seq, nil, fmt.Errorf("wsrpc: no such method %q", v.method))
 			continue
 		}
-		calls.Add(1)
-		go func(f *frame) {
-			defer calls.Done()
+		ms := s.stats[string(v.method)]
+		if s.fast[string(v.method)] {
+			// Inline dispatch: v.body may alias the read scratch, which is
+			// safe because the handler completes before the next ReadFrame.
 			start := time.Now()
-			res, err := h(peer, f.Body)
-			if ms := s.stats[f.Method]; ms != nil {
+			res, herr := h(peer, v.body)
+			if ms != nil {
 				ms.calls.Inc()
 				ms.lat.Observe(time.Since(start).Seconds())
 			}
-			s.reply(peer, f.Seq, res, err)
-		}(f)
+			s.reply(peer, v.seq, res, herr)
+			continue
+		}
+		// Goroutine dispatch: the handler runs concurrently with further
+		// reads, so it gets its own copy of the body.
+		body := make(json.RawMessage, len(v.body))
+		copy(body, v.body)
+		seq := v.seq
+		calls.Add(1)
+		go func() {
+			defer calls.Done()
+			start := time.Now()
+			res, herr := h(peer, body)
+			if ms != nil {
+				ms.calls.Inc()
+				ms.lat.Observe(time.Since(start).Seconds())
+			}
+			s.reply(peer, seq, res, herr)
+		}()
 	}
 }
 
 // reply sends a kindReply frame; errors are logged, not returned, because
 // the reader loop owns connection teardown.
 func (s *Server) reply(p *Peer, seq uint64, res any, herr error) {
-	f := &frame{Kind: kindReply, Seq: seq}
+	var errStr string
+	var body []byte
 	if herr != nil {
-		f.Err = herr.Error()
+		errStr = herr.Error()
 	} else if res != nil {
 		b, err := json.Marshal(res)
 		if err != nil {
-			f.Err = "wsrpc: marshal reply: " + err.Error()
+			errStr = "wsrpc: marshal reply: " + err.Error()
 		} else {
-			f.Body = b
+			body = b
 		}
 	}
-	raw, err := encodeFrame(f)
+	n, err := p.fc.WriteEnvelope(kindReply, seq, "", errStr, body)
 	if err != nil {
-		s.logf("wsrpc: encode reply: %v", err)
+		// Peer is gone; the read loop will notice and clean up.
 		return
 	}
 	if s.txBytes != nil {
-		s.txBytes.Add(int64(len(raw)))
-	}
-	if err := p.fc.WriteFrame(raw); err != nil {
-		// Peer is gone; the read loop will notice and clean up.
-		return
+		s.txBytes.Add(int64(n))
 	}
 }
 
@@ -311,14 +350,14 @@ func (p *Peer) Notify(method string, arg any) error {
 		}
 		body = b
 	}
-	raw, err := encodeFrame(&frame{Kind: kindNotify, Method: method, Body: body})
+	n, err := p.fc.WriteEnvelope(kindNotify, 0, method, "", body)
 	if err != nil {
 		return err
 	}
 	if p.tx != nil {
-		p.tx.Add(int64(len(raw)))
+		p.tx.Add(int64(n))
 	}
-	return p.fc.WriteFrame(raw)
+	return nil
 }
 
 // Close tears down the peer's connection.

@@ -27,6 +27,7 @@ func startBenchServer(b *testing.B, opts ServerOptions) *Server {
 // BenchmarkCallRoundTrip measures one WS-style call over loopback — the
 // live analogue of the paper's per-task dispatch cost (1/487 s on GT4).
 func BenchmarkCallRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	s := startBenchServer(b, ServerOptions{})
 	c, err := Dial(s.Addr(), ClientOptions{})
 	if err != nil {
@@ -45,6 +46,7 @@ func BenchmarkCallRoundTrip(b *testing.B) {
 // BenchmarkSecureCallRoundTrip measures the same call under the
 // AES-CTR+HMAC profile — the GSISecureConversation analogue.
 func BenchmarkSecureCallRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	psk := []byte("bench-key")
 	s := startBenchServer(b, ServerOptions{Security: SecuritySecureConversation, PSK: psk})
 	c, err := Dial(s.Addr(), ClientOptions{Security: SecuritySecureConversation, PSK: psk})
@@ -64,6 +66,7 @@ func BenchmarkSecureCallRoundTrip(b *testing.B) {
 // BenchmarkConcurrentCalls measures pipelined call throughput (the client
 // multiplexes many in-flight calls on one connection).
 func BenchmarkConcurrentCalls(b *testing.B) {
+	b.ReportAllocs()
 	s := startBenchServer(b, ServerOptions{})
 	c, err := Dial(s.Addr(), ClientOptions{})
 	if err != nil {
@@ -83,6 +86,7 @@ func BenchmarkConcurrentCalls(b *testing.B) {
 
 // BenchmarkAxisCostModel measures the bundling cost-model arithmetic.
 func BenchmarkAxisCostModel(b *testing.B) {
+	b.ReportAllocs()
 	m := DefaultAxisCostModel()
 	for i := 0; i < b.N; i++ {
 		_ = m.MessageCost(300)

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# bench_compare.sh — run one named benchmark N times and report the mean and
+# spread of its headline numbers, so perf claims rest on repeated runs
+# instead of a single lucky one.
+#
+#   ./scripts/bench_compare.sh BenchmarkLiveDispatchThroughput          # 3 runs, ./...
+#   ./scripts/bench_compare.sh BenchmarkCallRoundTrip 5 ./internal/wsrpc
+#
+# Prints per-run lines, then mean ± half-range for ns/op and any custom
+# metric columns (e.g. tasks/s), plus B/op and allocs/op when present.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH="${1:?usage: bench_compare.sh <BenchmarkName> [runs] [package]}"
+RUNS="${2:-3}"
+PKG="${3:-./...}"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+go test -run='^$' -bench="^${BENCH}\$" -benchtime=3x -count="$RUNS" "$PKG" | tee "$OUT"
+
+awk -v bench="$BENCH" '
+$1 ~ "^" bench {
+    # Columns after the iteration count come in "<value> <unit>" pairs.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        sum[unit] += $i
+        if (n[unit] == 0 || $i < min[unit]) min[unit] = $i
+        if (n[unit] == 0 || $i > max[unit]) max[unit] = $i
+        n[unit]++
+    }
+}
+END {
+    if (n["ns/op"] == 0) { print "bench_compare: no samples for " bench; exit 1 }
+    print "---"
+    for (unit in sum) {
+        mean = sum[unit] / n[unit]
+        printf "%s: mean %.1f +/- %.1f %s over %d runs\n", bench, mean, (max[unit] - min[unit]) / 2, unit, n[unit]
+    }
+}' "$OUT"

@@ -13,3 +13,6 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+# Compile-and-run every benchmark exactly once, so bitrot in benchmark-only
+# code fails tier 1 instead of the next perf investigation.
+go test -run='^$' -bench=. -benchtime=1x ./...

@@ -104,6 +104,32 @@ func BenchmarkLiveDispatchThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "tasks/s")
 }
 
+// BenchmarkLiveJournaledDispatch measures the same live path with the
+// write-ahead task journal enabled (group-commit fsync): the durable
+// dispatcher's throughput cost relative to BenchmarkLiveDispatchThroughput.
+func BenchmarkLiveJournaledDispatch(b *testing.B) {
+	sys, err := falkon.Start(falkon.Config{Executors: 8, BundleSize: 100, JournalDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	var gen falkon.IDGen
+	const batch = 1000
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Submit(falkon.SleepBatch(&gen, batch, 0)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.WaitN(batch, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "tasks/s")
+}
+
 // BenchmarkLiveSecureDispatch measures the same path with the secure
 // transport profile (the paper's GSISecureConversation analogue).
 func BenchmarkLiveSecureDispatch(b *testing.B) {

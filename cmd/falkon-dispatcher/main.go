@@ -20,6 +20,7 @@ import (
 
 	"falkon/internal/dispatch"
 	"falkon/internal/obs"
+	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
 )
 
@@ -33,12 +34,22 @@ func main() {
 		statsEvery    = flag.Duration("stats-every", 10*time.Second, "periodic stats log interval (0 = off)")
 		quiet         = flag.Bool("quiet", false, "suppress per-event logs")
 		debugAddr     = flag.String("debug-addr", "", "HTTP address serving /metrics, /events.json, and /debug/pprof/ (empty = off)")
+		journalDir    = flag.String("journal-dir", "", "write-ahead task journal directory; recovers state from it on start (empty = no journal)")
+		journalSync   = flag.String("journal-sync", "group", "journal durability: group (fsync per commit batch), off, or a flush interval like 5ms")
+		snapEvery     = flag.Int("snapshot-every", 0, "journal records between snapshot compactions (0 = default 65536, <0 = never)")
 	)
 	flag.Parse()
 
+	syncPolicy, err := wal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		log.Fatalf("falkon-dispatcher: %v", err)
+	}
 	opts := dispatch.Options{
 		ReplayTimeout: *replayTimeout,
 		MaxRetries:    *maxRetries,
+		JournalDir:    *journalDir,
+		JournalSync:   syncPolicy,
+		SnapshotEvery: *snapEvery,
 	}
 	if !*quiet {
 		opts.Logf = log.Printf
@@ -60,6 +71,9 @@ func main() {
 		log.Fatalf("falkon-dispatcher: %v", err)
 	}
 	fmt.Printf("falkon-dispatcher listening on %s (security=%v)\n", d.Addr(), opts.Security)
+	if *journalDir != "" {
+		fmt.Printf("falkon-dispatcher journaling to %s (sync=%v)\n", *journalDir, syncPolicy)
+	}
 
 	if *debugAddr != "" {
 		ds, err := obs.ServeDebugSnapshot(*debugAddr, d.MetricsSnapshot, d.Tracer())
@@ -84,9 +98,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// A second signal skips the drain and exits hard (the journal makes
+	// that safe: the next start replays it).
+	go func() {
+		<-sig
+		log.Println("falkon-dispatcher: second signal, exiting immediately")
+		os.Exit(1)
+	}()
 	log.Println("falkon-dispatcher: draining (up to 30s)")
 	if !d.Drain(30 * time.Second) {
 		log.Println("falkon-dispatcher: drain timed out; closing with work in flight")
 	}
+	// Close seals the journal (final flush + fsync) before exiting.
 	d.Close()
+	if *journalDir != "" {
+		log.Println("falkon-dispatcher: journal sealed")
+	}
+	log.Println("falkon-dispatcher: shutdown complete")
 }

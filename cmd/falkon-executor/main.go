@@ -36,6 +36,8 @@ func main() {
 		pskFile    = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
 		execT      = flag.Duration("exec-timeout", 0, "kill exec-engine tasks after this long (0 = never)")
 		debugAddr  = flag.String("debug-addr", "", "HTTP address serving /metrics, /events.json, and /debug/pprof/ (empty = off)")
+		reconnect  = flag.Bool("reconnect", false, "survive dispatcher restarts: re-register with backoff instead of stopping")
+		reconnectT = flag.Duration("reconnect-timeout", 30*time.Second, "give up after a continuous outage this long (with -reconnect)")
 	)
 	flag.Parse()
 
@@ -47,13 +49,15 @@ func main() {
 	// whole process's view.
 	reg := obs.NewRegistry()
 	opts := executor.Options{
-		DispatcherAddr: *dispatcher,
-		Slots:          *slots,
-		IdleTimeout:    *idle,
-		Prefetch:       *prefetch,
-		ExecTimeout:    *execT,
-		Logf:           log.Printf,
-		Metrics:        reg,
+		DispatcherAddr:   *dispatcher,
+		Slots:            *slots,
+		IdleTimeout:      *idle,
+		Prefetch:         *prefetch,
+		ExecTimeout:      *execT,
+		Logf:             log.Printf,
+		Metrics:          reg,
+		Reconnect:        *reconnect,
+		ReconnectTimeout: *reconnectT,
 	}
 	if *secure {
 		if *pskFile == "" {

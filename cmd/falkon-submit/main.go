@@ -38,6 +38,7 @@ func main() {
 		secure     = flag.Bool("secure", false, "use the secure-conversation transport profile")
 		pskFile    = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "overall wait timeout")
+		reconnect  = flag.Bool("reconnect", false, "survive dispatcher restarts: reattach, resubmit pending tasks idempotently, and dedupe redelivered results")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		Name:           "falkon-submit",
 		BundleSize:     *bundle,
 		Poll:           *poll,
+		Reconnect:      *reconnect,
 	}
 	if *secure {
 		if *pskFile == "" {
@@ -115,6 +117,10 @@ func main() {
 		float64(len(results))/elapsed.Seconds())
 	fmt.Printf("queue time  mean=%v min=%v max=%v\n", qs.Mean.Round(time.Microsecond), qs.Min.Round(time.Microsecond), qs.Max.Round(time.Microsecond))
 	fmt.Printf("exec time   mean=%v min=%v max=%v\n", es.Mean.Round(time.Microsecond), es.Min.Round(time.Microsecond), es.Max.Round(time.Microsecond))
+	if *reconnect && (c.Reconnects() > 0 || c.DuplicatesDropped() > 0 || c.Deduped() > 0) {
+		fmt.Printf("recovery    reconnects=%d resubmit-deduped=%d duplicate-results-dropped=%d\n",
+			c.Reconnects(), c.Deduped(), c.DuplicatesDropped())
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

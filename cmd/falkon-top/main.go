@@ -71,6 +71,16 @@ func main() {
 			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
 			st.Dispatched, st.Completed, st.Failed, st.Retried, st.Duplicates, notifyErrs, rate)
 		lines++
+		// Journal panel appears only when the dispatcher journals.
+		if st.Journal {
+			recovered := ""
+			if st.RecoveredTasks > 0 {
+				recovered = fmt.Sprintf(" recovered=%d", st.RecoveredTasks)
+			}
+			fmt.Printf("\033[Kjournal appends=%d fsyncs=%d%s\n",
+				st.JournalAppends, st.JournalFsyncs, recovered)
+			lines++
+		}
 
 		if *stages {
 			ms, err := c.Metrics()

@@ -286,6 +286,51 @@ func TestBinariesDebugEndpoints(t *testing.T) {
 	}
 }
 
+func TestBinariesCrashRecovery(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr := freePort(t)
+	jdir := t.TempDir()
+	dispArgs := []string{"-addr", dispAddr, "-quiet", "-stats-every", "0",
+		"-journal-dir", jdir, "-journal-sync", "group"}
+	disp := startProc(t, filepath.Join(bin, "falkon-dispatcher"), dispArgs...)
+	waitListening(t, dispAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr,
+		"-n", "2", "-reconnect", "-reconnect-timeout", "60s")
+
+	// A workload long enough (400 x 30ms over 2 single-slot executors, ~6s)
+	// that the kill below is guaranteed to land mid-run.
+	submit := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-sleep0", "400", "-sleep", "30ms",
+		"-bundle", "20", "-reconnect", "-timeout", "120s")
+	var out strings.Builder
+	submit.Stdout = &out
+	submit.Stderr = &out
+	if err := submit.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { submit.Process.Kill(); submit.Wait() })
+
+	// kill -9 the dispatcher mid-run: no drain, no journal seal.
+	time.Sleep(1500 * time.Millisecond)
+	disp.Process.Kill()
+	disp.Wait()
+
+	// Restart on the same address and journal directory; executors and
+	// client reconnect and the run finishes with exactly-once delivery.
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), dispArgs...)
+	waitListening(t, dispAddr)
+
+	if err := submit.Wait(); err != nil {
+		t.Fatalf("falkon-submit after crash: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "completed 400 tasks (0 failed)") {
+		t.Fatalf("submit output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "reconnects=") {
+		t.Fatalf("submit never reconnected (crash missed the run?): %s", out.String())
+	}
+}
+
 func TestBinariesWorkflow(t *testing.T) {
 	bin := buildBinaries(t)
 	dag := filepath.Join(t.TempDir(), "dag.json")

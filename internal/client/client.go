@@ -2,14 +2,23 @@
 // dispatcher instance (factory/instance pattern), submits tasks with
 // client-dispatcher bundling, and collects results either through pushed
 // notifications (message {8} of Figure 2) or by polling.
+//
+// With Reconnect enabled the client also rides out dispatcher restarts:
+// it redials with jittered backoff, re-attaches to its instance (which a
+// journaling dispatcher recovers from disk), idempotently resubmits every
+// task still awaiting a result, and dedupes redelivered results by task
+// ID — so the application sees each result exactly once no matter how
+// many times the dispatcher crashed in between.
 package client
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"falkon/internal/backoff"
 	"falkon/internal/fproto"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
@@ -33,19 +42,48 @@ type Options struct {
 	// PollInterval is the Collect long-poll wait when Poll is set
 	// (default 50 ms).
 	PollInterval time.Duration
+
+	// Reconnect enables crash-safe operation: on a dropped connection the
+	// client redials with jittered backoff, re-attaches to its instance,
+	// resubmits tasks still awaiting results (the dispatcher dedupes ones
+	// it already holds), and drops duplicate redeliveries by task ID.
+	Reconnect bool
+	// ReconnectTimeout bounds one continuous outage (default 30s); past it
+	// the client gives up and Submit/WaitN fail.
+	ReconnectTimeout time.Duration
+	// Backoff tunes the redial schedule (zero value = backoff.Default).
+	Backoff backoff.Policy
 }
 
 // Client is a connected Falkon client owning one dispatcher instance.
 type Client struct {
 	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on reconnect, close, and death
 	cli  *wsrpc.Client
 	epr  string
+	gen  int // connection generation, bumped on every successful reconnect
 
-	mu        sync.Mutex
-	submitted int64
-	received  int64
-	results   chan task.Result
-	closed    bool
+	submitted  int64
+	received   int64
+	deduped    int64 // resubmitted tasks the dispatcher already held
+	dupDrops   int64 // redelivered results dropped client-side
+	reconnects int64
+
+	// pending tracks acknowledged tasks still awaiting results; done holds
+	// every delivered result ID. Both exist only in Reconnect mode:
+	// pending drives resubmission, done drives exactly-once delivery.
+	pending map[task.ID]task.Task
+	done    map[task.ID]struct{}
+
+	closed  bool
+	dead    bool
+	deadErr error
+
+	results  chan task.Result
+	closedCh chan struct{}
+	deadCh   chan struct{}
 
 	pollStop chan struct{}
 	pollDone chan struct{}
@@ -59,16 +97,24 @@ func Connect(opts Options) (*Client, error) {
 	if opts.PollInterval <= 0 {
 		opts.PollInterval = 50 * time.Millisecond
 	}
-	c := &Client{opts: opts, results: make(chan task.Result, 4096)}
-	cli, err := wsrpc.Dial(opts.DispatcherAddr, wsrpc.ClientOptions{
-		Security: opts.Security,
-		PSK:      opts.PSK,
-		OnNotify: c.onNotify,
-	})
+	if opts.ReconnectTimeout <= 0 {
+		opts.ReconnectTimeout = 30 * time.Second
+	}
+	c := &Client{
+		opts:     opts,
+		results:  make(chan task.Result, 4096),
+		closedCh: make(chan struct{}),
+		deadCh:   make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if opts.Reconnect {
+		c.pending = make(map[task.ID]task.Task)
+		c.done = make(map[task.ID]struct{})
+	}
+	cli, err := c.dial()
 	if err != nil {
 		return nil, err
 	}
-	c.cli = cli
 	var reply fproto.CreateInstanceReply
 	err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
 		ClientName:        opts.Name,
@@ -78,7 +124,9 @@ func Connect(opts Options) (*Client, error) {
 		cli.Close()
 		return nil, fmt.Errorf("client: create instance: %w", err)
 	}
+	c.cli = cli
 	c.epr = reply.EPR
+	go c.supervise(cli)
 	if opts.Poll {
 		c.pollStop = make(chan struct{})
 		c.pollDone = make(chan struct{})
@@ -87,8 +135,146 @@ func Connect(opts Options) (*Client, error) {
 	return c, nil
 }
 
+func (c *Client) dial() (*wsrpc.Client, error) {
+	return wsrpc.Dial(c.opts.DispatcherAddr, wsrpc.ClientOptions{
+		Security: c.opts.Security,
+		PSK:      c.opts.PSK,
+		OnNotify: c.onNotify,
+	})
+}
+
 // EPR returns the instance endpoint reference.
-func (c *Client) EPR() string { return c.epr }
+func (c *Client) EPR() string { c.mu.Lock(); defer c.mu.Unlock(); return c.epr }
+
+// conn returns the live connection and its generation.
+func (c *Client) conn() (*wsrpc.Client, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, fmt.Errorf("client: closed")
+	}
+	if c.dead {
+		return nil, 0, fmt.Errorf("client: connection lost: %w", c.deadErr)
+	}
+	return c.cli, c.gen, nil
+}
+
+// awaitReconnect blocks until the connection generation moves past gen.
+// false means the client closed or gave up instead.
+func (c *Client) awaitReconnect(gen int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.gen == gen && !c.closed && !c.dead {
+		c.cond.Wait()
+	}
+	return !c.closed && !c.dead
+}
+
+func (c *Client) markDead(err error) {
+	c.mu.Lock()
+	if !c.dead && !c.closed {
+		c.dead = true
+		c.deadErr = err
+		close(c.deadCh)
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// supervise watches the current connection and, in Reconnect mode,
+// replaces it when it drops: redial with jittered backoff, re-attach to
+// the instance (a journaling dispatcher recovers it across restarts; on an
+// unknown EPR fall back to a fresh instance), resubmit every task still
+// awaiting a result, and hand the new connection to the other goroutines.
+func (c *Client) supervise(cli *wsrpc.Client) {
+	for {
+		select {
+		case <-cli.Done():
+		case <-c.closedCh:
+			return
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if !c.opts.Reconnect {
+			c.markDead(wsrpc.ErrClientClosed)
+			return
+		}
+		next, ok := c.reconnect()
+		if !ok {
+			return
+		}
+		cli = next
+	}
+}
+
+// reconnect runs the backoff redial loop for one outage. It returns the
+// new connection, or ok=false when the client closed or gave up.
+func (c *Client) reconnect() (*wsrpc.Client, bool) {
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-c.closedCh:
+			return nil, false
+		case <-time.After(c.opts.Backoff.Delay(attempt)):
+		}
+		if time.Since(start) > c.opts.ReconnectTimeout {
+			c.markDead(fmt.Errorf("reconnect timed out after %v", c.opts.ReconnectTimeout))
+			return nil, false
+		}
+		cli, err := c.dial()
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		epr, name, poll := c.epr, c.opts.Name, c.opts.Poll
+		c.mu.Unlock()
+		var reply fproto.CreateInstanceReply
+		err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
+			ClientName:        name,
+			WantNotifications: !poll,
+			EPR:               epr,
+		}, &reply)
+		var remote *wsrpc.RemoteError
+		if errors.As(err, &remote) {
+			// The dispatcher is up but doesn't know the instance (no journal,
+			// or it was pruned): start fresh and resubmit everything.
+			err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
+				ClientName:        name,
+				WantNotifications: !poll,
+			}, &reply)
+		}
+		if err != nil {
+			cli.Close()
+			continue
+		}
+		c.mu.Lock()
+		c.cli = cli
+		c.epr = reply.EPR
+		c.gen++
+		c.reconnects++
+		resubmit := make([]task.Task, 0, len(c.pending))
+		for _, t := range c.pending {
+			resubmit = append(resubmit, t)
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		// Idempotent resubmission: the dispatcher drops tasks it still
+		// holds (reply.Deduped) and re-runs the ones that died with the
+		// crash. Errors here just trigger another supervise round.
+		if err := c.submitTasks(resubmit, true); err == nil {
+			return cli, true
+		}
+		select {
+		case <-cli.Done(): // connection died again mid-resubmit; retry
+		default:
+			return cli, true // submit rejected but connection is live
+		}
+	}
+}
 
 // onNotify receives pushed results. It runs on the read loop; the results
 // channel is buffered, and genuine backpressure falls back to a goroutine
@@ -105,8 +291,34 @@ func (c *Client) onNotify(method string, body json.RawMessage) {
 }
 
 // deliver pushes results to the channel, spilling to a goroutine if full so
-// the transport read loop never stalls.
+// the transport read loop never stalls. In Reconnect mode it first drops
+// results already delivered once — redeliveries are expected after a
+// crash (the journal redelivers anything not provably collected) and after
+// resubmission races, and this filter is what makes delivery exactly-once.
 func (c *Client) deliver(rs []task.Result) {
+	if c.done != nil {
+		c.mu.Lock()
+		fresh := rs[:0:0]
+		for _, r := range rs {
+			if _, dup := c.done[r.ID]; dup {
+				c.dupDrops++
+				continue
+			}
+			c.done[r.ID] = struct{}{}
+			delete(c.pending, r.ID)
+			fresh = append(fresh, r)
+		}
+		c.received += int64(len(fresh))
+		c.mu.Unlock()
+		for _, r := range fresh {
+			select {
+			case c.results <- r:
+			default:
+				go blockingDeliver(c.results, r)
+			}
+		}
+		return
+	}
 	for i, r := range rs {
 		select {
 		case c.results <- r:
@@ -124,13 +336,16 @@ func (c *Client) deliver(rs []task.Result) {
 	c.bumpReceived(len(rs))
 }
 
+func blockingDeliver(ch chan<- task.Result, r task.Result) { ch <- r }
+
 func (c *Client) bumpReceived(n int) {
 	c.mu.Lock()
 	c.received += int64(n)
 	c.mu.Unlock()
 }
 
-// pollLoop drives Collect when notifications are disabled.
+// pollLoop drives Collect when notifications are disabled. In Reconnect
+// mode it survives connection swaps by waiting out each outage.
 func (c *Client) pollLoop() {
 	defer close(c.pollDone)
 	for {
@@ -139,13 +354,24 @@ func (c *Client) pollLoop() {
 			return
 		default:
 		}
+		cli, gen, err := c.conn()
+		if err != nil {
+			return
+		}
 		var reply fproto.CollectReply
-		err := c.cli.Call(fproto.MethodCollect, fproto.CollectRequest{
-			EPR:        c.epr,
+		err = cli.Call(fproto.MethodCollect, fproto.CollectRequest{
+			EPR:        c.EPR(),
 			WaitMillis: int(c.opts.PollInterval / time.Millisecond),
 		}, &reply)
 		if err != nil {
-			return // connection gone
+			var remote *wsrpc.RemoteError
+			if !c.opts.Reconnect || errors.As(err, &remote) {
+				return
+			}
+			if !c.awaitReconnect(gen) {
+				return
+			}
+			continue
 		}
 		if len(reply.Results) > 0 {
 			c.deliver(reply.Results)
@@ -153,23 +379,61 @@ func (c *Client) pollLoop() {
 	}
 }
 
-// Submit sends tasks to the dispatcher in bundles of BundleSize.
+// Submit sends tasks to the dispatcher in bundles of BundleSize. With a
+// journaling dispatcher the acknowledgment means the bundle is durable; in
+// Reconnect mode a bundle interrupted by a connection drop is retried
+// after the reconnect (the dispatcher dedupes tasks it already accepted).
 func (c *Client) Submit(tasks []task.Task) error {
+	return c.submitTasks(tasks, false)
+}
+
+// submitTasks bundles tasks over the current connection; resubmit marks
+// the reconnect path, where failures bounce back to the supervisor instead
+// of waiting here.
+func (c *Client) submitTasks(tasks []task.Task, resubmit bool) error {
 	for len(tasks) > 0 {
 		n := c.opts.BundleSize
 		if n > len(tasks) {
 			n = len(tasks)
 		}
+		bundle := tasks[:n]
 		var reply fproto.SubmitReply
-		err := c.cli.Call(fproto.MethodSubmit, fproto.SubmitRequest{EPR: c.epr, Tasks: tasks[:n]}, &reply)
-		if err != nil {
-			return fmt.Errorf("client: submit: %w", err)
+		for {
+			cli, gen, err := c.conn()
+			if err != nil {
+				return fmt.Errorf("client: submit: %w", err)
+			}
+			err = cli.Call(fproto.MethodSubmit, fproto.SubmitRequest{EPR: c.EPR(), Tasks: bundle}, &reply)
+			if err == nil {
+				break
+			}
+			var remote *wsrpc.RemoteError
+			if resubmit || !c.opts.Reconnect || errors.As(err, &remote) {
+				return fmt.Errorf("client: submit: %w", err)
+			}
+			// Connection-level failure: wait out the outage and retry this
+			// bundle on the replacement connection. Tasks the dispatcher
+			// already journaled before the crash come back Deduped.
+			if !c.awaitReconnect(gen) {
+				_, _, cerr := c.conn()
+				return fmt.Errorf("client: submit: %w", cerr)
+			}
 		}
 		if reply.Accepted != n {
 			return fmt.Errorf("client: submitted %d tasks, dispatcher accepted %d", n, reply.Accepted)
 		}
 		c.mu.Lock()
-		c.submitted += int64(n)
+		c.deduped += int64(reply.Deduped)
+		if !resubmit {
+			c.submitted += int64(n)
+			if c.pending != nil {
+				for _, t := range bundle {
+					if _, delivered := c.done[t.ID]; !delivered {
+						c.pending[t.ID] = t
+					}
+				}
+			}
+		}
 		c.mu.Unlock()
 		tasks = tasks[n:]
 	}
@@ -180,7 +444,9 @@ func (c *Client) Submit(tasks []task.Task) error {
 func (c *Client) Results() <-chan task.Result { return c.results }
 
 // WaitN blocks until n results arrive (cumulative across calls is not
-// tracked; n results are read from the stream) or the timeout expires.
+// tracked; n results are read from the stream) or the timeout expires. In
+// Reconnect mode it keeps waiting across dispatcher restarts and only
+// fails once the client closes or gives up reconnecting.
 func (c *Client) WaitN(n int, timeout time.Duration) ([]task.Result, error) {
 	out := make([]task.Result, 0, n)
 	var deadline <-chan time.Time
@@ -193,7 +459,9 @@ func (c *Client) WaitN(n int, timeout time.Duration) ([]task.Result, error) {
 		select {
 		case r := <-c.results:
 			out = append(out, r)
-		case <-c.cli.Done():
+		case <-c.deadCh:
+			return out, fmt.Errorf("client: connection closed with %d/%d results", len(out), n)
+		case <-c.closedCh:
 			return out, fmt.Errorf("client: connection closed with %d/%d results", len(out), n)
 		case <-deadline:
 			return out, fmt.Errorf("client: timeout with %d/%d results", len(out), n)
@@ -205,11 +473,26 @@ func (c *Client) WaitN(n int, timeout time.Duration) ([]task.Result, error) {
 // Submitted returns the number of tasks submitted so far.
 func (c *Client) Submitted() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.submitted }
 
+// Reconnects counts successful reconnect+reattach cycles.
+func (c *Client) Reconnects() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.reconnects }
+
+// Deduped counts resubmitted tasks the dispatcher already held (its side
+// of the exactly-once story).
+func (c *Client) Deduped() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.deduped }
+
+// DuplicatesDropped counts redelivered results discarded client-side (this
+// side of the exactly-once story).
+func (c *Client) DuplicatesDropped() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.dupDrops }
+
 // Stats fetches the dispatcher's state over the wire (the provisioner's
 // {POLL} request, available to any client).
 func (c *Client) Stats() (fproto.StatsReply, error) {
+	cli, _, err := c.conn()
+	if err != nil {
+		return fproto.StatsReply{}, err
+	}
 	var st fproto.StatsReply
-	err := c.cli.Call(fproto.MethodStats, nil, &st)
+	err = cli.Call(fproto.MethodStats, nil, &st)
 	return st, err
 }
 
@@ -217,8 +500,12 @@ func (c *Client) Stats() (fproto.StatsReply, error) {
 // gauges, and stage/RPC latency histograms (falkon.metrics). Through a
 // forwarder the reply is the merge of every downstream dispatcher.
 func (c *Client) Metrics() (fproto.MetricsReply, error) {
+	cli, _, err := c.conn()
+	if err != nil {
+		return fproto.MetricsReply{}, err
+	}
 	var ms fproto.MetricsReply
-	err := c.cli.Call(fproto.MethodMetrics, nil, &ms)
+	err = cli.Call(fproto.MethodMetrics, nil, &ms)
 	return ms, err
 }
 
@@ -227,8 +514,12 @@ func (c *Client) Metrics() (fproto.MetricsReply, error) {
 // NextSeq tails the stream on a direct dispatcher connection; through a
 // forwarder it is 0 (pagination unavailable).
 func (c *Client) Events(sinceSeq uint64, max int) (fproto.EventsReply, error) {
+	cli, _, err := c.conn()
+	if err != nil {
+		return fproto.EventsReply{}, err
+	}
 	var er fproto.EventsReply
-	err := c.cli.Call(fproto.MethodEvents, fproto.EventsRequest{SinceSeq: sinceSeq, Max: max}, &er)
+	err = cli.Call(fproto.MethodEvents, fproto.EventsRequest{SinceSeq: sinceSeq, Max: max}, &er)
 	return er, err
 }
 
@@ -240,12 +531,15 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	cli, epr := c.cli, c.epr
 	c.mu.Unlock()
+	close(c.closedCh)
+	c.cond.Broadcast()
 	if c.pollStop != nil {
 		close(c.pollStop)
 	}
-	_ = c.cli.Call(fproto.MethodDestroyInstance, fproto.DestroyInstanceRequest{EPR: c.epr}, nil)
-	err := c.cli.Close()
+	_ = cli.Call(fproto.MethodDestroyInstance, fproto.DestroyInstanceRequest{EPR: epr}, nil)
+	err := cli.Close()
 	if c.pollDone != nil {
 		<-c.pollDone
 	}

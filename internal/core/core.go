@@ -16,6 +16,7 @@ import (
 	"falkon/internal/fproto"
 	"falkon/internal/provision"
 	"falkon/internal/task"
+	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
 )
 
@@ -74,6 +75,12 @@ type Config struct {
 	// Provisioning, when non-nil, runs a provisioner instead of a static
 	// pool.
 	Provisioning *ProvisioningConfig
+	// JournalDir enables the dispatcher's write-ahead task journal; on boot
+	// the dispatcher recovers any state the directory holds. JournalSync and
+	// SnapshotEvery tune durability and compaction (see dispatch.Options).
+	JournalDir    string
+	JournalSync   wal.SyncPolicy
+	SnapshotEvery int
 	// Logf receives component logs.
 	Logf func(format string, args ...any)
 }
@@ -120,6 +127,9 @@ func Start(cfg Config) (*System, error) {
 		NoRetryOnFailure: cfg.NoRetryOnFailure,
 		Policy:           cfg.Policy,
 		CacheCapacity:    cfg.CacheCapacity,
+		JournalDir:       cfg.JournalDir,
+		JournalSync:      cfg.JournalSync,
+		SnapshotEvery:    cfg.SnapshotEvery,
 		Logf:             cfg.Logf,
 	})
 	if err := s.dispatcher.Listen("127.0.0.1:0"); err != nil {

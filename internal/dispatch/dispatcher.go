@@ -30,6 +30,7 @@ import (
 	"falkon/internal/obs"
 	"falkon/internal/sched"
 	"falkon/internal/task"
+	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
 )
 
@@ -72,6 +73,20 @@ type Options struct {
 	// TraceCapacity bounds the task-lifecycle event ring (default 8192
 	// events; the ring never allocates once full).
 	TraceCapacity int
+
+	// JournalDir, when set, enables the write-ahead journal: every accept,
+	// dispatch, and complete transition is logged there, and Listen
+	// recovers surviving state from it before serving. Empty disables
+	// durability entirely (no journal code on the hot path).
+	JournalDir string
+
+	// JournalSync is the journal fsync policy (default group commit).
+	JournalSync wal.SyncPolicy
+
+	// SnapshotEvery compacts the journal with a state snapshot after this
+	// many appended records (default 65536; negative disables periodic
+	// snapshots).
+	SnapshotEvery int
 
 	// Logf receives dispatcher logs; nil silences them.
 	Logf func(format string, args ...any)
@@ -198,6 +213,17 @@ type Dispatcher struct {
 	drained     *sync.Cond
 	sweeperStop chan struct{}
 	sweeperDone chan struct{}
+
+	// wal is the write-ahead journal (nil without JournalDir). Every
+	// journal append happens while holding d.mu — only durability waits
+	// happen after unlock — so journal order equals state-mutation order,
+	// and a snapshot cut taken under d.mu is an exact prefix of the state.
+	wal            *wal.Journal
+	recoveredTasks int64 // pending tasks rebuilt at the last Listen
+	snapEvery      int64
+	snapMark       int64 // journal append count at the last snapshot
+	snapBusy       bool
+	snapWG         sync.WaitGroup
 }
 
 // New constructs a dispatcher (not yet listening).
@@ -279,8 +305,33 @@ func (d *Dispatcher) flush(f *fx) {
 }
 
 // Listen binds the dispatcher to addr (":0" for an ephemeral port) and
-// starts serving.
+// starts serving. With JournalDir set, it first recovers surviving state
+// from the journal — instances, queued and in-flight tasks, and
+// undelivered results all outlive a crash.
 func (d *Dispatcher) Listen(addr string) error {
+	if d.opts.JournalDir != "" {
+		st, j, info, err := wal.Recover(d.opts.JournalDir, wal.Options{
+			Sync:    d.opts.JournalSync,
+			Metrics: d.reg,
+			Logf:    d.opts.Logf,
+		})
+		if err != nil {
+			return err
+		}
+		d.wal = j
+		d.snapEvery = int64(d.opts.SnapshotEvery)
+		if d.snapEvery == 0 {
+			d.snapEvery = 1 << 16
+		}
+		d.mu.Lock()
+		d.restoreLocked(st)
+		d.mu.Unlock()
+		d.recoveredTasks = int64(info.Pending)
+		if info.Records > 0 || info.SnapshotIndex > 0 {
+			d.logf("dispatch: recovered %d pending tasks, %d buffered results, %d instances (snapshot %d + %d records)",
+				info.Pending, info.Results, len(st.Instances), info.SnapshotIndex, info.Records)
+		}
+	}
 	if err := d.srv.Listen(addr); err != nil {
 		return err
 	}
@@ -292,10 +343,114 @@ func (d *Dispatcher) Listen(addr string) error {
 	return nil
 }
 
+// restoreLocked loads recovered journal state into the empty core: pending
+// tasks re-enter the queue (outstanding-at-crash work simply becomes
+// queued again — the executors that held it are gone), instances come back
+// peer-less with their undelivered results buffered for redelivery.
+func (d *Dispatcher) restoreLocked(st *wal.State) {
+	d.nextEPR = st.NextEPR
+	d.core.Counters = st.Counters
+	for _, win := range st.Instances {
+		inst := &instance{
+			epr:       win.EPR,
+			name:      win.Name,
+			notify:    win.Notify,
+			submitted: win.Submitted,
+			results:   win.Results,
+			live:      make(map[task.ID]struct{}, len(win.Results)),
+		}
+		for _, r := range win.Results {
+			inst.live[r.ID] = struct{}{}
+		}
+		d.instances[win.EPR] = inst
+	}
+	now := d.now()
+	for _, p := range st.Pending {
+		d.core.Restore(now, taskRef{epr: p.EPR, t: p.Task}, p.Attempts)
+		if inst, ok := d.instances[p.EPR]; ok {
+			inst.live[p.Task.ID] = struct{}{}
+			inst.inFlight++
+		}
+	}
+}
+
+// captureLocked snapshots the dispatcher state for the journal. Callers
+// hold d.mu.
+func (d *Dispatcher) captureLocked() *wal.State {
+	st := &wal.State{NextEPR: d.nextEPR, Counters: d.core.Counters}
+	for epr, inst := range d.instances {
+		st.Instances = append(st.Instances, wal.Instance{
+			EPR:       epr,
+			Name:      inst.name,
+			Notify:    inst.notify,
+			Submitted: inst.submitted,
+			Results:   append([]task.Result(nil), inst.results...),
+		})
+	}
+	d.core.EachQueued(func(it sched.Item[taskRef]) {
+		st.Pending = append(st.Pending, wal.Pending{EPR: it.X.epr, Task: it.X.t, Attempts: it.Attempts})
+	})
+	d.core.EachOutstanding(func(o *sched.Outstanding[string, outKey, taskRef]) {
+		st.Pending = append(st.Pending, wal.Pending{EPR: o.Item.X.epr, Task: o.Item.X.t, Attempts: o.Item.Attempts})
+	})
+	return st
+}
+
+// maybeSnapshotLocked kicks an asynchronous snapshot once enough records
+// have accumulated since the last one. Callers hold d.mu; the check is two
+// atomic reads, cheap enough for the Deliver hot path.
+func (d *Dispatcher) maybeSnapshotLocked() {
+	if d.wal == nil || d.snapBusy || d.snapEvery < 0 || d.closed {
+		return
+	}
+	if d.wal.Appends()-d.snapMark < d.snapEvery {
+		return
+	}
+	d.snapBusy = true
+	d.snapWG.Add(1)
+	go d.snapshot()
+}
+
+// snapshot rotates the journal and writes a snapshot at the cut. The
+// rotation runs under d.mu so the captured state is exactly the journal
+// prefix below the cut; the (slower) snapshot write happens unlocked.
+func (d *Dispatcher) snapshot() {
+	defer d.snapWG.Done()
+	d.mu.Lock()
+	cut, err := d.wal.Rotate()
+	if err != nil {
+		d.snapBusy = false
+		d.mu.Unlock()
+		d.logf("dispatch: journal rotate failed: %v", err)
+		return
+	}
+	st := d.captureLocked()
+	mark := d.wal.Appends()
+	d.mu.Unlock()
+
+	start := time.Now()
+	err = d.wal.WriteSnapshot(cut, st)
+	dur := time.Since(start)
+	d.mu.Lock()
+	d.snapBusy = false
+	d.snapMark = mark
+	d.mu.Unlock()
+	if err != nil {
+		d.logf("dispatch: snapshot failed: %v", err)
+		return
+	}
+	d.reg.Counter("falkon_wal_snapshots_total").Inc()
+	d.reg.Gauge("falkon_wal_snapshot_unixtime").Set(time.Now().Unix())
+	d.reg.Histogram("falkon_wal_snapshot_seconds").Observe(dur.Seconds())
+	d.logf("dispatch: journal snapshot %d (%d pending, %d instances) in %v", cut, len(st.Pending), len(st.Instances), dur)
+}
+
 // Addr returns the bound address.
 func (d *Dispatcher) Addr() string { return d.srv.Addr() }
 
-// Close shuts the dispatcher down.
+// Close shuts the dispatcher down. With a journal, every buffered record
+// is flushed and fsynced before Close returns — a clean shutdown seals the
+// journal.
 func (d *Dispatcher) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -311,7 +466,37 @@ func (d *Dispatcher) Close() error {
 	}
 	err := d.srv.Close()
 	d.eng.close()
+	if d.wal != nil {
+		d.snapWG.Wait()
+		if werr := d.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// Abort simulates a crash for tests: the transport drops and the journal
+// is abandoned without flushing its in-memory batch — only records the
+// committer already wrote survive, the same post-condition as a kill -9.
+func (d *Dispatcher) Abort() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.drained.Broadcast()
+	if d.sweeperStop != nil {
+		close(d.sweeperStop)
+		<-d.sweeperDone
+	}
+	d.srv.Close()
+	d.eng.close()
+	if d.wal != nil {
+		d.snapWG.Wait()
+		d.wal.Abort()
+	}
 }
 
 // notifyLocked runs the core's notify pass and snapshots each notification
@@ -427,14 +612,30 @@ func (d *Dispatcher) statsLocked() fproto.StatsReply {
 	st.TotalExecutors = total
 	st.BusyExecutors = busy
 	st.IdleExecutors = total - busy
+	if d.wal != nil {
+		st.Journal = true
+		st.JournalAppends = d.wal.Appends()
+		st.JournalFsyncs = d.wal.Fsyncs()
+		st.RecoveredTasks = d.recoveredTasks
+	}
 	return st
 }
 
-// onDisconnect requeues work from dropped executors and finalizes dropped
-// client instances' push mode.
+// onDisconnect requeues work from dropped executors and detaches dropped
+// client instances so their results buffer instead of being pushed into a
+// dead connection (they flush when the client re-attaches).
 func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	meta, _ := p.Meta().(string)
 	if meta == "" {
+		// Client connections carry no meta; detach any instances bound to
+		// this peer.
+		d.mu.Lock()
+		for _, inst := range d.instances {
+			if inst.peer == p {
+				inst.peer = nil
+			}
+		}
+		d.mu.Unlock()
 		return
 	}
 	f := getFx()
@@ -502,6 +703,10 @@ func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy 
 			continue // instance destroyed while queued
 		}
 		d.core.Assign(now, ex, outKey{it.X.epr, it.X.t.ID}, it)
+		if d.wal != nil {
+			// Advisory record: recovery uses it to restore attempt counts.
+			d.wal.Append(wal.KindDispatch, wal.DispatchRec{EPR: it.X.epr, ID: it.X.t.ID, Exec: ex.ID})
+		}
 		f.trace(now, kind, it.X.t.ID, it.X.epr, ex.ID)
 		as = append(as, fproto.Assignment{EPR: it.X.epr, Task: it.X.t, CacheHit: hit})
 	}
@@ -511,6 +716,11 @@ func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy 
 // finalizeLocked delivers a finished result to its instance (push or
 // buffer). Callers hold d.mu; the push itself is deferred into f.
 func (d *Dispatcher) finalizeLocked(f *fx, epr string, r task.Result) {
+	if d.wal != nil {
+		// Logged with the payload so undelivered results survive a crash
+		// and are redelivered on recovery (clients dedupe by task ID).
+		d.wal.Append(wal.KindComplete, wal.CompleteRec{EPR: epr, Result: r})
+	}
 	if r.Failed() {
 		d.core.Counters.Failed++
 		f.trace(d.now(), obs.EvFailed, r.ID, epr, r.ExecutorID)
@@ -522,7 +732,10 @@ func (d *Dispatcher) finalizeLocked(f *fx, epr string, r task.Result) {
 		return
 	}
 	inst.inFlight--
-	if inst.notify {
+	if inst.notify && inst.peer != nil {
+		if inst.live != nil {
+			delete(inst.live, r.ID) // pushed: delivery obligation discharged
+		}
 		f.pushes = append(f.pushes, resultPush{peer: inst.peer, epr: epr, r: r})
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"falkon/internal/obs"
 	"falkon/internal/sched"
 	"falkon/internal/task"
+	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
 )
 
@@ -45,17 +46,61 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 	if err != nil {
 		return nil, err
 	}
+	if req.EPR != "" {
+		return d.reattachInstance(p, req)
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.nextEPR++
 	epr := fmt.Sprintf("falkon-instance-%d", d.nextEPR)
-	d.instances[epr] = &instance{
+	inst := &instance{
 		epr:    epr,
 		name:   req.ClientName,
 		peer:   p,
 		notify: req.WantNotifications,
 	}
+	var h wal.Handle
+	if d.wal != nil {
+		inst.live = make(map[task.ID]struct{})
+		h, err = d.wal.AppendWait(wal.KindInstance, wal.InstanceRec{EPR: epr, Name: req.ClientName, Notify: req.WantNotifications})
+	}
+	if err == nil {
+		d.instances[epr] = inst
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The EPR is handed out only once its creation record is durable:
+	// anything the client does with it afterwards is journaled against an
+	// instance recovery will know.
+	if err := h.Wait(); err != nil {
+		return nil, err
+	}
 	return fproto.CreateInstanceReply{EPR: epr}, nil
+}
+
+// reattachInstance re-binds a surviving instance (recovered from the
+// journal, or orphaned by a dropped client connection) to a new peer and
+// flushes any results buffered while detached.
+func (d *Dispatcher) reattachInstance(p *wsrpc.Peer, req *fproto.CreateInstanceRequest) (any, error) {
+	f := getFx()
+	defer putFx(f)
+	d.mu.Lock()
+	inst, ok := d.instances[req.EPR]
+	if !ok || inst.destroyed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
+	}
+	inst.peer = p
+	inst.notify = req.WantNotifications
+	if inst.notify {
+		for _, r := range inst.takeResults(0) {
+			f.pushes = append(f.pushes, resultPush{peer: p, epr: req.EPR, r: r})
+		}
+	}
+	d.mu.Unlock()
+	d.flush(f)
+	return fproto.CreateInstanceReply{EPR: req.EPR, Recovered: true}, nil
 }
 
 func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
@@ -64,16 +109,24 @@ func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) 
 		return nil, err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	inst, ok := d.instances[req.EPR]
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
 	}
 	inst.destroyed = true
 	delete(d.instances, req.EPR)
 	d.core.DropQueued(func(tr taskRef) bool { return tr.epr == req.EPR })
+	var h wal.Handle
+	if d.wal != nil {
+		h, _ = d.wal.AppendWait(wal.KindDestroy, wal.DestroyRec{EPR: req.EPR})
+	}
 	// Outstanding tasks' results will be dropped on delivery.
 	d.wakeDrainLocked()
+	d.mu.Unlock()
+	if err := h.Wait(); err != nil {
+		return nil, err
+	}
 	return struct{}{}, nil
 }
 
@@ -95,16 +148,48 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 		return nil, fmt.Errorf("dispatch: draining, not accepting submissions")
 	}
 	now := d.now()
-	for _, t := range req.Tasks {
+	tasks, deduped := req.Tasks, 0
+	if inst.live != nil {
+		// Idempotent resubmission: drop tasks whose delivery is still owed
+		// (queued, running, or buffered) — their results are coming. Tasks
+		// no longer live re-run; the client dedupes duplicate deliveries.
+		fresh := tasks[:0:0]
+		for _, t := range tasks {
+			if _, dup := inst.live[t.ID]; dup {
+				continue
+			}
+			fresh = append(fresh, t)
+		}
+		deduped = len(tasks) - len(fresh)
+		tasks = fresh
+		for _, t := range tasks {
+			inst.live[t.ID] = struct{}{}
+		}
+	}
+	for _, t := range tasks {
 		d.core.Enqueue(now, taskRef{epr: req.EPR, t: t})
 		f.trace(now, obs.EvEnqueued, t.ID, req.EPR, "")
 	}
-	inst.submitted += int64(len(req.Tasks))
-	inst.inFlight += len(req.Tasks)
+	var h wal.Handle
+	var werr error
+	if d.wal != nil && len(tasks) > 0 {
+		h, werr = d.wal.AppendWait(wal.KindAccept, wal.AcceptRec{EPR: req.EPR, Tasks: tasks})
+	}
+	inst.submitted += int64(len(tasks))
+	inst.inFlight += len(tasks)
 	d.notifyLocked(f, now)
 	d.mu.Unlock()
 	d.flush(f)
-	return fproto.SubmitReply{Accepted: len(req.Tasks)}, nil
+	if werr != nil {
+		return nil, werr
+	}
+	// Durability barrier: the acknowledgment is withheld until the accept
+	// record reaches disk, so an acked task survives any crash. The group
+	// committer amortizes the fsync across every submit in the batch.
+	if err := h.Wait(); err != nil {
+		return nil, err
+	}
+	return fproto.SubmitReply{Accepted: len(req.Tasks), Deduped: deduped}, nil
 }
 
 func (d *Dispatcher) handleCollect(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
@@ -261,6 +346,7 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	d.core.Offer(ex)
 	d.notifyLocked(f, now)
 	d.wakeDrainLocked()
+	d.maybeSnapshotLocked()
 	d.mu.Unlock()
 	d.flush(f)
 	return fproto.DeliverReply{Assignments: as}, nil

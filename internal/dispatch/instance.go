@@ -21,11 +21,21 @@ type instance struct {
 	inFlight  int
 
 	// results buffers finished tasks awaiting Collect (only when notify is
-	// false — pushed results never buffer).
+	// false — pushed results never buffer). A notify instance whose peer is
+	// detached (client dropped, or recovered from the journal and not yet
+	// re-attached) buffers here too, and the buffer flushes on re-attach.
 	results []task.Result
 
 	// waiters are blocked Collect calls to wake when results arrive.
 	waiters []chan struct{}
+
+	// live, when journaling, holds every task ID the dispatcher still owes
+	// this client a delivery for: queued, outstanding, or buffered. It is
+	// the dedupe set for idempotent resubmission — a resubmitted live task
+	// is dropped (its result is still coming), a resubmitted dead task
+	// re-runs (its result was lost with the connection). Nil when the
+	// dispatcher runs without a journal.
+	live map[task.ID]struct{}
 
 	destroyed bool
 }
@@ -53,6 +63,11 @@ func (in *instance) takeResults(max int) []task.Result {
 	}
 	out := make([]task.Result, n)
 	copy(out, in.results)
+	if in.live != nil {
+		for _, r := range out {
+			delete(in.live, r.ID) // collected: delivery obligation discharged
+		}
+	}
 	rest := copy(in.results, in.results[n:])
 	for i := rest; i < len(in.results); i++ {
 		in.results[i] = task.Result{}

@@ -16,8 +16,10 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"falkon/internal/backoff"
 	"falkon/internal/fproto"
 	"falkon/internal/metrics"
 	"falkon/internal/obs"
@@ -71,32 +73,48 @@ type Options struct {
 	Metrics *obs.Registry
 	// TraceCapacity bounds the task-lifecycle trace ring (default 8192).
 	TraceCapacity int
+
+	// Reconnect keeps the executor alive across dispatcher restarts: on a
+	// dropped connection it re-registers with jittered exponential backoff
+	// instead of stopping. Retries are counted in
+	// falkon_register_retries_total.
+	Reconnect bool
+	// ReconnectTimeout bounds one continuous outage (default 30s).
+	ReconnectTimeout time.Duration
+	// Backoff tunes the re-register schedule (zero value = backoff.Default).
+	Backoff backoff.Policy
 }
 
 // Executor is a running executor instance.
 type Executor struct {
 	opts Options
-	cli  *wsrpc.Client
 
 	// Observability. epoch is the dispatcher's wall-clock epoch (UnixNano)
 	// from registration; trace events are stamped relative to it so executor
-	// and dispatcher spans share one timeline despite separate clocks.
-	reg      *obs.Registry
-	tracer   *obs.Tracer
-	epoch    int64
-	cDone    *metrics.Counter
-	cFailed  *metrics.Counter
-	cBusy    *metrics.Counter
-	cIdle    *metrics.Counter
-	gActive  *metrics.Gauge
-	hRun     *metrics.FixedHistogram
-	hOverhed *metrics.FixedHistogram
+	// and dispatcher spans share one timeline despite separate clocks. It is
+	// atomic because a reconnect re-bases it onto the new dispatcher's epoch
+	// while slots are stamping events.
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	epoch       atomic.Int64
+	cDone       *metrics.Counter
+	cFailed     *metrics.Counter
+	cBusy       *metrics.Counter
+	cIdle       *metrics.Counter
+	cRegRetries *metrics.Counter
+	gActive     *metrics.Gauge
+	hRun        *metrics.FixedHistogram
+	hOverhed    *metrics.FixedHistogram
 
 	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
 
 	mu       sync.Mutex
+	cli      *wsrpc.Client
+	gen      int // connection generation, bumped per reconnect
+	connDead bool
+	cond     *sync.Cond // broadcast on reconnect, death, and stop
 	active   int
 	lastBusy time.Time
 	stopped  bool
@@ -118,6 +136,9 @@ func Start(opts Options) (*Executor, error) {
 	if opts.SleepScale == 0 {
 		opts.SleepScale = 1.0
 	}
+	if opts.ReconnectTimeout <= 0 {
+		opts.ReconnectTimeout = 30 * time.Second
+	}
 	e := &Executor{
 		opts: opts,
 		wake: make(chan struct{}, opts.Slots),
@@ -133,10 +154,12 @@ func Start(opts Options) (*Executor, error) {
 	e.cFailed = e.reg.Counter("falkon_executor_failures_total")
 	e.cBusy = e.reg.Counter(obs.Labeled("falkon_executor_transitions_total", "state", "busy"))
 	e.cIdle = e.reg.Counter(obs.Labeled("falkon_executor_transitions_total", "state", "idle"))
+	e.cRegRetries = e.reg.Counter("falkon_register_retries_total")
 	e.gActive = e.reg.Gauge("falkon_executor_active_slots")
 	e.hRun = e.reg.Histogram("falkon_executor_run_seconds")
 	e.hOverhed = e.reg.Histogram("falkon_executor_overhead_seconds")
 	e.lastBusy = time.Now()
+	e.cond = sync.NewCond(&e.mu)
 	cli, err := wsrpc.Dial(opts.DispatcherAddr, wsrpc.ClientOptions{
 		Security: opts.Security,
 		PSK:      opts.PSK,
@@ -157,9 +180,13 @@ func Start(opts Options) (*Executor, error) {
 		cli.Close()
 		return nil, fmt.Errorf("executor %s: register: %w", opts.ID, err)
 	}
-	e.epoch = reply.DispatcherEpoch
-	if e.epoch == 0 {
-		e.epoch = time.Now().UnixNano() // old dispatcher: local timeline
+	if reply.DispatcherEpoch != 0 {
+		e.epoch.Store(reply.DispatcherEpoch)
+	} else {
+		e.epoch.Store(time.Now().UnixNano()) // old dispatcher: local timeline
+	}
+	if opts.Reconnect {
+		go e.supervise(cli)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Slots; i++ {
@@ -171,10 +198,124 @@ func Start(opts Options) (*Executor, error) {
 	}
 	go func() {
 		wg.Wait()
-		e.cli.Close()
+		e.curCli().Close()
 		close(e.done)
 	}()
 	return e, nil
+}
+
+// curCli returns the current connection.
+func (e *Executor) curCli() *wsrpc.Client {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cli
+}
+
+// conn returns the current connection and its generation.
+func (e *Executor) conn() (*wsrpc.Client, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cli, e.gen
+}
+
+// awaitConn blocks until the connection generation moves past gen (a
+// reconnect landed) or the executor stopped or gave up. It reports whether a
+// fresh connection is available to retry on.
+func (e *Executor) awaitConn(gen int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.gen == gen && !e.stopped && !e.connDead {
+		e.cond.Wait()
+	}
+	return !e.stopped && !e.connDead
+}
+
+// markConnDead gives up on reconnecting and releases every waiting slot.
+func (e *Executor) markConnDead() {
+	e.mu.Lock()
+	e.connDead = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// supervise keeps the executor registered across dispatcher restarts: it
+// watches the live connection and, when it drops, redials and re-registers
+// with jittered exponential backoff (the distributed-falkon restart story —
+// executors outlive the dispatcher that recovers from its journal).
+func (e *Executor) supervise(cli *wsrpc.Client) {
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-cli.Done():
+		}
+		if e.isStopping() {
+			return
+		}
+		next, ok := e.reregister()
+		if !ok {
+			return
+		}
+		cli = next
+	}
+}
+
+// reregister runs the backoff redial loop. It returns ok=false once the
+// executor stopped or a continuous outage outlasted ReconnectTimeout.
+func (e *Executor) reregister() (*wsrpc.Client, bool) {
+	deadline := time.Now().Add(e.opts.ReconnectTimeout)
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-e.stop:
+			return nil, false
+		case <-time.After(e.opts.Backoff.Delay(attempt)):
+		}
+		if time.Now().After(deadline) {
+			e.logf("executor %s: reconnect timed out after %v", e.opts.ID, e.opts.ReconnectTimeout)
+			e.markConnDead()
+			return nil, false
+		}
+		e.cRegRetries.Inc()
+		cli, err := wsrpc.Dial(e.opts.DispatcherAddr, wsrpc.ClientOptions{
+			Security: e.opts.Security,
+			PSK:      e.opts.PSK,
+			OnNotify: e.onNotify,
+			Metrics:  e.reg,
+		})
+		if err != nil {
+			continue
+		}
+		var reply fproto.RegisterReply
+		err = cli.Call(fproto.MethodRegister, fproto.RegisterRequest{
+			ExecutorID: e.opts.ID,
+			Slots:      e.opts.Slots,
+			Allocation: e.opts.Allocation,
+		}, &reply)
+		if err != nil {
+			cli.Close()
+			continue
+		}
+		if reply.DispatcherEpoch != 0 {
+			e.epoch.Store(reply.DispatcherEpoch)
+		}
+		e.mu.Lock()
+		old := e.cli
+		e.cli = cli
+		e.gen++
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		old.Close()
+		e.logf("executor %s: re-registered after %d attempt(s)", e.opts.ID, attempt+1)
+		// Wake every slot: the recovered dispatcher may hold replayed work
+		// whose work-available push raced the reconnect.
+		for i := 0; i < e.opts.Slots; i++ {
+			select {
+			case e.wake <- struct{}{}:
+			default:
+			}
+		}
+		return cli, true
+	}
 }
 
 // onNotify wakes workers on work-available pushes. It runs on the client
@@ -223,7 +364,7 @@ func (e *Executor) Tracer() *obs.Tracer { return e.tracer }
 
 // at returns the current time on the dispatcher-epoch timeline.
 func (e *Executor) at() time.Duration {
-	return time.Duration(time.Now().UnixNano() - e.epoch)
+	return time.Duration(time.Now().UnixNano() - e.epoch.Load())
 }
 
 // TasksRun returns the number of tasks completed so far.
@@ -247,9 +388,11 @@ func (e *Executor) Stop() {
 		return
 	}
 	e.stopped = true
+	e.cond.Broadcast()
+	cli := e.cli
 	e.mu.Unlock()
 	// Best-effort deregistration; the dispatcher also handles disconnects.
-	_ = e.cli.Call(fproto.MethodDeregister, fproto.DeregisterRequest{ExecutorID: e.opts.ID, Reason: "stopped"}, nil)
+	_ = cli.Call(fproto.MethodDeregister, fproto.DeregisterRequest{ExecutorID: e.opts.ID, Reason: "stopped"}, nil)
 	close(e.stop)
 	<-e.done
 }
@@ -263,9 +406,11 @@ func (e *Executor) releaseIdle() {
 		return
 	}
 	e.stopped = true
+	e.cond.Broadcast()
+	cli := e.cli
 	e.mu.Unlock()
 	e.logf("executor %s: idle for %v, releasing", e.opts.ID, e.opts.IdleTimeout)
-	_ = e.cli.Call(fproto.MethodDeregister, fproto.DeregisterRequest{ExecutorID: e.opts.ID, Reason: "idle release"}, nil)
+	_ = cli.Call(fproto.MethodDeregister, fproto.DeregisterRequest{ExecutorID: e.opts.ID, Reason: "idle release"}, nil)
 	close(e.stop)
 }
 
@@ -273,6 +418,7 @@ func (e *Executor) releaseIdle() {
 // and keep running piggy-backed assignments until the dispatcher runs dry.
 func (e *Executor) workLoop() {
 	for {
+		cli, gen := e.conn()
 		var idleC <-chan time.Time
 		var idleTimer *time.Timer
 		if e.opts.IdleTimeout > 0 {
@@ -285,11 +431,14 @@ func (e *Executor) workLoop() {
 				idleTimer.Stop()
 			}
 			return
-		case <-e.cli.Done():
+		case <-cli.Done():
 			if idleTimer != nil {
 				idleTimer.Stop()
 			}
-			return
+			if !e.opts.Reconnect || !e.awaitConn(gen) {
+				return
+			}
+			continue
 		case <-idleC:
 			if e.idleExpired() {
 				e.releaseIdle()
@@ -302,17 +451,24 @@ func (e *Executor) workLoop() {
 			}
 		}
 		var reply fproto.GetWorkReply
-		err := e.cli.Call(fproto.MethodGetWork, fproto.GetWorkRequest{ExecutorID: e.opts.ID, Max: e.opts.Prefetch}, &reply)
+		err := cli.Call(fproto.MethodGetWork, fproto.GetWorkRequest{ExecutorID: e.opts.ID, Max: e.opts.Prefetch}, &reply)
 		if err != nil {
-			if !e.isStopping() {
-				e.logf("executor %s: get-work: %v", e.opts.ID, err)
+			if e.isStopping() {
+				return
 			}
+			if e.opts.Reconnect {
+				if !e.awaitConn(gen) {
+					return
+				}
+				continue
+			}
+			e.logf("executor %s: get-work: %v", e.opts.ID, err)
 			return
 		}
 		for _, a := range reply.Assignments {
 			e.tracer.Record(e.at(), obs.EvPulled, a.Task.ID, a.EPR, e.opts.ID)
 		}
-		e.runAssignments(reply.Assignments)
+		e.runAssignments(cli, reply.Assignments)
 	}
 }
 
@@ -362,8 +518,12 @@ func (e *Executor) markIdle(ran int64) {
 }
 
 // runAssignments executes tasks and delivers results; each delivery asks
-// for more work (piggy-backing), looping until no new work arrives.
-func (e *Executor) runAssignments(as []fproto.Assignment) {
+// for more work (piggy-backing), looping until no new work arrives. The whole
+// batch is pinned to one connection: if it dies mid-delivery the results are
+// dropped and the (journaling) dispatcher re-dispatches the tasks after
+// recovery, so nothing retries against a connection that no longer knows the
+// outstanding set.
+func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 	if len(as) == 0 {
 		return
 	}
@@ -378,7 +538,7 @@ func (e *Executor) runAssignments(as []fproto.Assignment) {
 			pfc = make(chan []fproto.Assignment, 1)
 			go func() {
 				var r fproto.GetWorkReply
-				if err := e.cli.Call(fproto.MethodGetWork, fproto.GetWorkRequest{ExecutorID: e.opts.ID, Max: e.opts.Prefetch}, &r); err != nil {
+				if err := cli.Call(fproto.MethodGetWork, fproto.GetWorkRequest{ExecutorID: e.opts.ID, Max: e.opts.Prefetch}, &r); err != nil {
 					pfc <- nil
 					return
 				}
@@ -413,7 +573,7 @@ func (e *Executor) runAssignments(as []fproto.Assignment) {
 			prefetched = <-pfc
 		}
 		var reply fproto.DeliverReply
-		err := e.cli.Call(fproto.MethodDeliver, fproto.DeliverRequest{
+		err := cli.Call(fproto.MethodDeliver, fproto.DeliverRequest{
 			ExecutorID: e.opts.ID,
 			Results:    results,
 			WantWork:   len(prefetched) == 0,

@@ -46,12 +46,20 @@ type CreateInstanceRequest struct {
 	// WantNotifications asks the dispatcher to push results over the
 	// client's connection ({8}); otherwise the client polls with Collect.
 	WantNotifications bool `json:"want_notifications,omitempty"`
+	// EPR, when set, re-attaches to an existing instance instead of
+	// creating one — the reconnect path after a dispatcher restart (the
+	// instance survives in the journal) or a dropped client connection.
+	// Unknown EPRs are an error; the client falls back to a fresh create.
+	EPR string `json:"epr,omitempty"`
 }
 
 // CreateInstanceReply carries the endpoint reference the client uses on all
 // subsequent calls (the paper's factory/instance EPR).
 type CreateInstanceReply struct {
 	EPR string `json:"epr"`
+	// Recovered reports that this reply re-attached to a surviving
+	// instance rather than creating a fresh one.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // DestroyInstanceRequest tears an instance down; queued tasks are dropped.
@@ -66,9 +74,14 @@ type SubmitRequest struct {
 	Tasks []task.Task `json:"tasks"`
 }
 
-// SubmitReply acknowledges a bundle.
+// SubmitReply acknowledges a bundle. When the dispatcher journals, the
+// acknowledgment is withheld until every newly accepted task is durable.
 type SubmitReply struct {
 	Accepted int `json:"accepted"`
+	// Deduped counts tasks in the bundle the dispatcher already held
+	// (idempotent resubmission after a reconnect); they are counted in
+	// Accepted too, since their results are still owed to the client.
+	Deduped int `json:"deduped,omitempty"`
 }
 
 // CollectRequest polls for finished results ({9,10}).
@@ -202,6 +215,16 @@ type StatsReply struct {
 	// peer connections) — nonzero here usually explains replay-timeout
 	// noise.
 	NotifyErrors int64 `json:"notify_errors,omitempty"`
+	// Journal reports whether the dispatcher runs with a write-ahead
+	// journal; the remaining fields are zero without one.
+	Journal bool `json:"journal,omitempty"`
+	// JournalAppends and JournalFsyncs are the journal's lifetime counts;
+	// their ratio shows how well group commit amortizes sync cost.
+	JournalAppends int64 `json:"journal_appends,omitempty"`
+	JournalFsyncs  int64 `json:"journal_fsyncs,omitempty"`
+	// RecoveredTasks counts pending tasks rebuilt from the journal at the
+	// last restart.
+	RecoveredTasks int64 `json:"recovered_tasks,omitempty"`
 }
 
 // MetricsReply is the falkon.metrics reply: a full registry snapshot —

@@ -194,6 +194,29 @@ func (c *Core[E, K, T]) Enqueue(now time.Duration, x T) {
 	c.Counters.Submitted++
 }
 
+// Restore re-admits a recovered task with its prior attempt count, without
+// counting it as a new submission — journal recovery restores Counters
+// wholesale and must not double-count.
+func (c *Core[E, K, T]) Restore(now time.Duration, x T, attempts int) {
+	c.queue.Push(Item[T]{X: x, QueuedAt: now, Attempts: attempts})
+}
+
+// EachQueued visits every queued item in FIFO order (snapshot capture).
+// The callback must not mutate the core.
+func (c *Core[E, K, T]) EachQueued(fn func(Item[T])) {
+	for _, it := range c.queue.Window(c.queue.Len()) {
+		fn(it)
+	}
+}
+
+// EachOutstanding visits every outstanding entry in unspecified order
+// (snapshot capture). The callback must not mutate the core.
+func (c *Core[E, K, T]) EachOutstanding(fn func(*Outstanding[E, K, T])) {
+	for _, o := range c.out {
+		fn(o)
+	}
+}
+
 // DropQueued removes every queued task matching the predicate.
 func (c *Core[E, K, T]) DropQueued(match func(T) bool) int {
 	return c.queue.DropWhere(func(it Item[T]) bool { return match(it.X) })

@@ -1,0 +1,522 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"falkon/internal/metrics"
+	"falkon/internal/obs"
+)
+
+// SyncMode selects when appended records are fsynced.
+type SyncMode uint8
+
+const (
+	// SyncGroup fsyncs every commit batch: concurrent appenders landing in
+	// the same batch share one fsync (group commit), and AppendWait
+	// releases only after the sync — full durability.
+	SyncGroup SyncMode = iota
+	// SyncInterval writes batches promptly but fsyncs on a timer;
+	// AppendWait releases after the OS write. A crash loses at most one
+	// interval of OS-buffered records.
+	SyncInterval
+	// SyncOff never fsyncs; the OS flushes at its leisure. Survives process
+	// crashes (kill -9) but not power loss.
+	SyncOff
+)
+
+// SyncPolicy pairs a mode with its interval (SyncInterval only).
+type SyncPolicy struct {
+	Mode     SyncMode
+	Interval time.Duration
+}
+
+// String renders the policy the way ParseSyncPolicy reads it.
+func (p SyncPolicy) String() string {
+	switch p.Mode {
+	case SyncGroup:
+		return "group"
+	case SyncOff:
+		return "off"
+	default:
+		return p.Interval.String()
+	}
+}
+
+// ParseSyncPolicy reads a -journal-sync flag value: "group" (default),
+// "off", or an fsync interval such as "100ms".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.TrimSpace(s) {
+	case "", "group", "always":
+		return SyncPolicy{Mode: SyncGroup}, nil
+	case "off", "never", "none":
+		return SyncPolicy{Mode: SyncOff}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncPolicy{}, fmt.Errorf("wal: bad sync policy %q (want group, off, or a positive interval)", s)
+	}
+	return SyncPolicy{Mode: SyncInterval, Interval: d}, nil
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Sync selects the fsync policy (default group commit).
+	Sync SyncPolicy
+	// SegmentBytes rotates segments past this size (default 16 MiB).
+	SegmentBytes int64
+	// Metrics receives the journal's instruments (falkon_wal_*); nil keeps
+	// them unregistered.
+	Metrics *obs.Registry
+	// Logf receives journal logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Handle represents one AppendWait's durability barrier.
+type Handle struct{ w *waiter }
+
+// Wait blocks until the record is committed per the sync policy and
+// returns the write error, if any. The zero Handle waits for nothing.
+func (h Handle) Wait() error {
+	if h.w == nil {
+		return nil
+	}
+	<-h.w.ch
+	return h.w.err
+}
+
+type waiter struct {
+	err error
+	ch  chan struct{}
+}
+
+// Journal is a segmented append-only write-ahead log. Appends are buffered
+// under a short mutex and flushed by a single committer goroutine, so many
+// concurrent appenders amortize one write+fsync (group commit). Only the
+// committer and Rotate touch the segment files.
+type Journal struct {
+	dir  string
+	opts Options
+
+	cAppends *metrics.Counter
+	cFsyncs  *metrics.Counter
+	cBytes   *metrics.Counter
+	gSegs    *metrics.Gauge
+
+	// wmu serializes file writes and rotation; mu guards the append buffer
+	// and segment pointer. Appenders take only mu (never block on I/O).
+	wmu sync.Mutex
+	mu  sync.Mutex
+	buf []byte
+	ws  []*waiter
+	// spare recycles the drained append buffer, so steady-state appends
+	// never grow a fresh array.
+	spare    []byte
+	seg      *os.File
+	segIndex uint64
+	segSize  int64
+	err      error // sticky I/O error: the journal fails closed
+	closed   bool
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+const defaultSegmentBytes = 16 << 20
+
+func segName(i uint64) string  { return fmt.Sprintf("seg-%08d.wal", i) }
+func snapName(i uint64) string { return fmt.Sprintf("snap-%08d.snap", i) }
+
+// parseIndexed extracts the index from "prefix-XXXXXXXX.ext" names.
+func parseIndexed(name, prefix, ext string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(ext)]
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// open creates a journal appending to a fresh segment numbered next. It is
+// called by Recover, which chooses next past every existing segment.
+func open(dir string, next uint64, opts Options) (*Journal, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	j := &Journal{
+		dir:      dir,
+		opts:     opts,
+		cAppends: opts.Metrics.Counter("falkon_wal_appends_total"),
+		cFsyncs:  opts.Metrics.Counter("falkon_wal_fsyncs_total"),
+		cBytes:   opts.Metrics.Counter("falkon_wal_bytes_total"),
+		gSegs:    opts.Metrics.Gauge("falkon_wal_segments"),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	seg, err := j.createSegment(next)
+	if err != nil {
+		return nil, err
+	}
+	j.seg, j.segIndex = seg, next
+	j.refreshSegGauge()
+	go j.run()
+	return j, nil
+}
+
+func (j *Journal) logf(format string, args ...any) {
+	if j.opts.Logf != nil {
+		j.opts.Logf(format, args...)
+	}
+}
+
+func (j *Journal) createSegment(i uint64) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(i)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	return f, nil
+}
+
+// Append buffers one record without waiting for durability. Used for the
+// advisory transitions (dispatch, complete): losing the tail only means a
+// task re-runs, and downstream dedupe keeps delivery exactly-once.
+func (j *Journal) Append(kind Kind, v any) error {
+	_, err := j.append(kind, v, false)
+	return err
+}
+
+// AppendWait buffers one record and returns a Handle whose Wait releases
+// once the record is committed per the sync policy. Used for transitions
+// that must be durable before they are acknowledged (instance creation,
+// task acceptance).
+func (j *Journal) AppendWait(kind Kind, v any) (Handle, error) {
+	return j.append(kind, v, true)
+}
+
+func (j *Journal) append(kind Kind, v any, wait bool) (Handle, error) {
+	j.mu.Lock()
+	if j.closed || j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("wal: journal closed")
+		}
+		return Handle{}, err
+	}
+	var err error
+	j.buf, err = marshalRecord(j.buf, kind, v)
+	if err != nil {
+		j.mu.Unlock()
+		return Handle{}, err
+	}
+	var h Handle
+	if wait {
+		w := &waiter{ch: make(chan struct{})}
+		j.ws = append(j.ws, w)
+		h = Handle{w: w}
+	}
+	j.mu.Unlock()
+	j.cAppends.Inc()
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	return h, nil
+}
+
+// run is the committer loop: drain the append buffer, write it as one
+// batch, fsync per policy, release the batch's waiters.
+func (j *Journal) run() {
+	defer close(j.done)
+	var tickC <-chan time.Time
+	if j.opts.Sync.Mode == SyncInterval {
+		t := time.NewTicker(j.opts.Sync.Interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-j.stop:
+			j.commit(true)
+			return
+		case <-j.kick:
+			j.commit(j.opts.Sync.Mode == SyncGroup)
+		case <-tickC:
+			j.commit(true)
+		}
+	}
+}
+
+// commit writes the buffered batch and optionally fsyncs. File I/O runs
+// under wmu only, so appenders never block behind a sync.
+func (j *Journal) commit(sync bool) {
+	j.wmu.Lock()
+	j.mu.Lock()
+	buf, ws := j.buf, j.ws
+	j.buf, j.spare = j.spare[:0], nil
+	j.ws = nil
+	seg, err := j.seg, j.err
+	j.mu.Unlock()
+
+	wrote := false
+	if err == nil && len(buf) > 0 {
+		_, err = seg.Write(buf)
+		if err == nil {
+			wrote = true
+			j.cBytes.Add(int64(len(buf)))
+		}
+	}
+	if err == nil && sync && wrote && j.opts.Sync.Mode != SyncOff {
+		err = seg.Sync()
+		j.cFsyncs.Inc()
+	}
+	j.wmu.Unlock()
+
+	j.mu.Lock()
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	if j.spare == nil && cap(buf) <= 1<<20 {
+		j.spare = buf[:0]
+	}
+	grown := false
+	if wrote {
+		j.segSize += int64(len(buf))
+		grown = j.segSize >= j.opts.SegmentBytes
+	}
+	j.mu.Unlock()
+	if err != nil {
+		j.logf("wal: commit: %v", err)
+	}
+	for _, w := range ws {
+		w.err = err
+		close(w.ch)
+	}
+	if grown {
+		if _, rerr := j.Rotate(); rerr != nil {
+			j.logf("wal: rotate: %v", rerr)
+		}
+	}
+}
+
+// Rotate seals the current segment (flushing and fsyncing any buffered
+// records into it) and opens the next. It returns the new segment's index:
+// every record appended before the call is in a segment below that index,
+// which is the snapshot boundary invariant WriteSnapshot relies on.
+func (j *Journal) Rotate() (uint64, error) {
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	j.mu.Lock()
+	buf, ws := j.buf, j.ws
+	j.buf, j.ws = nil, nil
+	seg, next := j.seg, j.segIndex+1
+	if j.closed {
+		j.mu.Unlock()
+		err := fmt.Errorf("wal: journal closed")
+		for _, w := range ws {
+			w.err = err
+			close(w.ch)
+		}
+		return 0, err
+	}
+	j.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		if _, err = seg.Write(buf); err == nil {
+			j.cBytes.Add(int64(len(buf)))
+		}
+	}
+	if err == nil && j.opts.Sync.Mode != SyncOff {
+		err = seg.Sync()
+		j.cFsyncs.Inc()
+	}
+	for _, w := range ws {
+		w.err = err
+		close(w.ch)
+	}
+	if err != nil {
+		j.noteErr(err)
+		return 0, err
+	}
+	newSeg, err := j.createSegment(next)
+	if err != nil {
+		j.noteErr(err)
+		return 0, err
+	}
+	seg.Close()
+	j.mu.Lock()
+	j.seg, j.segIndex, j.segSize = newSeg, next, 0
+	j.mu.Unlock()
+	j.refreshSegGauge()
+	return next, nil
+}
+
+func (j *Journal) noteErr(err error) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+// refreshSegGauge recounts on-disk segments (cheap: one readdir).
+func (j *Journal) refreshSegGauge() {
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	n := 0
+	for _, e := range ents {
+		if _, ok := parseIndexed(e.Name(), "seg-", ".wal"); ok {
+			n++
+		}
+	}
+	j.gSegs.Set(int64(n))
+}
+
+// Appends and Fsyncs expose the journal's lifetime counters for stats.
+func (j *Journal) Appends() int64 { return j.cAppends.Value() }
+func (j *Journal) Fsyncs() int64  { return j.cFsyncs.Value() }
+
+// Close flushes and fsyncs everything buffered, then seals the journal.
+// Safe to call twice.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.stop)
+	<-j.done
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	if j.opts.Sync.Mode != SyncGroup && j.err == nil {
+		j.seg.Sync() // interval/off modes: make the seal durable anyway
+	}
+	err := j.seg.Close()
+	if j.err != nil {
+		return j.err
+	}
+	return err
+}
+
+// Abort closes the journal without flushing its in-memory batch — the
+// crash-simulation path used by tests: only records the committer already
+// wrote survive, exactly as after a kill -9.
+func (j *Journal) Abort() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return
+	}
+	j.closed = true
+	if j.err == nil {
+		j.err = fmt.Errorf("wal: aborted")
+	}
+	j.buf = nil // drop the unwritten batch: a crash would have lost it
+	ws := j.ws
+	j.ws = nil
+	j.mu.Unlock()
+	for _, w := range ws {
+		w.err = fmt.Errorf("wal: aborted")
+		close(w.ch)
+	}
+	close(j.stop)
+	<-j.done
+	j.wmu.Lock()
+	j.seg.Close()
+	j.wmu.Unlock()
+}
+
+// WriteSnapshot durably stores st as the snapshot covering every segment
+// below boundary (the index returned by Rotate), then prunes segments and
+// snapshots the new snapshot supersedes. The write is atomic: tmp file,
+// fsync, rename, directory fsync.
+func (j *Journal) WriteSnapshot(boundary uint64, st *State) error {
+	frame, err := marshalRecord(nil, KindSnapshot, st)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(j.dir, "snap.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err = f.Write(frame); err == nil && j.opts.Sync.Mode != SyncOff {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	final := filepath.Join(j.dir, snapName(boundary))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if j.opts.Sync.Mode != SyncOff {
+		if d, err := os.Open(j.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	j.prune(boundary)
+	j.refreshSegGauge()
+	return nil
+}
+
+// prune removes segments and snapshots wholly covered by the snapshot at
+// boundary.
+func (j *Journal) prune(boundary uint64) {
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if n, ok := parseIndexed(e.Name(), "seg-", ".wal"); ok && n < boundary {
+			os.Remove(filepath.Join(j.dir, e.Name()))
+		}
+		if n, ok := parseIndexed(e.Name(), "snap-", ".snap"); ok && n < boundary {
+			os.Remove(filepath.Join(j.dir, e.Name()))
+		}
+	}
+}
+
+// sortedIndexed lists the indices of dir entries matching prefix/ext in
+// ascending order.
+func sortedIndexed(dir, prefix, ext string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		if n, ok := parseIndexed(e.Name(), prefix, ext); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}

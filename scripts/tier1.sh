@@ -13,6 +13,12 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+# Crash-recovery end to end: kill -9 a journaling dispatcher mid-workload,
+# restart it on the same journal, and require exactly-once delivery.
+go test -run='TestBinariesCrashRecovery' -count=1 .
+# Short fuzz pass over the journal decoder: it must never panic and never
+# fabricate records, whatever bytes a torn tail left behind.
+go test -run='^$' -fuzz=FuzzJournalDecode -fuzztime=5s ./internal/wal/
 # Compile-and-run every benchmark exactly once, so bitrot in benchmark-only
 # code fails tier 1 instead of the next perf investigation.
 go test -run='^$' -bench=. -benchtime=1x ./...

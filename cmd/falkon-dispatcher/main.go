@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"falkon/internal/dispatch"
+	"falkon/internal/faultinj"
 	"falkon/internal/obs"
 	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
@@ -37,6 +38,7 @@ func main() {
 		journalDir    = flag.String("journal-dir", "", "write-ahead task journal directory; recovers state from it on start (empty = no journal)")
 		journalSync   = flag.String("journal-sync", "group", "journal durability: group (fsync per commit batch), off, or a flush interval like 5ms")
 		snapEvery     = flag.Int("snapshot-every", 0, "journal records between snapshot compactions (0 = default 65536, <0 = never)")
+		faults        = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,drop@0.01,fsyncerr@0.02 (chaos testing; default $FALKON_FAULTS)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,23 @@ func main() {
 		JournalDir:    *journalDir,
 		JournalSync:   syncPolicy,
 		SnapshotEvery: *snapEvery,
+	}
+	if *faults != "" {
+		spec, err := faultinj.Parse(*faults)
+		if err != nil {
+			log.Fatalf("falkon-dispatcher: %v", err)
+		}
+		opts.Metrics = obs.NewRegistry()
+		inj := faultinj.New(spec, opts.Metrics, log.Printf)
+		opts.Faults = inj
+		opts.JournalFS = inj.FS(wal.OS)
+		// A journal that cannot write is fail-stop: crash and let the next
+		// start recover the intact prefix rather than serve un-durable acks.
+		opts.OnJournalError = func(err error) {
+			log.Printf("falkon-dispatcher: journal failed, exiting for recovery: %v", err)
+			os.Exit(3)
+		}
+		log.Printf("falkon-dispatcher: fault injection armed: %s", spec)
 	}
 	if !*quiet {
 		opts.Logf = log.Printf

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"falkon/internal/executor"
+	"falkon/internal/faultinj"
 	"falkon/internal/obs"
 	"falkon/internal/wsrpc"
 )
@@ -38,6 +39,7 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "HTTP address serving /metrics, /events.json, and /debug/pprof/ (empty = off)")
 		reconnect  = flag.Bool("reconnect", false, "survive dispatcher restarts: re-register with backoff instead of stopping")
 		reconnectT = flag.Duration("reconnect-timeout", 30*time.Second, "give up after a continuous outage this long (with -reconnect)")
+		faults     = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,crash@0.01,stall=2s@0.01 (chaos testing; default $FALKON_FAULTS)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,14 @@ func main() {
 		Metrics:          reg,
 		Reconnect:        *reconnect,
 		ReconnectTimeout: *reconnectT,
+	}
+	if *faults != "" {
+		spec, err := faultinj.Parse(*faults)
+		if err != nil {
+			log.Fatalf("falkon-executor: %v", err)
+		}
+		opts.Faults = faultinj.New(spec, reg, log.Printf)
+		log.Printf("falkon-executor: fault injection armed: %s", spec)
 	}
 	if *secure {
 		if *pskFile == "" {

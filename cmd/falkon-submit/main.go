@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"falkon/internal/client"
+	"falkon/internal/faultinj"
 	"falkon/internal/metrics"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
@@ -39,6 +40,7 @@ func main() {
 		pskFile    = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "overall wait timeout")
 		reconnect  = flag.Bool("reconnect", false, "survive dispatcher restarts: reattach, resubmit pending tasks idempotently, and dedupe redelivered results")
+		faults     = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,latency=2ms@0.05 (chaos testing; default $FALKON_FAULTS)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,14 @@ func main() {
 		BundleSize:     *bundle,
 		Poll:           *poll,
 		Reconnect:      *reconnect,
+	}
+	if *faults != "" {
+		spec, err := faultinj.Parse(*faults)
+		if err != nil {
+			log.Fatalf("falkon-submit: %v", err)
+		}
+		opts.Faults = faultinj.New(spec, nil, log.Printf)
+		log.Printf("falkon-submit: fault injection armed: %s", spec)
 	}
 	if *secure {
 		if *pskFile == "" {

@@ -53,6 +53,10 @@ type Options struct {
 	ReconnectTimeout time.Duration
 	// Backoff tunes the redial schedule (zero value = backoff.Default).
 	Backoff backoff.Policy
+
+	// Faults, when set, interposes transport fault injection on every
+	// dial (chaos testing only).
+	Faults wsrpc.ConnFaults
 }
 
 // Client is a connected Falkon client owning one dispatcher instance.
@@ -140,6 +144,7 @@ func (c *Client) dial() (*wsrpc.Client, error) {
 		Security: c.opts.Security,
 		PSK:      c.opts.PSK,
 		OnNotify: c.onNotify,
+		Faults:   c.opts.Faults,
 	})
 }
 

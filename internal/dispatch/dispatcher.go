@@ -88,6 +88,20 @@ type Options struct {
 	// snapshots).
 	SnapshotEvery int
 
+	// JournalFS substitutes the journal's filesystem (chaos testing only;
+	// nil uses the real OS).
+	JournalFS wal.FS
+
+	// OnJournalError, when set, is invoked once with the journal's first
+	// sticky I/O error. A dispatcher whose journal cannot write can no
+	// longer honor its durability barrier; daemons use this hook to
+	// fail-stop and let recovery replay the intact prefix.
+	OnJournalError func(error)
+
+	// Faults, when set, interposes transport fault injection on every
+	// accepted connection (chaos testing only).
+	Faults wsrpc.ConnFaults
+
 	// Logf receives dispatcher logs; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -253,7 +267,7 @@ func New(opts Options) *Dispatcher {
 	d.eng = newNotifyEngine(opts.NotifyWorkers, opts.Logf,
 		d.reg.Gauge("falkon_notify_queue_depth"), d.reg.Counter("falkon_notifications_total"),
 		d.reg.Counter("falkon_notify_errors_total"))
-	d.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: d.logf, Metrics: d.reg})
+	d.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: d.logf, Metrics: d.reg, Faults: opts.Faults})
 	d.register()
 	d.srv.OnDisconnect(d.onDisconnect)
 	return d
@@ -314,6 +328,8 @@ func (d *Dispatcher) Listen(addr string) error {
 			Sync:    d.opts.JournalSync,
 			Metrics: d.reg,
 			Logf:    d.opts.Logf,
+			FS:      d.opts.JournalFS,
+			OnError: d.opts.OnJournalError,
 		})
 		if err != nil {
 			return err

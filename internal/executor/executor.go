@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"os/exec"
 	"strings"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"falkon/internal/backoff"
+	"falkon/internal/faultinj"
 	"falkon/internal/fproto"
 	"falkon/internal/metrics"
 	"falkon/internal/obs"
@@ -83,6 +85,14 @@ type Options struct {
 	ReconnectTimeout time.Duration
 	// Backoff tunes the re-register schedule (zero value = backoff.Default).
 	Backoff backoff.Policy
+
+	// Faults, when set, injects executor faults (crash mid-task, stall,
+	// result-then-die) and transport faults on the dispatcher connection
+	// (chaos testing only).
+	Faults *faultinj.Injector
+	// CrashFunc is what an injected crash calls (default os.Exit); tests
+	// substitute a recorder.
+	CrashFunc func(code int)
 }
 
 // Executor is a running executor instance.
@@ -165,6 +175,7 @@ func Start(opts Options) (*Executor, error) {
 		PSK:      opts.PSK,
 		OnNotify: e.onNotify,
 		Metrics:  e.reg,
+		Faults:   opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +292,7 @@ func (e *Executor) reregister() (*wsrpc.Client, bool) {
 			PSK:      e.opts.PSK,
 			OnNotify: e.onNotify,
 			Metrics:  e.reg,
+			Faults:   e.opts.Faults,
 		})
 		if err != nil {
 			continue
@@ -547,6 +559,9 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 		}
 		results := make([]fproto.TaggedResult, 0, len(as))
 		for _, a := range as {
+			if e.opts.Faults.ExecCrash() {
+				e.crash("crash mid-task")
+			}
 			pickup := time.Now()
 			e.tracer.Record(e.at(), obs.EvStarted, a.Task.ID, a.EPR, e.opts.ID)
 			r, runDur := e.runTask(a.Task, a.CacheHit)
@@ -585,6 +600,11 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 			}
 			return
 		}
+		if e.opts.Faults.ResultThenDie() {
+			// The dispatcher holds the results but this executor dies before
+			// acting on the acknowledgment — the duplicate-provoking failure.
+			e.crash("result-then-die")
+		}
 		now := e.at()
 		for _, tr := range results {
 			e.tracer.Record(now, obs.EvDelivered, tr.Result.ID, tr.EPR, e.opts.ID)
@@ -601,6 +621,11 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 // this node, so staging is skipped.
 func (e *Executor) runTask(t task.Task, cacheHit bool) (task.Result, time.Duration) {
 	r := task.Result{ID: t.ID, ExecutorID: e.opts.ID}
+	if d := e.opts.Faults.ExecStall(); d > 0 {
+		// Injected stall: long enough to trip the dispatcher's replay
+		// timeout, so the same task races its own re-dispatch.
+		time.Sleep(d)
+	}
 	start := time.Now()
 	switch t.Engine {
 	case task.EngineSleep:
@@ -629,6 +654,17 @@ func (e *Executor) runTask(t task.Task, cacheHit bool) (task.Result, time.Durati
 		r.ExitCode = -1
 	}
 	return r, time.Since(start)
+}
+
+// crash terminates the process for an injected executor fault. Exit code
+// 137 mimics a SIGKILL'd worker, which is what supervisors see in the wild.
+func (e *Executor) crash(why string) {
+	e.logf("executor %s: faultinj %s: crashing", e.opts.ID, why)
+	if e.opts.CrashFunc != nil {
+		e.opts.CrashFunc(137)
+		return
+	}
+	os.Exit(137)
 }
 
 // sleepScaled sleeps d scaled by SleepScale (skipping zero sleeps).

@@ -1,0 +1,83 @@
+package faultinj
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// WrapConn interposes the transport faults on a connection (implements
+// wsrpc.ConnFaults). Each wrapped connection gets its own decision stream,
+// so the n-th operation on connection k faults identically across runs
+// with the same seed.
+func (inj *Injector) WrapConn(c net.Conn) net.Conn {
+	if inj == nil {
+		return c
+	}
+	s := inj.spec
+	if s.LatencyP <= 0 && s.DropP <= 0 && s.MidFrameP <= 0 && s.ShortWriteP <= 0 && s.PartitionP <= 0 {
+		return c
+	}
+	return &faultConn{Conn: c, inj: inj, id: inj.nextStream.Add(1)}
+}
+
+// faultConn injects transport faults around a net.Conn. Faults that lose
+// bytes (drop, midframe, shortwrite) always close the underlying
+// connection afterward: the peer sees EOF instead of silently waiting
+// forever on a frame that will never complete, so reconnect machinery —
+// not a wedged socket — is what gets exercised.
+type faultConn struct {
+	net.Conn
+	inj    *Injector
+	id     uint64
+	readN  atomic.Uint64
+	writeN atomic.Uint64
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	inj, s := fc.inj, fc.inj.spec
+	n := fc.readN.Add(1)
+	if inj.chance(fc.id, classPartition, n, s.PartitionP) {
+		// Asymmetric partition: this side stops hearing from the peer for
+		// Partition while its own writes still flow.
+		inj.note(fc.id, classPartition, n)
+		time.Sleep(s.Partition)
+	}
+	if inj.chance(fc.id, classLatency, n, s.LatencyP) {
+		inj.note(fc.id, classLatency, n)
+		time.Sleep(s.Latency)
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	inj, s := fc.inj, fc.inj.spec
+	n := fc.writeN.Add(1)
+	if inj.chance(fc.id, classDrop, n, s.DropP) {
+		inj.note(fc.id, classDrop, n)
+		fc.Conn.Close()
+		return 0, fmt.Errorf("faultinj: injected connection drop")
+	}
+	if len(p) > 1 && inj.chance(fc.id, classMidFrame, n, s.MidFrameP) {
+		// Deliver half the buffer — typically tearing a length-prefixed
+		// frame in two — then die.
+		inj.note(fc.id, classMidFrame, n)
+		fc.Conn.Write(p[:len(p)/2])
+		fc.Conn.Close()
+		return 0, fmt.Errorf("faultinj: injected mid-frame disconnect")
+	}
+	if len(p) > 1 && inj.chance(fc.id, classShortWrite, n, s.ShortWriteP) {
+		// Tear the last bytes off — a torn frame tail — then die.
+		inj.note(fc.id, classShortWrite, n)
+		cut := len(p) - 1 - len(p)/8
+		fc.Conn.Write(p[:cut])
+		fc.Conn.Close()
+		return 0, fmt.Errorf("faultinj: injected short write")
+	}
+	if inj.chance(fc.id, classLatency, n, s.LatencyP) {
+		inj.note(fc.id, classLatency, n)
+		time.Sleep(s.Latency)
+	}
+	return fc.Conn.Write(p)
+}

@@ -1,0 +1,182 @@
+package faultinj
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"falkon/internal/obs"
+)
+
+// TestParseRoundTrip checks Parse(spec.String()) == spec for a fully
+// populated spec — the property the chaos harness relies on to hand child
+// processes their schedules through flags.
+func TestParseRoundTrip(t *testing.T) {
+	in := Spec{
+		Seed:     42,
+		LatencyP: 0.05, Latency: 3 * time.Millisecond,
+		DropP: 0.01, MidFrameP: 0.02, ShortWriteP: 0.03,
+		PartitionP: 0.001, Partition: 750 * time.Millisecond,
+		DupNotifyP: 0.04,
+		FsyncErrP:  0.02, TornWriteP: 0.01, ENOSPCP: 0.005,
+		SlowDiskP: 0.1, SlowDisk: 7 * time.Millisecond,
+		CrashP: 0.02, StallP: 0.01, Stall: 400 * time.Millisecond,
+		ResultDieP: 0.015,
+	}
+	got, err := Parse(in.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in.String(), err)
+	}
+	if got != in {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus@0.5",          // unknown fault
+		"drop",               // missing probability
+		"drop@1.5",           // probability out of range
+		"drop@x",             // malformed probability
+		"drop=5ms@0.1",       // drop takes no duration
+		"latency=banana@0.1", // malformed duration
+		"seed=abc",           // malformed seed
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", bad)
+		}
+	}
+	s, err := Parse("")
+	if err != nil || s.Enabled() {
+		t.Errorf("Parse(\"\") = %+v, %v; want zero spec, nil", s, err)
+	}
+}
+
+// TestDeterministicDecisions is the core contract: two injectors built
+// from the same spec make identical decision sequences, and a different
+// seed makes a different sequence.
+func TestDeterministicDecisions(t *testing.T) {
+	spec := Spec{Seed: 7, DropP: 0.2, CrashP: 0.3}
+	seq := func(inj *Injector) (conn []bool, crash []bool) {
+		for n := uint64(1); n <= 200; n++ {
+			conn = append(conn, inj.chance(1, classDrop, n, spec.DropP))
+		}
+		for i := 0; i < 200; i++ {
+			crash = append(crash, inj.ExecCrash())
+		}
+		return
+	}
+	a1, b1 := seq(New(spec, nil, nil))
+	a2, b2 := seq(New(spec, nil, nil))
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	other := spec
+	other.Seed = 8
+	a3, _ := seq(New(other, nil, nil))
+	same := 0
+	for i := range a1 {
+		if a1[i] == a3[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Fatalf("seeds 7 and 8 produced identical drop schedules")
+	}
+}
+
+// TestChanceRate sanity-checks the hash-to-probability mapping: at p=0.2
+// over 10k ops the injection rate must land near 20%.
+func TestChanceRate(t *testing.T) {
+	inj := New(Spec{Seed: 3, DropP: 0.2}, nil, nil)
+	hits := 0
+	const ops = 10000
+	for n := uint64(1); n <= ops; n++ {
+		if inj.chance(5, classDrop, n, 0.2) {
+			hits++
+		}
+	}
+	rate := float64(hits) / ops
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("injection rate %.3f, want ~0.2", rate)
+	}
+}
+
+// TestNilInjectorInert verifies the nil injector is safe everywhere —
+// call sites integrate without guards.
+func TestNilInjectorInert(t *testing.T) {
+	var inj *Injector
+	if inj.DupNotify() || inj.ExecCrash() || inj.ResultThenDie() || inj.ExecStall() != 0 {
+		t.Fatal("nil injector injected a fault")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if inj.WrapConn(c1) != c1 {
+		t.Fatal("nil injector wrapped a conn")
+	}
+	if inj.FS(nil) != nil {
+		t.Fatal("nil injector wrapped an FS")
+	}
+	if len(inj.Counts()) != 0 || inj.Summary() != "none" {
+		t.Fatal("nil injector reported counts")
+	}
+	if New(Spec{Seed: 9}, nil, nil) != nil {
+		t.Fatal("New with no enabled fault should return nil")
+	}
+}
+
+// TestConnFaultsCloseUnderlying: byte-losing faults must kill the
+// connection so the peer sees EOF rather than waiting on a torn frame.
+func TestConnFaultsCloseUnderlying(t *testing.T) {
+	inj := New(Spec{Seed: 1, DropP: 1}, nil, nil)
+	a, b := net.Pipe()
+	wrapped := inj.WrapConn(a)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	if _, err := wrapped.Write([]byte("hello")); err == nil {
+		t.Fatal("drop fault returned nil error")
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("peer read succeeded after drop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer still blocked after drop: connection not closed")
+	}
+	if inj.Counts()["drop"] == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+// TestMetricsFamily: injections land in falkon_fault_injected_total{fault=...}.
+func TestMetricsFamily(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := New(Spec{Seed: 2, CrashP: 1}, reg, nil)
+	if !inj.ExecCrash() {
+		t.Fatal("CrashP=1 did not fire")
+	}
+	key := obs.Labeled("falkon_fault_injected_total", "fault", "crash")
+	if got := reg.Snapshot().Counters[key]; got != 1 {
+		t.Fatalf("%s = %d, want 1", key, got)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 0) == DeriveSeed(1, 1) {
+		t.Fatal("child seeds collide")
+	}
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("child seed not deterministic")
+	}
+	if DeriveSeed(0, 0) == 0 {
+		t.Fatal("derived seed must never be zero")
+	}
+}

@@ -1,0 +1,87 @@
+package faultinj
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"falkon/internal/wal"
+)
+
+// FS wraps a wal.FS with the disk faults: fsync errors, torn appends,
+// ENOSPC, slow disk. Directory-level operations (rename, remove, scans)
+// pass through untouched — the journal's crash-safety there is exercised
+// by process kills, not by this layer — while every file opened for
+// writing gets a fault-injecting wrapper with its own decision stream.
+// Returns base unchanged when no disk fault is enabled.
+func (inj *Injector) FS(base wal.FS) wal.FS {
+	if inj == nil {
+		return base
+	}
+	s := inj.spec
+	if s.FsyncErrP <= 0 && s.TornWriteP <= 0 && s.ENOSPCP <= 0 && s.SlowDiskP <= 0 {
+		return base
+	}
+	return &faultFS{FS: base, inj: inj}
+}
+
+type faultFS struct {
+	wal.FS
+	inj *Injector
+}
+
+func (f *faultFS) Create(name string, excl bool) (wal.File, error) {
+	file, err := f.FS.Create(name, excl)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, inj: f.inj, id: f.inj.nextStream.Add(1)}, nil
+}
+
+// faultFile injects write/sync faults on one journal file. A torn append
+// persists a prefix of the batch and then fails — exactly what a crash
+// mid-write leaves on a real disk — so recovery's torn-tail handling gets
+// continuously attacked, not just unit-tested.
+type faultFile struct {
+	wal.File
+	inj *Injector
+	id  uint64
+	n   atomic.Uint64
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	inj, s := ff.inj, ff.inj.spec
+	n := ff.n.Add(1)
+	if inj.chance(ff.id, classENOSPC, n, s.ENOSPCP) {
+		inj.note(ff.id, classENOSPC, n)
+		return 0, fmt.Errorf("faultinj: injected write failure: %w", syscall.ENOSPC)
+	}
+	if len(p) > 1 && inj.chance(ff.id, classTornWrite, n, s.TornWriteP) {
+		inj.note(ff.id, classTornWrite, n)
+		if _, err := ff.File.Write(p[:len(p)/2]); err == nil {
+			_ = ff.File.Sync() // make the torn prefix durable, like a real crash would
+		}
+		return 0, fmt.Errorf("faultinj: injected torn append: %w", os.ErrInvalid)
+	}
+	if inj.chance(ff.id, classSlowDisk, n, s.SlowDiskP) {
+		inj.note(ff.id, classSlowDisk, n)
+		time.Sleep(s.SlowDisk)
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	inj, s := ff.inj, ff.inj.spec
+	n := ff.n.Add(1)
+	if inj.chance(ff.id, classFsyncErr, n, s.FsyncErrP) {
+		inj.note(ff.id, classFsyncErr, n)
+		return fmt.Errorf("faultinj: injected fsync error: %w", syscall.EIO)
+	}
+	if inj.chance(ff.id, classSlowDisk, n, s.SlowDiskP) {
+		inj.note(ff.id, classSlowDisk, n)
+		time.Sleep(s.SlowDisk)
+	}
+	return ff.File.Sync()
+}

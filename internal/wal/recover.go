@@ -29,19 +29,23 @@ type RecoveryInfo struct {
 func Recover(dir string, opts Options) (*State, *Journal, RecoveryInfo, error) {
 	var info RecoveryInfo
 	r := newReplayer()
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS
+	}
 
-	segs, err := sortedIndexed(dir, "seg-", ".wal")
+	segs, err := sortedIndexed(fsys, dir, "seg-", ".wal")
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, info, fmt.Errorf("wal: recover: %w", err)
 	}
-	snaps, _ := sortedIndexed(dir, "snap-", ".snap")
+	snaps, _ := sortedIndexed(fsys, dir, "snap-", ".snap")
 
 	// Newest readable snapshot wins; a corrupt snapshot falls back to the
 	// next older one (its segments are only pruned after a newer snapshot
 	// is durable, so the fallback chain is intact).
 	var base uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		st, ok := readSnapshot(filepath.Join(dir, snapName(snaps[i])))
+		st, ok := readSnapshot(fsys, filepath.Join(dir, snapName(snaps[i])))
 		if ok {
 			r.load(st)
 			base = snaps[i]
@@ -58,7 +62,7 @@ func Recover(dir string, opts Options) (*State, *Journal, RecoveryInfo, error) {
 		if idx < base {
 			continue // covered by the snapshot
 		}
-		n, err := replaySegment(filepath.Join(dir, segName(idx)), r)
+		n, err := replaySegment(fsys, filepath.Join(dir, segName(idx)), r)
 		if err != nil {
 			return nil, nil, info, err
 		}
@@ -90,8 +94,8 @@ func Recover(dir string, opts Options) (*State, *Journal, RecoveryInfo, error) {
 
 // readSnapshot decodes one snapshot file. ok=false on any damage: snapshot
 // reads follow the same rule as segment replay — prove it or skip it.
-func readSnapshot(path string) (*State, bool) {
-	buf, err := os.ReadFile(path)
+func readSnapshot(fsys FS, path string) (*State, bool) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
@@ -108,8 +112,8 @@ func readSnapshot(path string) (*State, bool) {
 
 // replaySegment folds one segment's valid prefix into r and reports how
 // many records it held.
-func replaySegment(path string, r *replayer) (int, error) {
-	buf, err := os.ReadFile(path)
+func replaySegment(fsys FS, path string, r *replayer) (int, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: recover: %w", err)
 	}

@@ -2,7 +2,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -76,6 +75,13 @@ type Options struct {
 	Metrics *obs.Registry
 	// Logf receives journal logs; nil silences them.
 	Logf func(format string, args ...any)
+	// FS is the filesystem the journal writes through (default the real
+	// OS). Tests and the chaos harness substitute a fault-injecting FS.
+	FS FS
+	// OnError, when set, is invoked once with the journal's first sticky
+	// I/O error. A journal that cannot write is fail-stop: daemons use
+	// this hook to crash and let recovery replay the intact prefix.
+	OnError func(error)
 }
 
 // Handle represents one AppendWait's durability barrier.
@@ -109,6 +115,8 @@ type Journal struct {
 	cBytes   *metrics.Counter
 	gSegs    *metrics.Gauge
 
+	fs FS
+
 	// wmu serializes file writes and rotation; mu guards the append buffer
 	// and segment pointer. Appenders take only mu (never block on I/O).
 	wmu sync.Mutex
@@ -118,10 +126,11 @@ type Journal struct {
 	// spare recycles the drained append buffer, so steady-state appends
 	// never grow a fresh array.
 	spare    []byte
-	seg      *os.File
+	seg      File
 	segIndex uint64
 	segSize  int64
 	err      error // sticky I/O error: the journal fails closed
+	erred    bool  // OnError already fired
 	closed   bool
 
 	kick chan struct{}
@@ -153,11 +162,15 @@ func open(dir string, next uint64, opts Options) (*Journal, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	j := &Journal{
 		dir:      dir,
+		fs:       opts.FS,
 		opts:     opts,
 		cAppends: opts.Metrics.Counter("falkon_wal_appends_total"),
 		cFsyncs:  opts.Metrics.Counter("falkon_wal_fsyncs_total"),
@@ -183,8 +196,8 @@ func (j *Journal) logf(format string, args ...any) {
 	}
 }
 
-func (j *Journal) createSegment(i uint64) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(j.dir, segName(i)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+func (j *Journal) createSegment(i uint64) (File, error) {
+	f, err := j.fs.Create(filepath.Join(j.dir, segName(i)), true)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -290,6 +303,10 @@ func (j *Journal) commit(sync bool) {
 	if err != nil && j.err == nil {
 		j.err = err
 	}
+	fireErr := err != nil && !j.erred && !j.closed
+	if fireErr {
+		j.erred = true
+	}
 	if j.spare == nil && cap(buf) <= 1<<20 {
 		j.spare = buf[:0]
 	}
@@ -301,6 +318,9 @@ func (j *Journal) commit(sync bool) {
 	j.mu.Unlock()
 	if err != nil {
 		j.logf("wal: commit: %v", err)
+	}
+	if fireErr && j.opts.OnError != nil {
+		j.opts.OnError(err)
 	}
 	for _, w := range ws {
 		w.err = err
@@ -371,12 +391,19 @@ func (j *Journal) noteErr(err error) {
 	if j.err == nil {
 		j.err = err
 	}
+	fire := !j.erred && !j.closed
+	if fire {
+		j.erred = true
+	}
 	j.mu.Unlock()
+	if fire && j.opts.OnError != nil {
+		j.opts.OnError(err)
+	}
 }
 
 // refreshSegGauge recounts on-disk segments (cheap: one readdir).
 func (j *Journal) refreshSegGauge() {
-	ents, err := os.ReadDir(j.dir)
+	ents, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return
 	}
@@ -457,7 +484,7 @@ func (j *Journal) WriteSnapshot(boundary uint64, st *State) error {
 		return err
 	}
 	tmp := filepath.Join(j.dir, "snap.tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := j.fs.Create(tmp, false)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
@@ -468,19 +495,16 @@ func (j *Journal) WriteSnapshot(boundary uint64, st *State) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	final := filepath.Join(j.dir, snapName(boundary))
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := j.fs.Rename(tmp, final); err != nil {
+		j.fs.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if j.opts.Sync.Mode != SyncOff {
-		if d, err := os.Open(j.dir); err == nil {
-			d.Sync()
-			d.Close()
-		}
+		j.fs.SyncDir(j.dir)
 	}
 	j.prune(boundary)
 	j.refreshSegGauge()
@@ -490,24 +514,24 @@ func (j *Journal) WriteSnapshot(boundary uint64, st *State) error {
 // prune removes segments and snapshots wholly covered by the snapshot at
 // boundary.
 func (j *Journal) prune(boundary uint64) {
-	ents, err := os.ReadDir(j.dir)
+	ents, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return
 	}
 	for _, e := range ents {
 		if n, ok := parseIndexed(e.Name(), "seg-", ".wal"); ok && n < boundary {
-			os.Remove(filepath.Join(j.dir, e.Name()))
+			j.fs.Remove(filepath.Join(j.dir, e.Name()))
 		}
 		if n, ok := parseIndexed(e.Name(), "snap-", ".snap"); ok && n < boundary {
-			os.Remove(filepath.Join(j.dir, e.Name()))
+			j.fs.Remove(filepath.Join(j.dir, e.Name()))
 		}
 	}
 }
 
 // sortedIndexed lists the indices of dir entries matching prefix/ext in
 // ascending order.
-func sortedIndexed(dir, prefix, ext string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func sortedIndexed(fsys FS, dir, prefix, ext string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}

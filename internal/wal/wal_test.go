@@ -432,7 +432,7 @@ func TestSegmentRotationBySize(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := sortedIndexed(dir, "seg-", ".wal")
+	segs, err := sortedIndexed(OS, dir, "seg-", ".wal")
 	if err != nil {
 		t.Fatal(err)
 	}

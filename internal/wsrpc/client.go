@@ -43,6 +43,9 @@ type ClientOptions struct {
 	// Metrics, when set, receives per-method call counts and round-trip
 	// latency histograms plus framed-byte counters (client-side view).
 	Metrics *obs.Registry
+	// Faults, when set, interposes fault injection on the connection
+	// (chaos testing only).
+	Faults ConnFaults
 }
 
 // Client is a wsrpc connection initiator: it issues concurrent calls and
@@ -69,6 +72,9 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wsrpc: dial %s: %w", addr, err)
+	}
+	if opts.Faults != nil {
+		c = opts.Faults.WrapConn(c)
 	}
 	var stats flushStats
 	if opts.Metrics != nil {

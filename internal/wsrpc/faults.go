@@ -1,0 +1,17 @@
+package wsrpc
+
+import "net"
+
+// ConnFaults is the transport's fault-injection seam. wsrpc stays
+// independent of the injector package: a chaos run hands an implementation
+// (internal/faultinj's Injector satisfies it) through ClientOptions or
+// ServerOptions, and production code passes nothing.
+type ConnFaults interface {
+	// WrapConn interposes faults on a freshly established connection,
+	// before any framing or handshake bytes flow.
+	WrapConn(c net.Conn) net.Conn
+	// DupNotify reports whether the next notify push should be sent
+	// twice — modeling a retransmitted push that exercises receiver-side
+	// dedupe.
+	DupNotify() bool
+}

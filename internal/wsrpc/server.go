@@ -32,6 +32,9 @@ type ServerOptions struct {
 	// Metrics, when set, receives per-method call counts and handler
 	// latency histograms plus framed-byte counters.
 	Metrics *obs.Registry
+	// Faults, when set, interposes fault injection on every accepted
+	// connection and on notify pushes (chaos testing only).
+	Faults ConnFaults
 }
 
 // methodStats holds one method's pre-created instruments, so the hot path
@@ -193,13 +196,17 @@ func (s *Server) logf(format string, args ...any) {
 
 // handleConn owns one connection for its lifetime.
 func (s *Server) handleConn(c net.Conn) {
+	remote := c.RemoteAddr().String()
+	if s.opts.Faults != nil {
+		c = s.opts.Faults.WrapConn(c)
+	}
 	fc, err := newFrameConn(c, s.opts.Security, s.opts.PSK, false, s.flushStats)
 	if err != nil {
-		s.logf("wsrpc: handshake with %s: %v", c.RemoteAddr(), err)
+		s.logf("wsrpc: handshake with %s: %v", remote, err)
 		c.Close()
 		return
 	}
-	peer := &Peer{fc: fc, id: s.nextID.Add(1), remote: c.RemoteAddr().String(), tx: s.txBytes}
+	peer := &Peer{fc: fc, id: s.nextID.Add(1), remote: remote, tx: s.txBytes, faults: s.opts.Faults}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -321,6 +328,7 @@ type Peer struct {
 	id     uint64
 	remote string
 	tx     *metrics.Counter // server tx byte counter; nil when unmetered
+	faults ConnFaults       // notify-duplication seam; nil in production
 
 	mu   sync.Mutex
 	meta any
@@ -353,6 +361,13 @@ func (p *Peer) Notify(method string, arg any) error {
 	n, err := p.fc.WriteEnvelope(kindNotify, 0, method, "", body)
 	if err != nil {
 		return err
+	}
+	if p.faults != nil && p.faults.DupNotify() {
+		// Injected duplicate push: receivers must tolerate replayed
+		// notifications (at-least-once push, exactly-once effect).
+		if dn, derr := p.fc.WriteEnvelope(kindNotify, 0, method, "", body); derr == nil {
+			n += dn
+		}
 	}
 	if p.tx != nil {
 		p.tx.Add(int64(n))

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench_gate.sh — the CI bench-regression gate. Runs
+# BenchmarkLiveDispatchThroughput via bench_compare.sh and compares the
+# mean tasks/s against the newest committed BENCH_live.json row; a drop of
+# more than 25% fails the gate. Noisy runners can demote the failure to a
+# warning with FALKON_BENCH_WARN_ONLY=1.
+#
+#   ./scripts/bench_gate.sh          # 3 runs
+#   ./scripts/bench_gate.sh 5        # 5 runs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUNS="${1:-3}"
+THRESHOLD="${FALKON_BENCH_THRESHOLD:-0.75}"
+
+# Baseline: tasks_per_sec from the last BENCH_live.json row (JSONL, newest
+# last). No jq in the base image, so carve the field out with awk.
+BASELINE="$(awk -F'"tasks_per_sec":' 'NF > 1 { split($2, a, /[,}]/); v = a[1] } END { print v }' BENCH_live.json)"
+if [ -z "$BASELINE" ]; then
+    echo "bench_gate: no tasks_per_sec baseline found in BENCH_live.json" >&2
+    exit 1
+fi
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+./scripts/bench_compare.sh BenchmarkLiveDispatchThroughput "$RUNS" . | tee "$OUT"
+
+MEAN="$(awk '/tasks\/s over/ { print $3 }' "$OUT")"
+if [ -z "$MEAN" ]; then
+    echo "bench_gate: bench_compare produced no tasks/s mean" >&2
+    exit 1
+fi
+
+echo "bench_gate: mean ${MEAN} tasks/s vs baseline ${BASELINE} (floor = baseline * ${THRESHOLD})"
+if awk -v m="$MEAN" -v b="$BASELINE" -v t="$THRESHOLD" 'BEGIN { exit !(m < b * t) }'; then
+    echo "bench_gate: REGRESSION: ${MEAN} < ${BASELINE} * ${THRESHOLD}" >&2
+    if [ "${FALKON_BENCH_WARN_ONLY:-0}" = 1 ]; then
+        echo "bench_gate: FALKON_BENCH_WARN_ONLY=1, not failing the build" >&2
+        exit 0
+    fi
+    exit 1
+fi
+echo "bench_gate: OK"

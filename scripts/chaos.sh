@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# chaos.sh — build the Falkon binaries and run the chaos harness
+# (cmd/falkon-chaos): a real dispatcher + executors + reconnecting client
+# under a seeded fault schedule, with exactly-once invariants asserted at
+# the end. A failing seed is printed and reproduces deterministically.
+#
+#   ./scripts/chaos.sh                     # 5-seed sweep at full scale
+#   ./scripts/chaos.sh --quick             # 1 small seed (CI smoke)
+#   ./scripts/chaos.sh 42                  # one specific seed
+#   ./scripts/chaos.sh --quick 7 3         # seeds 7..9, small runs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=()
+SWEEP_DEFAULT=5
+if [ "${1:-}" = "--quick" ]; then
+    QUICK=(-quick)
+    SWEEP_DEFAULT=1
+    shift
+fi
+SEED="${1:-1}"
+SWEEP="${2:-$SWEEP_DEFAULT}"
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN" ./cmd/falkon-dispatcher ./cmd/falkon-executor ./cmd/falkon-chaos
+
+"$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}"

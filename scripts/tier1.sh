@@ -1,17 +1,30 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # tier1.sh — the repo's tier-1 verification flow, as documented in
 # ROADMAP.md. CI and humans run this one command before merging:
 #
-#   ./scripts/tier1.sh
+#   ./scripts/tier1.sh            # the full flow
+#   ./scripts/tier1.sh --quick    # build + vet + test only (fast pre-push)
 #
-# Each step must pass; the script stops at the first failure.
-set -eux
+# Each step must pass; the script stops at the first failure, and failures
+# propagate through pipes (pipefail).
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+QUICK=0
+if [ "${1:-}" = "--quick" ]; then
+    QUICK=1
+fi
+
+set -x
 go build ./...
 go vet ./...
 go test ./...
+
+if [ "$QUICK" = 1 ]; then
+    exit 0
+fi
+
 go test -race ./...
 # Crash-recovery end to end: kill -9 a journaling dispatcher mid-workload,
 # restart it on the same journal, and require exactly-once delivery.

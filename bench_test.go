@@ -1,6 +1,7 @@
 package falkon_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -158,6 +159,31 @@ func BenchmarkLiveSecureDispatch(b *testing.B) {
 	}
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "tasks/s")
+}
+
+// BenchmarkDispatchOverheadBreakdown runs the journaled live path and
+// reports where the dispatcher's own time goes, in ns of scheduler work per
+// task per hot-path stage (mutex wait, sched core, fx flush, WAL
+// group-commit wait, frame write, WAL commit I/O). The same experiment is
+// available as `falkon-bench -experiment overhead-breakdown -json`, which
+// also appends the structured per-stage row to BENCH_live.json.
+func BenchmarkDispatchOverheadBreakdown(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run("overhead-breakdown", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("overhead-breakdown produced no rows")
+		}
+		for k, v := range res.Values {
+			if stage, ok := strings.CutPrefix(k, "ns_per_task_"); ok {
+				b.ReportMetric(v, stage+"_ns/task")
+			}
+		}
+		b.ReportMetric(res.Values["tasks_per_sec"], "tasks/s")
+	}
 }
 
 // Ablation experiments (DESIGN.md §6 and the paper's §6 future work).

@@ -29,9 +29,12 @@ type benchRow struct {
 	TasksPerSec float64 `json:"tasks_per_sec"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	Scale       float64 `json:"scale"`
-	Date        string  `json:"date"`
-	Commit      string  `json:"commit,omitempty"`
+	// Per-stage scheduler overhead in ns/task (overhead-breakdown only),
+	// keyed by stage name: lock_wait, sched_core, fx_flush, ...
+	NsPerTask map[string]float64 `json:"ns_per_task,omitempty"`
+	Scale     float64            `json:"scale"`
+	Date      string             `json:"date"`
+	Commit    string             `json:"commit,omitempty"`
 }
 
 func main() {
@@ -77,6 +80,7 @@ func main() {
 					TasksPerSec: tput,
 					NsPerOp:     res.Values["ns_per_op"],
 					AllocsPerOp: res.Values["allocs_per_op"],
+					NsPerTask:   stageValues(res.Values),
 					Scale:       *scale,
 					Date:        time.Now().UTC().Format(time.RFC3339),
 					Commit:      gitCommit(),
@@ -104,6 +108,21 @@ func appendRow(path string, row benchRow) error {
 	defer f.Close()
 	_, err = f.Write(append(b, '\n'))
 	return err
+}
+
+// stageValues extracts per-stage "ns_per_task_<stage>" scalars into the
+// structured map the JSON row carries (nil when the experiment has none).
+func stageValues(values map[string]float64) map[string]float64 {
+	var m map[string]float64
+	for k, v := range values {
+		if stage, ok := strings.CutPrefix(k, "ns_per_task_"); ok {
+			if m == nil {
+				m = make(map[string]float64)
+			}
+			m[stage] = v
+		}
+	}
+	return m
 }
 
 // gitCommit best-effort resolves the current short commit hash ("" outside

@@ -32,12 +32,15 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"falkon/internal/client"
 	"falkon/internal/faultinj"
+	"falkon/internal/obs"
 	"falkon/internal/task"
 )
 
@@ -207,7 +210,10 @@ func runOne(c cfg, keep bool) (err error) {
 	}()
 
 	// The reconnecting client, in-process, with its own transport faults.
-	cinj := faultinj.New(clientSpec(c.seed), nil, nil)
+	// The registry collects falkon_fault_injected_total{fault=...} for the
+	// final report.
+	creg := obs.NewRegistry()
+	cinj := faultinj.New(clientSpec(c.seed), creg, nil)
 	var cl *client.Client
 	for attempt := 0; ; attempt++ {
 		cl, err = client.Connect(client.Options{
@@ -301,7 +307,29 @@ func runOne(c cfg, keep bool) (err error) {
 
 	log.Printf("seed %d PASS: %d results, client reconnects=%d resubmit-deduped=%d dup-results-dropped=%d, client faults: %s, dispatcher restarts=%d",
 		c.seed, len(results), cl.Reconnects(), cl.Deduped(), cl.DuplicatesDropped(), cinj.Summary(), disp.restarts())
+	// The final report names every fault counter the run observed — the
+	// client injector's own registry plus whatever the (last incarnation of
+	// the) dispatcher counted — in the exposition's own vocabulary, so a
+	// chaos run's output is greppable against /metrics dashboards.
+	printFaultCounters("client", creg.Snapshot().Counters)
+	printFaultCounters("dispatcher", ms.Counters)
 	return nil
+}
+
+// printFaultCounters prints the falkon_fault_injected_total{fault=...}
+// family from a metrics snapshot, sorted for stable output; silent when the
+// run injected nothing on that side.
+func printFaultCounters(side string, counters map[string]int64) {
+	var keys []string
+	for k := range counters {
+		if strings.HasPrefix(k, "falkon_fault_injected_total{") && counters[k] > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		log.Printf("  %s %s %d", side, k, counters[k])
+	}
 }
 
 // awaitDrained polls Stats until queue and outstanding are empty. The stats

@@ -86,6 +86,7 @@ func main() {
 	}
 
 	d := dispatch.New(opts)
+	obs.RegisterBuildInfo(d.Metrics(), "dispatcher")
 	if err := d.Listen(*addr); err != nil {
 		log.Fatalf("falkon-dispatcher: %v", err)
 	}
@@ -95,7 +96,11 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		ds, err := obs.ServeDebugSnapshot(*debugAddr, d.MetricsSnapshot, d.Tracer())
+		ds, err := obs.ServeDebugOpts(*debugAddr, obs.DebugOptions{
+			Snap:       d.MetricsSnapshot,
+			Tracer:     d.Tracer(),
+			SpanHeader: d.SpanHeader,
+		})
 		if err != nil {
 			log.Fatalf("falkon-dispatcher: debug server: %v", err)
 		}

@@ -50,6 +50,7 @@ func main() {
 	// One registry for every executor in the process, so /metrics is the
 	// whole process's view.
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "executor")
 	opts := executor.Options{
 		DispatcherAddr:   *dispatcher,
 		Slots:            *slots,
@@ -102,7 +103,11 @@ func main() {
 
 	if *debugAddr != "" && len(execs) > 0 {
 		// Traces come from the first executor; metrics cover all of them.
-		ds, err := obs.ServeDebug(*debugAddr, reg, execs[0].Tracer())
+		ds, err := obs.ServeDebugOpts(*debugAddr, obs.DebugOptions{
+			Snap:       reg.Snapshot,
+			Tracer:     execs[0].Tracer(),
+			SpanHeader: execs[0].SpanHeader,
+		})
 		if err != nil {
 			log.Fatalf("falkon-executor: debug server: %v", err)
 		}

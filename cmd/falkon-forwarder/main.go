@@ -52,6 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("falkon-forwarder: %v", err)
 	}
+	obs.RegisterBuildInfo(f.Metrics(), "forwarder")
 	if err := f.Listen(*addr); err != nil {
 		log.Fatalf("falkon-forwarder: %v", err)
 	}

@@ -9,12 +9,20 @@
 //	falkon-spans -dispatcher host:7523            # dump retained spans
 //	falkon-spans -dispatcher host:7523 -follow    # tail new spans
 //	falkon-spans -dispatcher host:7523 -raw       # one line per raw event
+//
+// Merge mode joins multi-process span dumps (each daemon's /spans.jsonl)
+// into one causally ordered, clock-corrected timeline per task, optionally
+// emitting Chrome trace-event JSON for Perfetto / chrome://tracing:
+//
+//	falkon-spans -merge dispatcher.jsonl executor.jsonl
+//	falkon-spans -merge -chrome trace.json dispatcher.jsonl executor.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -31,8 +39,17 @@ func main() {
 		follow     = flag.Bool("follow", false, "keep polling for new events")
 		interval   = flag.Duration("interval", time.Second, "poll interval with -follow")
 		raw        = flag.Bool("raw", false, "print raw events instead of assembled spans")
+		merge      = flag.Bool("merge", false, "merge span dump files (args) into per-task cross-process timelines")
+		chrome     = flag.String("chrome", "", "with -merge, also write Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+
+	if *merge {
+		if err := runMerge(flag.Args(), *chrome); err != nil {
+			log.Fatalf("falkon-spans: %v", err)
+		}
+		return
+	}
 
 	c, err := client.Connect(client.Options{DispatcherAddr: *dispatcher, Name: "falkon-spans"})
 	if err != nil {
@@ -71,6 +88,63 @@ func main() {
 		since = er.NextSeq
 		time.Sleep(*interval)
 	}
+}
+
+// runMerge parses each dump file, joins them on the corrected reference
+// clock, and prints one timeline per task: every point attributed to the
+// process that recorded it, offsets from the task's first point, and the
+// e2e span the stage offsets partition exactly.
+func runMerge(paths []string, chromeOut string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs at least one span dump file")
+	}
+	dumps := make([]obs.Dump, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		d, err := obs.ParseDump(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		dumps = append(dumps, d)
+		off := time.Duration(d.Header.ClockOffsetNS)
+		fmt.Printf("# %s: %d events, epoch=%s, clock offset=%s (rtt=%s)\n",
+			d.Header.Proc, len(d.Events),
+			time.Unix(0, d.Header.EpochUnixNano).UTC().Format(time.RFC3339Nano),
+			off, time.Duration(d.Header.ClockRTTNS))
+	}
+	tls := obs.MergeDumps(dumps)
+	for _, tl := range tls {
+		if len(tl.Points) == 0 {
+			continue
+		}
+		base := tl.Points[0].AtNS
+		var b strings.Builder
+		fmt.Fprintf(&b, "trace=%#x task=%v epr=%s", tl.Trace, tl.Task, tl.EPR)
+		for _, p := range tl.Points {
+			fmt.Fprintf(&b, " %s[%s]=+%s", p.Kind, p.Proc, time.Duration(p.AtNS-base).Round(10*time.Microsecond))
+		}
+		fmt.Fprintf(&b, " e2e=%s", time.Duration(tl.E2E()).Round(10*time.Microsecond))
+		fmt.Println(b.String())
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, tls); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote Chrome trace JSON for %d tasks to %s (open in Perfetto)\n", len(tls), chromeOut)
+	}
+	return nil
 }
 
 type spanKey struct {

@@ -22,6 +22,7 @@ import (
 	"falkon/internal/client"
 	"falkon/internal/faultinj"
 	"falkon/internal/metrics"
+	"falkon/internal/obs"
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -40,9 +41,21 @@ func main() {
 		pskFile    = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "overall wait timeout")
 		reconnect  = flag.Bool("reconnect", false, "survive dispatcher restarts: reattach, resubmit pending tasks idempotently, and dedupe redelivered results")
+		debugAddr  = flag.String("debug-addr", "", "HTTP address serving /metrics and /debug/pprof/ while the run lasts (empty = off)")
 		faults     = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,latency=2ms@0.05 (chaos testing; default $FALKON_FAULTS)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterBuildInfo(reg, "submit")
+		ds, err := obs.ServeDebug(*debugAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("falkon-submit: debug server: %v", err)
+		}
+		defer ds.Close()
+		log.Printf("falkon-submit debug endpoints on http://%s/metrics", ds.Addr())
+	}
 
 	opts := client.Options{
 		DispatcherAddr: *dispatcher,

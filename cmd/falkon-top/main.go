@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"falkon/internal/client"
+	"falkon/internal/fproto"
 	"falkon/internal/metrics"
 	"falkon/internal/obs"
 )
@@ -28,6 +29,7 @@ func main() {
 		interval   = flag.Duration("interval", time.Second, "poll interval")
 		once       = flag.Bool("once", false, "print one snapshot and exit")
 		stages     = flag.Bool("stages", true, "show the per-stage latency panel")
+		overhead   = flag.Bool("overhead", true, "show the scheduler-overhead panel (where the dispatcher's own time goes)")
 	)
 	flag.Parse()
 
@@ -82,23 +84,59 @@ func main() {
 			lines++
 		}
 
-		if *stages {
+		if *stages || *overhead {
 			ms, err := c.Metrics()
 			if err != nil {
 				log.Fatalf("falkon-top: metrics: %v", err)
 			}
-			fmt.Printf("\033[K%-16s %10s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99")
-			lines++
-			for _, stage := range obs.Stages {
-				lines += printHist(stage, ms.Histogram(obs.StageKey(stage)))
+			if *stages {
+				fmt.Printf("\033[K%-16s %10s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99")
+				lines++
+				for _, stage := range obs.Stages {
+					lines += printHist(stage, ms.Histogram(obs.StageKey(stage)))
+				}
+				lines += printHist("end-to-end", ms.Histogram(obs.MetricE2ESeconds))
 			}
-			lines += printHist("end-to-end", ms.Histogram(obs.MetricE2ESeconds))
+			if *overhead {
+				lines += printOverhead(ms)
+			}
 		}
 		if *once {
 			return
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// printOverhead renders the scheduler-overhead panel: per-RPC hot-path
+// stages (falkon_sched_overhead_seconds) plus the journal committer's batch
+// write+fsync. It is omitted entirely when the endpoint reports no overhead
+// samples (an older dispatcher, or nothing dispatched yet); it returns the
+// lines printed.
+func printOverhead(ms fproto.MetricsReply) int {
+	rows := make([]metrics.HistSnapshot, len(obs.OverheadStages))
+	any := false
+	for i, stage := range obs.OverheadStages {
+		rows[i] = ms.Histogram(obs.OverheadKey(stage))
+		any = any || rows[i].Count > 0
+	}
+	commit := ms.Histogram(obs.MetricWALCommitSeconds)
+	if !any && commit.Count == 0 {
+		return 0
+	}
+	lines := 1
+	fmt.Printf("\033[K%-16s %10s %10s %10s %10s\n", "overhead", "count", "mean", "p95", "p99")
+	for i, stage := range obs.OverheadStages {
+		fmt.Printf("\033[K%-16s %10d %10s %10s %10s\n",
+			stage, rows[i].Count, fmtDur(rows[i].Mean()), fmtDur(rows[i].Quantile(0.95)), fmtDur(rows[i].Quantile(0.99)))
+		lines++
+	}
+	if commit.Count > 0 {
+		fmt.Printf("\033[K%-16s %10d %10s %10s %10s\n",
+			"wal_commit", commit.Count, fmtDur(commit.Mean()), fmtDur(commit.Quantile(0.95)), fmtDur(commit.Quantile(0.99)))
+		lines++
+	}
+	return lines
 }
 
 // printHist renders one latency row; it returns the lines printed.

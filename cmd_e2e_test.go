@@ -12,11 +12,15 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"falkon/internal/obs"
 )
 
 var (
@@ -283,6 +287,196 @@ func TestBinariesDebugEndpoints(t *testing.T) {
 	}
 	if got := strings.Count(string(out), "delivered=+"); got != 25 {
 		t.Fatalf("falkon-spans printed %d spans, want 25:\n%s", got, out)
+	}
+}
+
+// TestBinariesSpanMergeAcrossProcesses is the tracing acceptance run: a
+// real dispatcher process and a real executor process each dump their span
+// ring over HTTP, and merging the dumps yields one clock-corrected timeline
+// per task whose cross-process stage durations partition the end-to-end
+// latency exactly. The falkon-spans CLI must stitch the same dumps.
+func TestBinariesSpanMergeAcrossProcesses(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr, dispDebug, execDebug := freePort(t), freePort(t), freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0", "-debug-addr", dispDebug)
+	waitListening(t, dispAddr)
+	waitListening(t, dispDebug)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr, "-slots", "2", "-debug-addr", execDebug)
+	waitListening(t, execDebug)
+
+	const nTasks = 20
+	out, err := exec.Command(filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-sleep0", fmt.Sprint(nTasks), "-sleep", "5ms", "-bundle", "5", "-timeout", "60s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-submit: %v\n%s", err, out)
+	}
+
+	// Dump each process's span ring the way an operator would.
+	fetch := func(addr, name string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/spans.jsonl")
+		if err != nil {
+			t.Fatalf("GET %s /spans.jsonl: %v", name, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), name+".jsonl")
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	dispDump, execDump := fetch(dispDebug, "dispatcher"), fetch(execDebug, "executor")
+
+	// Assert the merge invariant on the parsed dumps: corrected
+	// cross-process stages sum to each task's e2e latency.
+	parse := func(p string) obs.Dump {
+		t.Helper()
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		d, err := obs.ParseDump(f)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		return d
+	}
+	dd, ed := parse(dispDump), parse(execDump)
+	if !strings.HasPrefix(ed.Header.Proc, "executor:") {
+		t.Fatalf("executor dump proc = %q", ed.Header.Proc)
+	}
+	tls := obs.MergeDumps([]obs.Dump{dd, ed})
+	crossProcess := 0
+	for _, tl := range tls {
+		if tl.Trace == 0 {
+			t.Fatalf("timeline without trace id: %+v", tl)
+		}
+		procs := map[string]bool{}
+		var sum int64
+		for i, p := range tl.Points {
+			procs[p.Proc] = true
+			if i == 0 {
+				continue
+			}
+			d := p.AtNS - tl.Points[i-1].AtNS
+			if d < 0 {
+				t.Fatalf("trace %#x: negative stage at point %d", tl.Trace, i)
+			}
+			sum += d
+		}
+		if sum != tl.E2E() {
+			t.Fatalf("trace %#x: stages sum to %d, e2e %d", tl.Trace, sum, tl.E2E())
+		}
+		if len(procs) > 1 {
+			crossProcess++
+		}
+	}
+	if len(tls) < nTasks {
+		t.Fatalf("merged %d timelines, want >= %d", len(tls), nTasks)
+	}
+	if crossProcess < nTasks {
+		t.Fatalf("only %d/%d timelines span both processes", crossProcess, len(tls))
+	}
+
+	// The CLI view of the same merge, plus the Perfetto export.
+	chrome := filepath.Join(t.TempDir(), "trace.json")
+	out, err = exec.Command(filepath.Join(bin, "falkon-spans"),
+		"-merge", "-chrome", chrome, dispDump, execDump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("falkon-spans -merge: %v\n%s", err, out)
+	}
+	for _, want := range []string{"# dispatcher:", "# executor:", "started[executor", "e2e="} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("falkon-spans -merge output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(string(out), "e2e="); got < nTasks {
+		t.Fatalf("falkon-spans -merge printed %d timelines, want >= %d:\n%s", got, nTasks, out)
+	}
+	cb, err := os.ReadFile(chrome)
+	if err != nil || !strings.Contains(string(cb), `"traceEvents"`) {
+		t.Fatalf("chrome trace export: %v, %.200s", err, cb)
+	}
+}
+
+// promLine matches one Prometheus text-exposition sample:
+// name{label="value",...} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? `)
+
+// checkPromExposition strictly validates a /metrics body: every line is a
+// well-formed sample whose value parses as a float, and the standard
+// identification metrics are present.
+func checkPromExposition(t *testing.T, daemon, body string) {
+	t.Helper()
+	samples := 0
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindString(line)
+		if m == "" {
+			t.Fatalf("%s /metrics line %d malformed: %q", daemon, i+1, line)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(line[len(m):]), 64); err != nil {
+			t.Fatalf("%s /metrics line %d value: %v (%q)", daemon, i+1, err, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatalf("%s /metrics exposed no samples:\n%s", daemon, body)
+	}
+	for _, want := range []string{"falkon_build_info{component=\"" + daemon + "\"", "falkon_uptime_seconds{component=\"" + daemon + "\"}"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("%s /metrics missing %q:\n%s", daemon, want, body)
+		}
+	}
+}
+
+// TestBinariesMetricsExposition scrapes every daemon's /metrics — the
+// dispatcher, an executor, a forwarder in front, and the submit client —
+// and validates the exposition format parses strictly and carries the
+// build-info and uptime identification series.
+func TestBinariesMetricsExposition(t *testing.T) {
+	bin := buildBinaries(t)
+	dispAddr, dispDebug := freePort(t), freePort(t)
+	execDebug, fwdAddr, fwdDebug, subDebug := freePort(t), freePort(t), freePort(t), freePort(t)
+	startProc(t, filepath.Join(bin, "falkon-dispatcher"), "-addr", dispAddr, "-quiet", "-stats-every", "0", "-debug-addr", dispDebug)
+	waitListening(t, dispAddr)
+	startProc(t, filepath.Join(bin, "falkon-executor"), "-dispatcher", dispAddr, "-debug-addr", execDebug)
+	startProc(t, filepath.Join(bin, "falkon-forwarder"), "-addr", fwdAddr, "-dispatchers", dispAddr, "-debug-addr", fwdDebug)
+	waitListening(t, fwdAddr)
+	// A workload long enough that the client daemon is still up — and its
+	// debug endpoint scrapeable — while we poll every process.
+	startProc(t, filepath.Join(bin, "falkon-submit"),
+		"-dispatcher", dispAddr, "-sleep0", "400", "-sleep", "20ms", "-bundle", "20", "-timeout", "120s", "-debug-addr", subDebug)
+	for _, addr := range []string{dispDebug, execDebug, fwdDebug, subDebug} {
+		waitListening(t, addr)
+	}
+
+	for daemon, addr := range map[string]string{
+		"dispatcher": dispDebug,
+		"executor":   execDebug,
+		"forwarder":  fwdDebug,
+		"submit":     subDebug,
+	} {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET %s /metrics: %v", daemon, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s /metrics status %d", daemon, resp.StatusCode)
+		}
+		checkPromExposition(t, daemon, string(body))
 	}
 }
 

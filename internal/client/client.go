@@ -12,6 +12,8 @@
 package client
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,6 +65,12 @@ type Options struct {
 type Client struct {
 	opts Options
 
+	// traceBase is the random per-client base trace IDs are derived from:
+	// a task's trace is traceBase + its ID, so the mapping is stable across
+	// resubmission and unique across concurrent clients with overwhelming
+	// probability.
+	traceBase uint64
+
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on reconnect, close, and death
 	cli  *wsrpc.Client
@@ -105,10 +113,11 @@ func Connect(opts Options) (*Client, error) {
 		opts.ReconnectTimeout = 30 * time.Second
 	}
 	c := &Client{
-		opts:     opts,
-		results:  make(chan task.Result, 4096),
-		closedCh: make(chan struct{}),
-		deadCh:   make(chan struct{}),
+		opts:      opts,
+		traceBase: randTraceBase(),
+		results:   make(chan task.Result, 4096),
+		closedCh:  make(chan struct{}),
+		deadCh:    make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if opts.Reconnect {
@@ -137,6 +146,16 @@ func Connect(opts Options) (*Client, error) {
 		go c.pollLoop()
 	}
 	return c, nil
+}
+
+// randTraceBase draws the per-client trace-ID base. A failed read falls
+// back to the wall clock — uniqueness degrades, tracing still works.
+func randTraceBase() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 func (c *Client) dial() (*wsrpc.Client, error) {
@@ -388,7 +407,19 @@ func (c *Client) pollLoop() {
 // journaling dispatcher the acknowledgment means the bundle is durable; in
 // Reconnect mode a bundle interrupted by a connection drop is retried
 // after the reconnect (the dispatcher dedupes tasks it already accepted).
+//
+// Submit assigns each task a trace ID (in the caller's slice, so callers
+// can correlate with span dumps) unless one is already set; a resubmitted
+// task keeps its original trace, so every attempt joins one timeline.
 func (c *Client) Submit(tasks []task.Task) error {
+	for i := range tasks {
+		if tasks[i].Trace == 0 {
+			tasks[i].Trace = c.traceBase + uint64(tasks[i].ID)
+			if tasks[i].Trace == 0 {
+				tasks[i].Trace = 1
+			}
+		}
+	}
 	return c.submitTasks(tasks, false)
 }
 
@@ -408,7 +439,10 @@ func (c *Client) submitTasks(tasks []task.Task, resubmit bool) error {
 			if err != nil {
 				return fmt.Errorf("client: submit: %w", err)
 			}
-			err = cli.Call(fproto.MethodSubmit, fproto.SubmitRequest{EPR: c.EPR(), Tasks: bundle}, &reply)
+			// The envelope carries the bundle head's trace so transport-level
+			// tooling can follow the submission hop; per-task context rides in
+			// the task bodies.
+			err = cli.CallTrace(fproto.MethodSubmit, fproto.SubmitRequest{EPR: c.EPR(), Tasks: bundle}, &reply, bundle[0].Trace, 0)
 			if err == nil {
 				break
 			}

@@ -132,11 +132,12 @@ type dcore = sched.Core[string, outKey, taskRef]
 
 // traceEv is one deferred tracer record.
 type traceEv struct {
-	at   time.Duration
-	kind obs.EventKind
-	id   task.ID
-	epr  string
-	exec string
+	at    time.Duration
+	kind  obs.EventKind
+	trace uint64
+	id    task.ID
+	epr   string
+	exec  string
 }
 
 // resultPush is one deferred result notification ({8}) to a push-mode
@@ -171,8 +172,8 @@ type fx struct {
 	pushes   []resultPush
 }
 
-func (f *fx) trace(at time.Duration, kind obs.EventKind, id task.ID, epr, exec string) {
-	f.events = append(f.events, traceEv{at, kind, id, epr, exec})
+func (f *fx) trace(at time.Duration, kind obs.EventKind, trace uint64, id task.ID, epr, exec string) {
+	f.events = append(f.events, traceEv{at, kind, trace, id, epr, exec})
 }
 
 // fxPool recycles fx backing arrays between handler calls: every Deliver
@@ -215,6 +216,15 @@ type Dispatcher struct {
 	// partition exactly.
 	hStage [sched.NStages]*metrics.FixedHistogram
 	hE2E   *metrics.FixedHistogram
+	// Scheduler-overhead histograms for the Submit/Deliver hot path: mutex
+	// wait, core work under the mutex, deferred-effect flush, and the
+	// group-commit durability wait. frame_write lives in wsrpc and
+	// wal_commit in the journal's committer; together they account for
+	// where the dispatcher's own time goes per RPC.
+	hLockWait  *metrics.FixedHistogram
+	hSchedCore *metrics.FixedHistogram
+	hFxFlush   *metrics.FixedHistogram
+	hWALWait   *metrics.FixedHistogram
 
 	mu        sync.Mutex
 	core      *dcore
@@ -264,6 +274,10 @@ func New(opts Options) *Dispatcher {
 		d.hStage[i] = d.reg.Histogram(obs.StageKey(stage))
 	}
 	d.hE2E = d.reg.Histogram(obs.MetricE2ESeconds)
+	d.hLockWait = d.reg.Histogram(obs.OverheadKey(obs.OverheadLockWait))
+	d.hSchedCore = d.reg.Histogram(obs.OverheadKey(obs.OverheadSchedCore))
+	d.hFxFlush = d.reg.Histogram(obs.OverheadKey(obs.OverheadFxFlush))
+	d.hWALWait = d.reg.Histogram(obs.OverheadKey(obs.OverheadWALWait))
 	d.eng = newNotifyEngine(opts.NotifyWorkers, opts.Logf,
 		d.reg.Gauge("falkon_notify_queue_depth"), d.reg.Counter("falkon_notifications_total"),
 		d.reg.Counter("falkon_notify_errors_total"))
@@ -287,7 +301,7 @@ func (d *Dispatcher) logf(format string, args ...any) {
 // all have their own synchronization.
 func (d *Dispatcher) flush(f *fx) {
 	for _, e := range f.events {
-		d.tracer.Record(e.at, e.kind, e.id, e.epr, e.exec)
+		d.tracer.Record(e.at, e.kind, e.trace, e.id, e.epr, e.exec)
 	}
 	for _, s := range f.stamps {
 		for i, st := range s.Stages() {
@@ -296,7 +310,7 @@ func (d *Dispatcher) flush(f *fx) {
 		d.hE2E.Observe(s.E2E().Seconds())
 	}
 	for _, n := range f.notifies {
-		d.tracer.Record(n.at, obs.EvNotified, 0, "", n.exec)
+		d.tracer.Record(n.at, obs.EvNotified, 0, 0, "", n.exec)
 		d.eng.notifyWork(n.peer, n.queued)
 	}
 	// Batch result pushes per (peer, instance): one ResultsNotify frame per
@@ -585,6 +599,13 @@ func (d *Dispatcher) Metrics() *obs.Registry { return d.reg }
 // Tracer returns the task-lifecycle event ring.
 func (d *Dispatcher) Tracer() *obs.Tracer { return d.tracer }
 
+// SpanHeader describes the dispatcher's span dump for offline merging. The
+// dispatcher is the reference clock of the corrected timeline, so its
+// offset is zero by definition.
+func (d *Dispatcher) SpanHeader() obs.DumpHeader {
+	return obs.DumpHeader{Proc: "dispatcher", EpochUnixNano: d.epoch.UnixNano()}
+}
+
 // MetricsSnapshot captures the full registry plus live queue/executor
 // gauges and lifecycle counters — the falkon.metrics RPC body.
 func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
@@ -682,11 +703,12 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 // failed. Callers hold d.mu.
 func (d *Dispatcher) replayLocked(f *fx, o *sched.Outstanding[string, outKey, taskRef], reason string) {
 	if d.core.Requeue(o.Item) {
-		f.trace(d.now(), obs.EvRetried, o.Item.X.t.ID, o.Item.X.epr, o.Executor)
+		f.trace(d.now(), obs.EvRetried, o.Item.X.t.Trace, o.Item.X.t.ID, o.Item.X.epr, o.Executor)
 		return
 	}
 	d.finalizeLocked(f, o.Item.X.epr, task.Result{
 		ID:           o.Item.X.t.ID,
+		Trace:        o.Item.X.t.Trace,
 		Err:          "retries exhausted: " + reason,
 		ExitCode:     -1,
 		QueuedAt:     o.Item.QueuedAt,
@@ -723,7 +745,7 @@ func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy 
 			// Advisory record: recovery uses it to restore attempt counts.
 			d.wal.Append(wal.KindDispatch, wal.DispatchRec{EPR: it.X.epr, ID: it.X.t.ID, Exec: ex.ID})
 		}
-		f.trace(now, kind, it.X.t.ID, it.X.epr, ex.ID)
+		f.trace(now, kind, it.X.t.Trace, it.X.t.ID, it.X.epr, ex.ID)
 		as = append(as, fproto.Assignment{EPR: it.X.epr, Task: it.X.t, CacheHit: hit})
 	}
 	return as
@@ -739,7 +761,7 @@ func (d *Dispatcher) finalizeLocked(f *fx, epr string, r task.Result) {
 	}
 	if r.Failed() {
 		d.core.Counters.Failed++
-		f.trace(d.now(), obs.EvFailed, r.ID, epr, r.ExecutorID)
+		f.trace(d.now(), obs.EvFailed, r.Trace, r.ID, epr, r.ExecutorID)
 	} else {
 		d.core.Counters.Completed++
 	}

@@ -137,7 +137,9 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	}
 	f := getFx()
 	defer putFx(f)
+	t0 := time.Now()
 	d.mu.Lock()
+	t1 := time.Now()
 	inst, ok := d.instances[req.EPR]
 	if !ok || inst.destroyed {
 		d.mu.Unlock()
@@ -168,7 +170,7 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	}
 	for _, t := range tasks {
 		d.core.Enqueue(now, taskRef{epr: req.EPR, t: t})
-		f.trace(now, obs.EvEnqueued, t.ID, req.EPR, "")
+		f.trace(now, obs.EvEnqueued, t.Trace, t.ID, req.EPR, "")
 	}
 	var h wal.Handle
 	var werr error
@@ -179,7 +181,12 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	inst.inFlight += len(tasks)
 	d.notifyLocked(f, now)
 	d.mu.Unlock()
+	t2 := time.Now()
 	d.flush(f)
+	t3 := time.Now()
+	d.hLockWait.Observe(t1.Sub(t0).Seconds())
+	d.hSchedCore.Observe(t2.Sub(t1).Seconds())
+	d.hFxFlush.Observe(t3.Sub(t2).Seconds())
 	if werr != nil {
 		return nil, werr
 	}
@@ -188,6 +195,9 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	// committer amortizes the fsync across every submit in the batch.
 	if err := h.Wait(); err != nil {
 		return nil, err
+	}
+	if d.wal != nil {
+		d.hWALWait.Observe(time.Since(t3).Seconds())
 	}
 	return fproto.SubmitReply{Accepted: len(req.Tasks), Deduped: deduped}, nil
 }
@@ -296,7 +306,9 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	}
 	f := getFx()
 	defer putFx(f)
+	t0 := time.Now()
 	d.mu.Lock()
+	t1 := time.Now()
 	ex, ok := d.core.Exec(req.ExecutorID)
 	if !ok {
 		d.mu.Unlock()
@@ -327,14 +339,15 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 		r.FinishedAt = s.Finished
 		r.Attempts = o.Item.Attempts
 		r.ExecutorID = req.ExecutorID
+		r.Trace = o.Item.X.t.Trace
 		d.core.NoteCompletion(ex, taskDataset(o.Item.X.t))
 		if r.Failed() && !d.opts.NoRetryOnFailure {
 			d.replayLocked(f, o, "task failed: "+failReason(r))
 			continue
 		}
-		f.trace(s.Started, obs.EvStarted, r.ID, tr.EPR, req.ExecutorID)
-		f.trace(s.Finished, obs.EvFinished, r.ID, tr.EPR, req.ExecutorID)
-		f.trace(now, obs.EvDelivered, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(s.Started, obs.EvStarted, r.Trace, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(s.Finished, obs.EvFinished, r.Trace, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(now, obs.EvDelivered, r.Trace, r.ID, tr.EPR, req.ExecutorID)
 		f.stamps = append(f.stamps, s)
 		d.finalizeLocked(f, tr.EPR, r)
 	}
@@ -348,7 +361,12 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	d.wakeDrainLocked()
 	d.maybeSnapshotLocked()
 	d.mu.Unlock()
+	t2 := time.Now()
 	d.flush(f)
+	t3 := time.Now()
+	d.hLockWait.Observe(t1.Sub(t0).Seconds())
+	d.hSchedCore.Observe(t2.Sub(t1).Seconds())
+	d.hFxFlush.Observe(t3.Sub(t2).Seconds())
 	return fproto.DeliverReply{Assignments: as}, nil
 }
 

@@ -374,6 +374,23 @@ func (e *Executor) Metrics() *obs.Registry { return e.reg }
 // with dispatcher-side spans.
 func (e *Executor) Tracer() *obs.Tracer { return e.tracer }
 
+// SpanHeader describes this executor's span dump for offline merging: the
+// dispatcher epoch its events are stamped against, plus the NTP-style clock
+// offset estimated from RPC round trips (dispatcher clock minus local
+// clock), so falkon-spans -merge can correct executor spans onto the
+// dispatcher's timeline.
+func (e *Executor) SpanHeader() obs.DumpHeader {
+	h := obs.DumpHeader{
+		Proc:          "executor:" + e.opts.ID,
+		EpochUnixNano: e.epoch.Load(),
+	}
+	if off, rtt, ok := e.curCli().ClockOffset(); ok {
+		h.ClockOffsetNS = int64(off)
+		h.ClockRTTNS = int64(rtt)
+	}
+	return h
+}
+
 // at returns the current time on the dispatcher-epoch timeline.
 func (e *Executor) at() time.Duration {
 	return time.Duration(time.Now().UnixNano() - e.epoch.Load())
@@ -478,7 +495,7 @@ func (e *Executor) workLoop() {
 			return
 		}
 		for _, a := range reply.Assignments {
-			e.tracer.Record(e.at(), obs.EvPulled, a.Task.ID, a.EPR, e.opts.ID)
+			e.tracer.Record(e.at(), obs.EvPulled, a.Task.Trace, a.Task.ID, a.EPR, e.opts.ID)
 		}
 		e.runAssignments(cli, reply.Assignments)
 	}
@@ -563,7 +580,7 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 				e.crash("crash mid-task")
 			}
 			pickup := time.Now()
-			e.tracer.Record(e.at(), obs.EvStarted, a.Task.ID, a.EPR, e.opts.ID)
+			e.tracer.Record(e.at(), obs.EvStarted, a.Task.Trace, a.Task.ID, a.EPR, e.opts.ID)
 			r, runDur := e.runTask(a.Task, a.CacheHit)
 			overhead := time.Since(pickup) - runDur
 			kind := obs.EvFinished
@@ -571,7 +588,7 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 				kind = obs.EvFailed
 				e.cFailed.Inc()
 			}
-			e.tracer.Record(e.at(), kind, a.Task.ID, a.EPR, e.opts.ID)
+			e.tracer.Record(e.at(), kind, a.Task.Trace, a.Task.ID, a.EPR, e.opts.ID)
 			e.cDone.Inc()
 			e.hRun.Observe(runDur.Seconds())
 			e.hOverhed.Observe(overhead.Seconds())
@@ -588,12 +605,14 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 			prefetched = <-pfc
 		}
 		var reply fproto.DeliverReply
-		err := cli.Call(fproto.MethodDeliver, fproto.DeliverRequest{
+		// The envelope carries the batch head's trace (per-result context
+		// rides in the result bodies), so the return hop is attributable too.
+		err := cli.CallTrace(fproto.MethodDeliver, fproto.DeliverRequest{
 			ExecutorID: e.opts.ID,
 			Results:    results,
 			WantWork:   len(prefetched) == 0,
 			MaxNew:     e.opts.Prefetch,
-		}, &reply)
+		}, &reply, results[0].Result.Trace, 0)
 		if err != nil {
 			if !e.isStopping() {
 				e.logf("executor %s: deliver: %v", e.opts.ID, err)
@@ -607,10 +626,10 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 		}
 		now := e.at()
 		for _, tr := range results {
-			e.tracer.Record(now, obs.EvDelivered, tr.Result.ID, tr.EPR, e.opts.ID)
+			e.tracer.Record(now, obs.EvDelivered, tr.Result.Trace, tr.Result.ID, tr.EPR, e.opts.ID)
 		}
 		for _, a := range reply.Assignments {
-			e.tracer.Record(now, obs.EvAcked, a.Task.ID, a.EPR, e.opts.ID)
+			e.tracer.Record(now, obs.EvAcked, a.Task.Trace, a.Task.ID, a.EPR, e.opts.ID)
 		}
 		as = append(prefetched, reply.Assignments...)
 	}
@@ -620,7 +639,7 @@ func (e *Executor) runAssignments(cli *wsrpc.Client, as []fproto.Assignment) {
 // cacheHit marks data-aware assignments whose input is already resident on
 // this node, so staging is skipped.
 func (e *Executor) runTask(t task.Task, cacheHit bool) (task.Result, time.Duration) {
-	r := task.Result{ID: t.ID, ExecutorID: e.opts.ID}
+	r := task.Result{ID: t.ID, Trace: t.Trace, ExecutorID: e.opts.ID}
 	if d := e.opts.Faults.ExecStall(); d > 0 {
 		// Injected stall: long enough to trip the dispatcher's replay
 		// timeout, so the same task races its own re-dispatch.

@@ -240,7 +240,13 @@ func (f *Forwarder) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, erro
 	}
 	req.EPR = r.realEPR
 	var reply fproto.SubmitReply
-	err = r.down.Call(fproto.MethodSubmit, req, &reply)
+	// Re-attach the bundle head's trace to the downstream envelope, so the
+	// forwarded hop stays attributable even though the EPR is rewritten.
+	var trace uint64
+	if len(req.Tasks) > 0 {
+		trace = req.Tasks[0].Trace
+	}
+	err = r.down.CallTrace(fproto.MethodSubmit, req, &reply, trace, 0)
 	return reply, err
 }
 
@@ -322,7 +328,9 @@ func (f *Forwarder) handleEvents(_ *wsrpc.Peer, body json.RawMessage) (any, erro
 	for _, down := range f.downs {
 		var er fproto.EventsReply
 		if err := down.Call(fproto.MethodEvents, req, &er); err != nil {
-			return nil, err
+			// Same policy as the metrics merge: an unreachable dispatcher
+			// drops out of this sample instead of failing the whole window.
+			continue
 		}
 		events = append(events, er.Events...)
 	}

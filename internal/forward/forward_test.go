@@ -219,6 +219,85 @@ func TestForwarderSecureBothTiers(t *testing.T) {
 	}
 }
 
+// TestForwarderMergeSurvivesDownstreamDisconnect: a dispatcher dying
+// between snapshots must not fail the forwarder's merged metrics or event
+// window — the dead downstream drops out of the sample and the live side's
+// data (counters, histograms, traced span events) still comes through.
+func TestForwarderMergeSurvivesDownstreamDisconnect(t *testing.T) {
+	f, dispatchers := startTier(t, 2, 1)
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c2, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Submit(task.Batch(&gen, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(10, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.WaitN(10, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: both downstreams contribute.
+	if ms, err := c2.Metrics(); err != nil {
+		t.Fatal(err)
+	} else if got := ms.Counters["falkon_tasks_completed_total"]; got != 20 {
+		t.Fatalf("merged completed before disconnect = %d, want 20", got)
+	}
+
+	// The disconnect lands between one snapshot and the next — exactly the
+	// mid-run failure an operator's dashboard poll would hit.
+	survivorCompleted := dispatchers[1].MetricsSnapshot().Counters["falkon_tasks_completed_total"]
+	dispatchers[0].Close()
+
+	ms, err := c2.Metrics()
+	if err != nil {
+		t.Fatalf("merged metrics after downstream disconnect: %v", err)
+	}
+	if got := ms.Counters["falkon_tasks_completed_total"]; got != survivorCompleted {
+		t.Fatalf("merged completed after disconnect = %d, want survivor's %d", got, survivorCompleted)
+	}
+	if h := ms.Histogram(obs.MetricE2ESeconds); h.Count != survivorCompleted {
+		t.Fatalf("merged e2e count after disconnect = %d, want %d", h.Count, survivorCompleted)
+	}
+
+	// The span window likewise degrades to the live side: still time-ordered,
+	// still carrying submit-time trace IDs for the merge tooling.
+	er, err := c2.Events(0, 0)
+	if err != nil {
+		t.Fatalf("merged events after downstream disconnect: %v", err)
+	}
+	delivered, traced := 0, 0
+	for i, ev := range er.Events {
+		if i > 0 && ev.At < er.Events[i-1].At {
+			t.Fatalf("events out of order at %d after disconnect", i)
+		}
+		if ev.Kind == obs.EvDelivered {
+			delivered++
+			if ev.Trace != 0 {
+				traced++
+			}
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no delivered events from the surviving dispatcher")
+	}
+	if traced != delivered {
+		t.Fatalf("only %d/%d delivered events carry trace IDs", traced, delivered)
+	}
+}
+
 func TestForwarderMergesMetricsAndEvents(t *testing.T) {
 	f, dispatchers := startTier(t, 2, 1)
 	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 5})

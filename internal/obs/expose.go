@@ -19,24 +19,54 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// DebugOptions configures ServeDebugOpts. Any field may be zero: missing
+// pieces simply leave their endpoint empty.
+type DebugOptions struct {
+	// Snap produces the /metrics view; called per request.
+	Snap func() MetricsSnapshot
+	// Tracer backs /events.json and /spans.jsonl.
+	Tracer *Tracer
+	// SpanHeader produces the /spans.jsonl dump header; called per request
+	// so a live clock-offset estimate is re-read on every dump.
+	SpanHeader func() DumpHeader
+}
+
 // ServeDebug binds addr (":0" picks an ephemeral port) and serves the
 // debug endpoints for reg and tr in the background. Either may be nil.
 func ServeDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
-	return ServeDebugSnapshot(addr, reg.Snapshot, tr)
+	return ServeDebugOpts(addr, DebugOptions{Snap: reg.Snapshot, Tracer: tr})
 }
 
 // ServeDebugSnapshot is ServeDebug for components whose exposed view is
 // richer than one registry (e.g. the dispatcher folds queue state into its
 // snapshot): snap is called per /metrics request.
 func ServeDebugSnapshot(addr string, snap func() MetricsSnapshot, tr *Tracer) (*DebugServer, error) {
+	return ServeDebugOpts(addr, DebugOptions{Snap: snap, Tracer: tr})
+}
+
+// ServeDebugOpts is the full-option debug server constructor.
+func ServeDebugOpts(addr string, o DebugOptions) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
 	}
+	snap := o.Snap
+	if snap == nil {
+		snap = func() MetricsSnapshot { return MetricsSnapshot{} }
+	}
+	tr := o.Tracer
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = snap().WriteProm(w)
+	})
+	mux.HandleFunc("/spans.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		var h DumpHeader
+		if o.SpanHeader != nil {
+			h = o.SpanHeader()
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = tr.DumpJSONL(w, h)
 	})
 	mux.HandleFunc("/events.json", func(w http.ResponseWriter, req *http.Request) {
 		since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)

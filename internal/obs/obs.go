@@ -94,11 +94,15 @@ func (k *EventKind) UnmarshalJSON(b []byte) error {
 
 // Event is one timestamped lifecycle point. At is relative to the
 // recording process's epoch (the dispatcher epoch for dispatcher and —
-// via the register reply's epoch exchange — executor events).
+// via the register reply's epoch exchange — executor events). Trace is the
+// task's submit-time trace ID, stable across processes and across the EPR
+// rewriting a forwarder tier performs, so multi-process span dumps join on
+// it.
 type Event struct {
 	Seq      uint64        `json:"seq"`
 	At       time.Duration `json:"at"`
 	Kind     EventKind     `json:"kind"`
+	Trace    uint64        `json:"trace,omitempty"`
 	Task     task.ID       `json:"task,omitempty"`
 	EPR      string        `json:"epr,omitempty"`
 	Executor string        `json:"exec,omitempty"`
@@ -122,14 +126,15 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]Event, 0, capacity)}
 }
 
-// Record appends an event stamped at.
-func (t *Tracer) Record(at time.Duration, kind EventKind, id task.ID, epr, exec string) {
+// Record appends an event stamped at, attributed to trace (0 when the
+// task carries no trace context).
+func (t *Tracer) Record(at time.Duration, kind EventKind, trace uint64, id task.ID, epr, exec string) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.next++
-	ev := Event{Seq: t.next, At: at, Kind: kind, Task: id, EPR: epr, Executor: exec}
+	ev := Event{Seq: t.next, At: at, Kind: kind, Trace: trace, Task: id, EPR: epr, Executor: exec}
 	if len(t.ring) < cap(t.ring) {
 		t.ring = append(t.ring, ev)
 	} else {
@@ -192,3 +197,37 @@ const (
 
 // StageKey returns the registry key of one stage's latency histogram.
 func StageKey(stage string) string { return Labeled(MetricStageSeconds, "stage", stage) }
+
+// Scheduler-overhead stage names: where the dispatcher's own time goes on
+// the task hot path, as opposed to the task-lifecycle stages above (which
+// measure the task's wait, not the scheduler's work). Per-RPC observations:
+//
+//	lock_wait:   waiting to acquire the dispatcher mutex
+//	sched_core:  scheduling-core work while holding the mutex
+//	fx_flush:    applying deferred effects (trace ring, histograms,
+//	    notifies, result pushes) after unlock
+//	wal_wait:    waiting on the journal's group-commit durability barrier
+//	frame_write: encoding the reply envelope + committing it to the cork
+//	    buffer (observed inside wsrpc)
+//	wal_commit:  one journal commit batch's write + fsync (observed inside
+//	    wal as falkon_wal_commit_seconds; committer-side, not per-RPC)
+const (
+	OverheadLockWait   = "lock_wait"
+	OverheadSchedCore  = "sched_core"
+	OverheadFxFlush    = "fx_flush"
+	OverheadWALWait    = "wal_wait"
+	OverheadFrameWrite = "frame_write"
+)
+
+// OverheadStages lists the per-RPC overhead stages in hot-path order.
+var OverheadStages = []string{OverheadLockWait, OverheadSchedCore, OverheadFxFlush, OverheadWALWait, OverheadFrameWrite}
+
+// Overhead metric names shared by recorders (dispatch, wsrpc, wal) and
+// consumers (falkon-top, the overhead-breakdown bench).
+const (
+	MetricSchedOverheadSeconds = "falkon_sched_overhead_seconds" // labeled stage=<name>
+	MetricWALCommitSeconds     = "falkon_wal_commit_seconds"
+)
+
+// OverheadKey returns the registry key of one overhead stage's histogram.
+func OverheadKey(stage string) string { return Labeled(MetricSchedOverheadSeconds, "stage", stage) }

@@ -14,7 +14,7 @@ import (
 func TestTracerRingAndPagination(t *testing.T) {
 	tr := NewTracer(8)
 	for i := 1; i <= 20; i++ {
-		tr.Record(time.Duration(i)*time.Millisecond, EvEnqueued, task.ID(i), "epr", "")
+		tr.Record(time.Duration(i)*time.Millisecond, EvEnqueued, 0, task.ID(i), "epr", "")
 	}
 	// Ring holds the last 8 (seqs 13..20).
 	events, next := tr.Since(0, 0)
@@ -43,7 +43,7 @@ func TestTracerRingAndPagination(t *testing.T) {
 
 func TestTracerNilSafe(t *testing.T) {
 	var tr *Tracer
-	tr.Record(0, EvEnqueued, 1, "", "")
+	tr.Record(0, EvEnqueued, 0, 1, "", "")
 	if ev, next := tr.Since(0, 0); ev != nil || next != 0 {
 		t.Fatal("nil tracer must discard")
 	}
@@ -145,7 +145,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("demo_total").Inc()
 	tr := NewTracer(16)
-	tr.Record(time.Millisecond, EvEnqueued, 7, "epr-1", "")
+	tr.Record(time.Millisecond, EvEnqueued, 0, 7, "epr-1", "")
 	d, err := ServeDebug("127.0.0.1:0", r, tr)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"falkon/internal/task"
+)
+
+// TestSpanRingWraparoundDump: overfilling the tracer ring evicts the oldest
+// events, and the JSONL dump of a wrapped ring stays well-formed — it
+// round-trips through ParseDump with exactly the retained window, oldest
+// first, in sequence order.
+func TestSpanRingWraparoundDump(t *testing.T) {
+	const capacity, recorded = 16, 53
+	tr := NewTracer(capacity)
+	for i := 1; i <= recorded; i++ {
+		tr.Record(time.Duration(i)*time.Millisecond, EvEnqueued, uint64(1000+i), task.ID(i), "epr-0", "")
+	}
+
+	var buf bytes.Buffer
+	h := DumpHeader{Proc: "dispatcher", EpochUnixNano: 12345}
+	if err := tr.DumpJSONL(&buf, h); err != nil {
+		t.Fatalf("DumpJSONL: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != capacity+1 {
+		t.Fatalf("dump has %d lines, want header + %d events", lines, capacity)
+	}
+
+	d, err := ParseDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseDump of wrapped ring: %v", err)
+	}
+	if d.Header != h {
+		t.Fatalf("header round trip: got %+v want %+v", d.Header, h)
+	}
+	if len(d.Events) != capacity {
+		t.Fatalf("parsed %d events, want the %d-event retained window", len(d.Events), capacity)
+	}
+	// The retained window is the newest capacity events; everything older
+	// was evicted.
+	wantFirst := uint64(recorded - capacity + 1)
+	for i, ev := range d.Events {
+		if want := wantFirst + uint64(i); ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d (oldest-first, no gaps)", i, ev.Seq, want)
+		}
+	}
+	if got := d.Events[0].Task; got != task.ID(wantFirst) {
+		t.Fatalf("oldest retained task = %v, want %v", got, wantFirst)
+	}
+	if got := d.Events[len(d.Events)-1].Trace; got != uint64(1000+recorded) {
+		t.Fatalf("newest retained trace = %d, want %d", got, 1000+recorded)
+	}
+}
+
+// TestMergeDumpsClockCorrection: events for one trace recorded by two
+// processes with skewed clocks merge onto the reference timeline — the
+// executor's points are shifted by its header offset, the merged points are
+// causally ordered, and stage durations partition the e2e span exactly.
+func TestMergeDumpsClockCorrection(t *testing.T) {
+	const (
+		epoch   = int64(1_000_000_000)
+		skew    = int64(-7_000_000) // executor clock runs 7ms ahead of the dispatcher
+		traceID = uint64(0xabc)
+	)
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	disp := Dump{
+		Header: DumpHeader{Proc: "dispatcher", EpochUnixNano: epoch},
+		Events: []Event{
+			{Seq: 1, At: ms(0), Kind: EvEnqueued, Trace: traceID, Task: 1, EPR: "epr-0"},
+			{Seq: 2, At: ms(1), Kind: EvPulled, Trace: traceID, Task: 1, EPR: "epr-0"},
+			{Seq: 3, At: ms(40), Kind: EvDelivered, Trace: traceID, Task: 1, EPR: "epr-0"},
+		},
+	}
+	// The executor stamped At with its own skewed clock; its header carries
+	// the NTP-style estimate that undoes the skew.
+	exec := Dump{
+		Header: DumpHeader{Proc: "executor:ex-0", EpochUnixNano: epoch, ClockOffsetNS: skew, ClockRTTNS: 100_000},
+		Events: []Event{
+			{Seq: 1, At: ms(10) - time.Duration(skew), Kind: EvStarted, Trace: traceID, Task: 1},
+			{Seq: 2, At: ms(30) - time.Duration(skew), Kind: EvFinished, Trace: traceID, Task: 1},
+		},
+	}
+
+	tls := MergeDumps([]Dump{disp, exec})
+	if len(tls) != 1 {
+		t.Fatalf("merged %d timelines, want 1 (trace-keyed join)", len(tls))
+	}
+	tl := tls[0]
+	if tl.Trace != traceID || tl.Task != 1 || tl.EPR != "epr-0" {
+		t.Fatalf("timeline identity: %+v", tl)
+	}
+	wantKinds := []EventKind{EvEnqueued, EvPulled, EvStarted, EvFinished, EvDelivered}
+	if len(tl.Points) != len(wantKinds) {
+		t.Fatalf("timeline has %d points, want %d", len(tl.Points), len(wantKinds))
+	}
+	for i, p := range tl.Points {
+		if p.Kind != wantKinds[i] {
+			t.Fatalf("point %d kind %s, want %s (causal order)", i, p.Kind, wantKinds[i])
+		}
+	}
+	// Clock correction: the executor's started point lands at epoch+10ms on
+	// the reference clock despite the skewed local stamp.
+	if got, want := tl.Points[2].AtNS, epoch+10_000_000; got != want {
+		t.Fatalf("corrected started = %d, want %d", got, want)
+	}
+	if tl.Points[2].Proc != "executor:ex-0" || tl.Points[0].Proc != "dispatcher" {
+		t.Fatalf("points not attributed to their recorders: %+v", tl.Points)
+	}
+	// The invariant falkon-spans -merge relies on: stage diffs sum to e2e.
+	var sum int64
+	for i := 1; i < len(tl.Points); i++ {
+		d := tl.Points[i].AtNS - tl.Points[i-1].AtNS
+		if d < 0 {
+			t.Fatalf("stage %d negative after monotone clamp: %d", i, d)
+		}
+		sum += d
+	}
+	if sum != tl.E2E() {
+		t.Fatalf("stage durations sum to %d, e2e is %d", sum, tl.E2E())
+	}
+	if want := int64(40_000_000); tl.E2E() != want {
+		t.Fatalf("e2e = %d, want %d", tl.E2E(), want)
+	}
+}
+
+// TestMergeDumpsClampsClockError: when residual clock error puts an
+// executor's points outside the dispatcher's bracketing events, causal
+// ordering plus the monotone clamp keeps every stage non-negative and the
+// partition invariant intact.
+func TestMergeDumpsClampsClockError(t *testing.T) {
+	const epoch = int64(5_000)
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	disp := Dump{
+		Header: DumpHeader{Proc: "dispatcher", EpochUnixNano: epoch},
+		Events: []Event{
+			{Seq: 1, At: ms(0), Kind: EvEnqueued, Trace: 9, Task: 3, EPR: "e"},
+			{Seq: 2, At: ms(5), Kind: EvDelivered, Trace: 9, Task: 3, EPR: "e"},
+		},
+	}
+	// Uncorrected residual error: the executor's clock reads far ahead, so
+	// its corrected finish lands after the dispatcher's deliver.
+	exec := Dump{
+		Header: DumpHeader{Proc: "executor:ex-1", EpochUnixNano: epoch},
+		Events: []Event{
+			{Seq: 1, At: ms(8), Kind: EvFinished, Trace: 9, Task: 3},
+		},
+	}
+	tls := MergeDumps([]Dump{disp, exec})
+	if len(tls) != 1 {
+		t.Fatalf("merged %d timelines, want 1", len(tls))
+	}
+	tl := tls[0]
+	var sum int64
+	for i := 1; i < len(tl.Points); i++ {
+		d := tl.Points[i].AtNS - tl.Points[i-1].AtNS
+		if d < 0 {
+			t.Fatalf("negative stage after clamp: point %d", i)
+		}
+		sum += d
+	}
+	if sum != tl.E2E() {
+		t.Fatalf("stage sum %d != e2e %d", sum, tl.E2E())
+	}
+	// delivered stays last (causal rank), clamped up to the finish stamp.
+	last := tl.Points[len(tl.Points)-1]
+	if last.Kind != EvDelivered {
+		t.Fatalf("last point is %s, want delivered", last.Kind)
+	}
+}
+
+// TestMergeDumpsFallbackKey: untraced events (older daemons) still join on
+// (EPR, task) within one tier.
+func TestMergeDumpsFallbackKey(t *testing.T) {
+	d := Dump{
+		Header: DumpHeader{Proc: "dispatcher", EpochUnixNano: 0},
+		Events: []Event{
+			{Seq: 1, At: 1, Kind: EvEnqueued, Task: 7, EPR: "a"},
+			{Seq: 2, At: 2, Kind: EvDelivered, Task: 7, EPR: "a"},
+			{Seq: 3, At: 1, Kind: EvEnqueued, Task: 7, EPR: "b"},
+			{Seq: 4, At: 3, Kind: EvNotified, Executor: "ex-0"}, // taskless: skipped
+		},
+	}
+	tls := MergeDumps([]Dump{d})
+	if len(tls) != 2 {
+		t.Fatalf("merged %d timelines, want 2 (same task id, distinct EPRs)", len(tls))
+	}
+}
+
+// TestWriteChromeTrace: the Perfetto export is valid JSON with one complete
+// event per stage and timestamps rebased to the earliest point.
+func TestWriteChromeTrace(t *testing.T) {
+	tls := []TaskTimeline{{
+		Trace: 0x1, Task: 1, EPR: "e",
+		Points: []SpanPoint{
+			{Proc: "dispatcher", Kind: EvEnqueued, AtNS: 2_000_000},
+			{Proc: "executor:x", Kind: EvStarted, AtNS: 3_000_000},
+			{Proc: "dispatcher", Kind: EvDelivered, AtNS: 5_000_000},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tls); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"ts":0`, `"dur":1000`, "enqueued→started"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -136,6 +136,11 @@ type Task struct {
 	// Stage labels the workflow stage that produced the task (for the
 	// per-stage accounting in §4.6 and §5). Optional.
 	Stage int `json:"stage,omitempty"`
+
+	// Trace is the distributed-tracing id assigned at submit time. Unlike
+	// ID it survives the EPR rewriting a forwarder tier performs, so span
+	// dumps from different processes join on it. Zero means untraced.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // Sleep returns a synthetic task that runs for d.
@@ -166,6 +171,10 @@ type Result struct {
 
 	// Attempts counts dispatches including the successful one.
 	Attempts int `json:"attempts,omitempty"`
+
+	// Trace echoes the task's trace id so result consumers can correlate
+	// with span dumps without re-joining on (EPR, ID).
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // Failed reports whether the task ultimately failed.

@@ -114,6 +114,7 @@ type Journal struct {
 	cFsyncs  *metrics.Counter
 	cBytes   *metrics.Counter
 	gSegs    *metrics.Gauge
+	hCommit  *metrics.FixedHistogram
 
 	fs FS
 
@@ -176,6 +177,7 @@ func open(dir string, next uint64, opts Options) (*Journal, error) {
 		cFsyncs:  opts.Metrics.Counter("falkon_wal_fsyncs_total"),
 		cBytes:   opts.Metrics.Counter("falkon_wal_bytes_total"),
 		gSegs:    opts.Metrics.Gauge("falkon_wal_segments"),
+		hCommit:  opts.Metrics.Histogram("falkon_wal_commit_seconds"),
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -286,6 +288,7 @@ func (j *Journal) commit(sync bool) {
 	j.mu.Unlock()
 
 	wrote := false
+	ioStart := time.Now()
 	if err == nil && len(buf) > 0 {
 		_, err = seg.Write(buf)
 		if err == nil {
@@ -296,6 +299,11 @@ func (j *Journal) commit(sync bool) {
 	if err == nil && sync && wrote && j.opts.Sync.Mode != SyncOff {
 		err = seg.Sync()
 		j.cFsyncs.Inc()
+	}
+	if wrote {
+		// One group-commit batch's write + fsync: the committer-side half of
+		// the wal_wait appenders observe.
+		j.hCommit.Observe(time.Since(ioStart).Seconds())
 	}
 	j.wmu.Unlock()
 

@@ -43,13 +43,14 @@ func (c *nopConn) SetWriteDeadline(time.Time) error { return nil }
 func TestWriteEnvelopeAllocFree(t *testing.T) {
 	p := newPlainConn(&nopConn{}, flushStats{})
 	body, _ := json.Marshal("ping")
+	meta := envMeta{trace: 7, recvNS: 1700000000000000000, sendNS: 1700000000000000100}
 	for i := 0; i < 8; i++ { // warm the cork buffer to steady-state capacity
-		if _, err := p.WriteEnvelope(kindCall, uint64(i), "falkon.deliver", "", body); err != nil {
+		if _, err := p.WriteEnvelope(kindCall, uint64(i), "falkon.deliver", "", meta, body); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(200, func() {
-		if _, err := p.WriteEnvelope(kindCall, 9, "falkon.deliver", "", body); err != nil {
+		if _, err := p.WriteEnvelope(kindCall, 9, "falkon.deliver", "", meta, body); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -61,7 +62,7 @@ func TestWriteEnvelopeAllocFree(t *testing.T) {
 // The read path must reuse its scratch buffer: decode work is the callers'
 // business, but framing itself stays allocation-free.
 func TestReadFrameAllocFree(t *testing.T) {
-	raw := appendFrame(nil, kindCall, 42, "falkon.deliver", "", []byte(`"ping"`))
+	raw := appendFrame(nil, kindCall, 42, "falkon.deliver", "", envMeta{}, []byte(`"ping"`))
 	var one []byte
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))

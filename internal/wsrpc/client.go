@@ -64,6 +64,14 @@ type Client struct {
 
 	interned map[string]string // notify method names; readLoop-only
 
+	// Clock-offset estimator fed by reply rt/st stamps: the sample with the
+	// smallest round trip bounds the asymmetry error, so it wins (NTP's
+	// minimum-filter rule applied over the connection's lifetime).
+	offMu   sync.Mutex
+	offRTT  int64 // ns of the best (smallest) sampled round trip; 0 = none yet
+	offNS   int64 // server clock minus client clock at the best sample
+	offSeen int64 // samples accepted
+
 	done chan struct{}
 }
 
@@ -116,7 +124,8 @@ func (c *Client) readLoop() {
 			if err != nil {
 				break
 			}
-			v = frameView{kind: f.Kind, seq: f.Seq, method: []byte(f.Method), errs: []byte(f.Err), body: f.Body}
+			v = frameView{kind: f.Kind, seq: f.Seq, method: []byte(f.Method), errs: []byte(f.Err),
+				trace: f.Trace, parent: f.Parent, recvNS: f.RecvNS, sendNS: f.SendNS, body: f.Body}
 		}
 		switch v.kind {
 		case kindReply:
@@ -127,7 +136,8 @@ func (c *Client) readLoop() {
 			if ch != nil {
 				// Copy out of the read scratch: the waiter consumes the
 				// frame after this loop has moved on to the next read.
-				f := &frame{Kind: kindReply, Seq: v.seq, Err: string(v.errs)}
+				f := &frame{Kind: kindReply, Seq: v.seq, Err: string(v.errs),
+					Trace: v.trace, RecvNS: v.recvNS, SendNS: v.sendNS}
 				if len(v.body) > 0 {
 					f.Body = append(json.RawMessage(nil), v.body...)
 				}
@@ -209,6 +219,17 @@ func (c *Client) Call(method string, arg, reply any) error {
 // stays usable — wsrpc has no per-call cancel on the wire, matching WS
 // semantics).
 func (c *Client) CallContext(ctx context.Context, method string, arg, reply any) error {
+	return c.call(ctx, method, arg, reply, 0, 0)
+}
+
+// CallTrace is Call with a trace context: the call frame carries the trace
+// and parent span IDs in its envelope, so the server can attribute the RPC
+// to a distributed task timeline without decoding the body.
+func (c *Client) CallTrace(method string, arg, reply any, trace, parent uint64) error {
+	return c.call(context.Background(), method, arg, reply, trace, parent)
+}
+
+func (c *Client) call(ctx context.Context, method string, arg, reply any, trace, parent uint64) error {
 	var body json.RawMessage
 	if arg != nil {
 		b, err := json.Marshal(arg)
@@ -229,7 +250,7 @@ func (c *Client) CallContext(ctx context.Context, method string, arg, reply any)
 	c.mu.Unlock()
 
 	start := time.Now()
-	n, err := c.fc.WriteEnvelope(kindCall, seq, method, "", body)
+	n, err := c.fc.WriteEnvelope(kindCall, seq, method, "", envMeta{trace: trace, parent: parent}, body)
 	if err == nil && c.txBytes != nil {
 		c.txBytes.Add(int64(n))
 	}
@@ -246,6 +267,9 @@ func (c *Client) CallContext(ctx context.Context, method string, arg, reply any)
 	case f, ok := <-ch:
 		if !ok {
 			return ErrClientClosed
+		}
+		if f.RecvNS > 0 && f.SendNS > 0 {
+			c.noteOffset(start, time.Now(), f.RecvNS, f.SendNS)
 		}
 		if c.opts.Metrics != nil {
 			c.opts.Metrics.Counter(obs.Labeled("wsrpc_client_calls_total", "method", method)).Inc()
@@ -270,4 +294,39 @@ func (c *Client) CallContext(ctx context.Context, method string, arg, reply any)
 		c.mu.Unlock()
 		return ctx.Err()
 	}
+}
+
+// noteOffset folds one round trip's (t0, t3) client stamps and (t1, t2)
+// server stamps into the offset estimate:
+//
+//	rtt    = (t3 - t0) - (t2 - t1)
+//	offset = ((t1 - t0) + (t2 - t3)) / 2
+//
+// Only the minimum-RTT sample is kept: its offset error is bounded by
+// rtt/2, so tighter round trips strictly improve the estimate.
+func (c *Client) noteOffset(t0, t3 time.Time, t1, t2 int64) {
+	t0n, t3n := t0.UnixNano(), t3.UnixNano()
+	rtt := (t3n - t0n) - (t2 - t1)
+	if rtt < 0 {
+		return // clock stepped mid-call; discard
+	}
+	off := ((t1 - t0n) + (t2 - t3n)) / 2
+	c.offMu.Lock()
+	c.offSeen++
+	if c.offSeen == 1 || rtt < c.offRTT {
+		c.offRTT, c.offNS = rtt, off
+	}
+	c.offMu.Unlock()
+}
+
+// ClockOffset returns the estimated offset of the server's clock relative
+// to this process (server = local + offset) and the round trip that bounds
+// it. ok is false until at least one stamped reply has been seen.
+func (c *Client) ClockOffset() (offset, rtt time.Duration, ok bool) {
+	c.offMu.Lock()
+	defer c.offMu.Unlock()
+	if c.offSeen == 0 {
+		return 0, 0, false
+	}
+	return time.Duration(c.offNS), time.Duration(c.offRTT), true
 }

@@ -158,7 +158,7 @@ func growScratch(b []byte, n int) []byte {
 // order and omitempty rules — without re-marshalling the pre-encoded body,
 // which is what made the old path copy every payload twice. body must be
 // valid JSON (or empty); callers marshal it once and splice it in raw.
-func appendFrame(dst []byte, kind frameKind, seq uint64, method, errStr string, body []byte) []byte {
+func appendFrame(dst []byte, kind frameKind, seq uint64, method, errStr string, meta envMeta, body []byte) []byte {
 	dst = append(dst, `{"k":`...)
 	dst = appendUint(dst, uint64(kind))
 	dst = append(dst, `,"seq":`...)
@@ -171,11 +171,38 @@ func appendFrame(dst []byte, kind frameKind, seq uint64, method, errStr string, 
 		dst = append(dst, `,"e":`...)
 		dst = appendJSONString(dst, errStr)
 	}
+	if meta.trace != 0 {
+		dst = append(dst, `,"tr":`...)
+		dst = appendUint(dst, meta.trace)
+	}
+	if meta.parent != 0 {
+		dst = append(dst, `,"ps":`...)
+		dst = appendUint(dst, meta.parent)
+	}
+	if meta.recvNS != 0 {
+		dst = append(dst, `,"rt":`...)
+		dst = appendInt(dst, meta.recvNS)
+	}
+	if meta.sendNS != 0 {
+		dst = append(dst, `,"st":`...)
+		dst = appendInt(dst, meta.sendNS)
+	}
 	if len(body) > 0 {
 		dst = append(dst, `,"b":`...)
 		dst = append(dst, body...)
 	}
 	return append(dst, '}')
+}
+
+// appendInt appends the decimal form of v. Timestamps are always positive in
+// practice, but the encoding must match encoding/json for any int64 so the
+// decode-equivalence property holds.
+func appendInt(dst []byte, v int64) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		return appendUint(dst, uint64(-v)) // MinInt64 negates to itself; uint64 conversion keeps the magnitude
+	}
+	return appendUint(dst, uint64(v))
 }
 
 // appendUint appends the decimal form of v (strconv.AppendUint without the

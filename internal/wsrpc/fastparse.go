@@ -8,13 +8,17 @@ type frameView struct {
 	seq    uint64
 	method []byte
 	errs   []byte
+	trace  uint64
+	parent uint64
+	recvNS int64
+	sendNS int64
 	body   []byte
 }
 
 // fastParseFrame parses the canonical envelope layout that both appendFrame
 // and encoding/json emit for the frame struct:
 //
-//	{"k":N,"seq":N[,"m":"..."][,"e":"..."][,"b":...]}
+//	{"k":N,"seq":N[,"m":"..."][,"e":"..."][,"tr":N][,"ps":N][,"rt":N][,"st":N][,"b":...]}
 //
 // in that field order, with no whitespace. It returns ok=false for anything
 // non-canonical — reordered or unknown fields, escaped strings, whitespace —
@@ -53,6 +57,30 @@ func fastParseFrame(raw []byte) (frameView, bool) {
 			return v, false
 		}
 	}
+	if hasPrefix(p, `,"tr":`) {
+		v.trace, p, ok = parseUint(p[6:])
+		if !ok {
+			return v, false
+		}
+	}
+	if hasPrefix(p, `,"ps":`) {
+		v.parent, p, ok = parseUint(p[6:])
+		if !ok {
+			return v, false
+		}
+	}
+	if hasPrefix(p, `,"rt":`) {
+		v.recvNS, p, ok = parseInt(p[6:])
+		if !ok {
+			return v, false
+		}
+	}
+	if hasPrefix(p, `,"st":`) {
+		v.sendNS, p, ok = parseInt(p[6:])
+		if !ok {
+			return v, false
+		}
+	}
 	if hasPrefix(p, `,"b":`) {
 		p = p[5:]
 		if len(p) < 2 || p[len(p)-1] != '}' {
@@ -83,6 +111,24 @@ func parseUint(p []byte) (uint64, []byte, bool) {
 		return 0, p, false
 	}
 	return n, p[i:], true
+}
+
+// parseInt consumes an optional minus sign and decimal digits. Magnitudes
+// past MaxInt64 bail to the slow path rather than guessing.
+func parseInt(p []byte) (int64, []byte, bool) {
+	neg := false
+	if len(p) > 0 && p[0] == '-' {
+		neg = true
+		p = p[1:]
+	}
+	n, rest, ok := parseUint(p)
+	if !ok || n > 1<<63-1 {
+		return 0, p, false
+	}
+	if neg {
+		return -int64(n), rest, true
+	}
+	return int64(n), rest, true
 }
 
 // parsePlainString consumes bytes up to an unescaped closing quote; any

@@ -20,7 +20,8 @@ import (
 // <, >, and & where appendFrame does not — decode equivalence is the
 // compatibility bar the wire format defines.
 func TestAppendFrameDecodeEquivalence(t *testing.T) {
-	prop := func(kindSel uint8, seq uint64, method, errStr, bodyStr string, hasBody bool) bool {
+	prop := func(kindSel uint8, seq uint64, method, errStr, bodyStr string, hasBody bool,
+		trace, parent uint64, recvNS, sendNS int64) bool {
 		kind := frameKind(kindSel%3) + kindCall
 		var body []byte
 		if hasBody {
@@ -30,13 +31,15 @@ func TestAppendFrameDecodeEquivalence(t *testing.T) {
 			}
 			body = b
 		}
-		raw := appendFrame(nil, kind, seq, method, errStr, body)
+		meta := envMeta{trace: trace, parent: parent, recvNS: recvNS, sendNS: sendNS}
+		raw := appendFrame(nil, kind, seq, method, errStr, meta, body)
 		got, err := decodeFrame(raw)
 		if err != nil {
 			t.Logf("appendFrame output rejected: %s: %v", raw, err)
 			return false
 		}
-		refRaw, err := encodeFrame(&frame{Kind: kind, Seq: seq, Method: method, Err: errStr, Body: body})
+		refRaw, err := encodeFrame(&frame{Kind: kind, Seq: seq, Method: method, Err: errStr,
+			Trace: trace, Parent: parent, RecvNS: recvNS, SendNS: sendNS, Body: body})
 		if err != nil {
 			return false
 		}
@@ -45,6 +48,8 @@ func TestAppendFrameDecodeEquivalence(t *testing.T) {
 			return false
 		}
 		if got.Kind != want.Kind || got.Seq != want.Seq || got.Method != want.Method || got.Err != want.Err ||
+			got.Trace != want.Trace || got.Parent != want.Parent ||
+			got.RecvNS != want.RecvNS || got.SendNS != want.SendNS ||
 			!bytes.Equal(got.Body, want.Body) {
 			t.Logf("appendFrame=%s encodeFrame=%s", raw, refRaw)
 			return false
@@ -53,7 +58,8 @@ func TestAppendFrameDecodeEquivalence(t *testing.T) {
 		// the frame at all.
 		if v, ok := fastParseFrame(raw); ok {
 			if v.kind != want.Kind || v.seq != want.Seq || string(v.method) != want.Method ||
-				string(v.errs) != want.Err || !bytes.Equal(v.body, want.Body) {
+				string(v.errs) != want.Err || v.trace != want.Trace || v.parent != want.Parent ||
+				v.recvNS != want.RecvNS || v.sendNS != want.SendNS || !bytes.Equal(v.body, want.Body) {
 				t.Logf("fastParseFrame diverges on %s", raw)
 				return false
 			}
@@ -78,7 +84,8 @@ func TestFastParseAgreesWithDecode(t *testing.T) {
 			return false // fast parser accepted what the robust one rejects
 		}
 		return v.kind == f.Kind && v.seq == f.Seq && string(v.method) == f.Method &&
-			string(v.errs) == f.Err && bytes.Equal(v.body, f.Body)
+			string(v.errs) == f.Err && v.trace == f.Trace && v.parent == f.Parent &&
+			v.recvNS == f.RecvNS && v.sendNS == f.SendNS && bytes.Equal(v.body, f.Body)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
@@ -154,7 +161,7 @@ func TestCoalescedWritesDecodeIdentically(t *testing.T) {
 					for i := 0; i < frames; i++ {
 						seq := uint64(g*1000 + i)
 						body, _ := json.Marshal(bodies[seq])
-						if _, err := cli.WriteEnvelope(kindCall, seq, "m", "", body); err != nil {
+						if _, err := cli.WriteEnvelope(kindCall, seq, "m", "", envMeta{}, body); err != nil {
 							t.Error(err)
 							return
 						}

@@ -30,13 +30,29 @@ const (
 	kindNotify
 )
 
-// frame is the wire envelope.
+// frame is the wire envelope. The trace/timing fields are optional: calls
+// may carry a trace context (tr/ps), replies echo the trace and stamp the
+// server's receive/send clock (rt/st, unix nanos) so clients can estimate
+// the per-connection clock offset NTP-style from ordinary round trips. Old
+// peers ignore the extra fields (encoding/json drops unknown keys), so the
+// wire stays compatible in both directions.
 type frame struct {
 	Kind   frameKind       `json:"k"`
 	Seq    uint64          `json:"seq"`
 	Method string          `json:"m,omitempty"`
 	Err    string          `json:"e,omitempty"`
+	Trace  uint64          `json:"tr,omitempty"`
+	Parent uint64          `json:"ps,omitempty"`
+	RecvNS int64           `json:"rt,omitempty"`
+	SendNS int64           `json:"st,omitempty"`
 	Body   json.RawMessage `json:"b,omitempty"`
+}
+
+// envMeta carries a frame's optional trace/timing envelope fields through
+// the write path without widening every call site to nine parameters.
+type envMeta struct {
+	trace, parent  uint64
+	recvNS, sendNS int64
 }
 
 // frameConn reads and writes whole frames. Implementations must support one
@@ -50,7 +66,7 @@ type frameConn interface {
 	// WriteEnvelope encodes a frame envelope straight into the connection's
 	// corked write buffer — the fast path; body must be pre-marshalled JSON.
 	// It returns the envelope's encoded size for byte accounting.
-	WriteEnvelope(kind frameKind, seq uint64, method, errStr string, body []byte) (int, error)
+	WriteEnvelope(kind frameKind, seq uint64, method, errStr string, meta envMeta, body []byte) (int, error)
 	// WriteFrame sends an already-encoded payload verbatim (compat/test
 	// path; the fast path is WriteEnvelope).
 	WriteFrame(p []byte) error
@@ -89,14 +105,14 @@ func (p *plainConn) ReadFrame() ([]byte, error) {
 	return p.rbuf, nil
 }
 
-func (p *plainConn) WriteEnvelope(kind frameKind, seq uint64, method, errStr string, body []byte) (int, error) {
+func (p *plainConn) WriteEnvelope(kind frameKind, seq uint64, method, errStr string, meta envMeta, body []byte) (int, error) {
 	buf, err := p.cw.beginFrame()
 	if err != nil {
 		return 0, err
 	}
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length prefix, backfilled below
-	buf = appendFrame(buf, kind, seq, method, errStr, body)
+	buf = appendFrame(buf, kind, seq, method, errStr, meta, body)
 	n := len(buf) - start - 4
 	if n > MaxFrameSize {
 		p.cw.cancel(buf[:start])

@@ -182,14 +182,14 @@ func (s *secureConn) sealLocked(buf []byte, start int) []byte {
 	return s.sendMAC.Sum(buf)
 }
 
-func (s *secureConn) WriteEnvelope(kind frameKind, seq uint64, method, errStr string, body []byte) (int, error) {
+func (s *secureConn) WriteEnvelope(kind frameKind, seq uint64, method, errStr string, meta envMeta, body []byte) (int, error) {
 	buf, err := s.cw.beginFrame()
 	if err != nil {
 		return 0, err
 	}
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
-	buf = appendFrame(buf, kind, seq, method, errStr, body)
+	buf = appendFrame(buf, kind, seq, method, errStr, meta, body)
 	n := len(buf) - start - 4
 	if n > MaxFrameSize {
 		s.cw.cancel(buf[:start])

@@ -55,6 +55,7 @@ type Server struct {
 	stats      map[string]*methodStats // read-only after Listen, like handlers
 	rxBytes    *metrics.Counter
 	txBytes    *metrics.Counter
+	hWrite     *metrics.FixedHistogram // reply encode + cork commit time; nil when unmetered
 	flushStats flushStats
 
 	mu     sync.Mutex
@@ -78,6 +79,7 @@ func NewServer(opts ServerOptions) *Server {
 		s.stats = make(map[string]*methodStats)
 		s.rxBytes = opts.Metrics.Counter("wsrpc_rx_bytes_total")
 		s.txBytes = opts.Metrics.Counter("wsrpc_tx_bytes_total")
+		s.hWrite = opts.Metrics.Histogram(obs.OverheadKey("frame_write"))
 		s.flushStats = flushStats{
 			flushes:  opts.Metrics.Counter("wsrpc_flushes_total"),
 			perFlush: opts.Metrics.Histogram("wsrpc_frames_per_flush"),
@@ -240,6 +242,9 @@ func (s *Server) handleConn(c net.Conn) {
 		if s.rxBytes != nil {
 			s.rxBytes.Add(int64(len(raw)))
 		}
+		// Receive stamp for the reply's rt field: taken once per call frame,
+		// it is the t1 of the client's NTP-style offset estimate.
+		recvNS := time.Now().UnixNano()
 		v, okFast := fastParseFrame(raw)
 		if !okFast {
 			f, err := decodeFrame(raw)
@@ -247,7 +252,8 @@ func (s *Server) handleConn(c net.Conn) {
 				s.logf("wsrpc: bad frame from %s: %v", peer.remote, err)
 				return
 			}
-			v = frameView{kind: f.Kind, seq: f.Seq, method: []byte(f.Method), errs: []byte(f.Err), body: f.Body}
+			v = frameView{kind: f.Kind, seq: f.Seq, method: []byte(f.Method), errs: []byte(f.Err),
+				trace: f.Trace, parent: f.Parent, recvNS: f.RecvNS, sendNS: f.SendNS, body: f.Body}
 		}
 		if v.kind != kindCall {
 			s.logf("wsrpc: unexpected %d frame from %s", v.kind, peer.remote)
@@ -255,7 +261,7 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		h, ok := s.handlers[string(v.method)] // no-alloc map lookup
 		if !ok {
-			s.reply(peer, v.seq, nil, fmt.Errorf("wsrpc: no such method %q", v.method))
+			s.reply(peer, v.seq, v.trace, recvNS, nil, fmt.Errorf("wsrpc: no such method %q", v.method))
 			continue
 		}
 		ms := s.stats[string(v.method)]
@@ -268,14 +274,14 @@ func (s *Server) handleConn(c net.Conn) {
 				ms.calls.Inc()
 				ms.lat.Observe(time.Since(start).Seconds())
 			}
-			s.reply(peer, v.seq, res, herr)
+			s.reply(peer, v.seq, v.trace, recvNS, res, herr)
 			continue
 		}
 		// Goroutine dispatch: the handler runs concurrently with further
 		// reads, so it gets its own copy of the body.
 		body := make(json.RawMessage, len(v.body))
 		copy(body, v.body)
-		seq := v.seq
+		seq, trace := v.seq, v.trace
 		calls.Add(1)
 		go func() {
 			defer calls.Done()
@@ -285,14 +291,16 @@ func (s *Server) handleConn(c net.Conn) {
 				ms.calls.Inc()
 				ms.lat.Observe(time.Since(start).Seconds())
 			}
-			s.reply(peer, seq, res, herr)
+			s.reply(peer, seq, trace, recvNS, res, herr)
 		}()
 	}
 }
 
-// reply sends a kindReply frame; errors are logged, not returned, because
-// the reader loop owns connection teardown.
-func (s *Server) reply(p *Peer, seq uint64, res any, herr error) {
+// reply sends a kindReply frame carrying the call's trace, the receive
+// stamp taken when the call frame arrived, and a send stamp taken here —
+// the t1/t2 pair of the client's clock-offset estimate. Errors are logged,
+// not returned, because the reader loop owns connection teardown.
+func (s *Server) reply(p *Peer, seq, trace uint64, recvNS int64, res any, herr error) {
 	var errStr string
 	var body []byte
 	if herr != nil {
@@ -305,7 +313,15 @@ func (s *Server) reply(p *Peer, seq uint64, res any, herr error) {
 			body = b
 		}
 	}
-	n, err := p.fc.WriteEnvelope(kindReply, seq, "", errStr, body)
+	var t0 time.Time
+	if s.hWrite != nil {
+		t0 = time.Now()
+	}
+	meta := envMeta{trace: trace, recvNS: recvNS, sendNS: time.Now().UnixNano()}
+	n, err := p.fc.WriteEnvelope(kindReply, seq, "", errStr, meta, body)
+	if s.hWrite != nil {
+		s.hWrite.Observe(time.Since(t0).Seconds())
+	}
 	if err != nil {
 		// Peer is gone; the read loop will notice and clean up.
 		return
@@ -358,14 +374,14 @@ func (p *Peer) Notify(method string, arg any) error {
 		}
 		body = b
 	}
-	n, err := p.fc.WriteEnvelope(kindNotify, 0, method, "", body)
+	n, err := p.fc.WriteEnvelope(kindNotify, 0, method, "", envMeta{}, body)
 	if err != nil {
 		return err
 	}
 	if p.faults != nil && p.faults.DupNotify() {
 		// Injected duplicate push: receivers must tolerate replayed
 		// notifications (at-least-once push, exactly-once effect).
-		if dn, derr := p.fc.WriteEnvelope(kindNotify, 0, method, "", body); derr == nil {
+		if dn, derr := p.fc.WriteEnvelope(kindNotify, 0, method, "", envMeta{}, body); derr == nil {
 			n += dn
 		}
 	}

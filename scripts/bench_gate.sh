@@ -14,9 +14,11 @@ cd "$(dirname "$0")/.."
 RUNS="${1:-3}"
 THRESHOLD="${FALKON_BENCH_THRESHOLD:-0.75}"
 
-# Baseline: tasks_per_sec from the last BENCH_live.json row (JSONL, newest
-# last). No jq in the base image, so carve the field out with awk.
-BASELINE="$(awk -F'"tasks_per_sec":' 'NF > 1 { split($2, a, /[,}]/); v = a[1] } END { print v }' BENCH_live.json)"
+# Baseline: tasks_per_sec from the last live-throughput BENCH_live.json row
+# (JSONL, newest last; other experiments — e.g. overhead-breakdown — append
+# rows too, so filter by experiment). No jq in the base image, so carve the
+# field out with awk.
+BASELINE="$(awk -F'"tasks_per_sec":' '/"experiment":"live-throughput"/ && NF > 1 { split($2, a, /[,}]/); v = a[1] } END { print v }' BENCH_live.json)"
 if [ -z "$BASELINE" ]; then
     echo "bench_gate: no tasks_per_sec baseline found in BENCH_live.json" >&2
     exit 1

@@ -29,6 +29,11 @@ go test -race ./...
 # Crash-recovery end to end: kill -9 a journaling dispatcher mid-workload,
 # restart it on the same journal, and require exactly-once delivery.
 go test -run='TestBinariesCrashRecovery' -count=1 .
+# Observability end to end: scrape every daemon's /metrics (dispatcher,
+# executor, forwarder, submit client) and strictly validate the exposition
+# format parses; merge real cross-process span dumps and require the
+# corrected stage durations to partition each task's e2e latency.
+go test -run='TestBinariesMetricsExposition|TestBinariesSpanMergeAcrossProcesses' -count=1 .
 # Short fuzz pass over the journal decoder: it must never panic and never
 # fabricate records, whatever bytes a torn tail left behind.
 go test -run='^$' -fuzz=FuzzJournalDecode -fuzztime=5s ./internal/wal/

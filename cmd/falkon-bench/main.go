@@ -32,9 +32,12 @@ type benchRow struct {
 	// Per-stage scheduler overhead in ns/task (overhead-breakdown only),
 	// keyed by stage name: lock_wait, sched_core, fx_flush, ...
 	NsPerTask map[string]float64 `json:"ns_per_task,omitempty"`
-	Scale     float64            `json:"scale"`
-	Date      string             `json:"date"`
-	Commit    string             `json:"commit,omitempty"`
+	// Per-shard-count throughput (live-throughput only), keyed by shard
+	// count: "1" is the legacy single-lock core, "4" the sharded core.
+	TasksPerSecByShards map[string]float64 `json:"tasks_per_sec_by_shards,omitempty"`
+	Scale               float64            `json:"scale"`
+	Date                string             `json:"date"`
+	Commit              string             `json:"commit,omitempty"`
 }
 
 func main() {
@@ -76,14 +79,15 @@ func main() {
 		if *jsonOut {
 			if tput, ok := res.Values["tasks_per_sec"]; ok {
 				if err := appendRow(*jsonFile, benchRow{
-					Experiment:  res.ID,
-					TasksPerSec: tput,
-					NsPerOp:     res.Values["ns_per_op"],
-					AllocsPerOp: res.Values["allocs_per_op"],
-					NsPerTask:   stageValues(res.Values),
-					Scale:       *scale,
-					Date:        time.Now().UTC().Format(time.RFC3339),
-					Commit:      gitCommit(),
+					Experiment:          res.ID,
+					TasksPerSec:         tput,
+					NsPerOp:             res.Values["ns_per_op"],
+					AllocsPerOp:         res.Values["allocs_per_op"],
+					NsPerTask:           stageValues(res.Values),
+					TasksPerSecByShards: shardValues(res.Values),
+					Scale:               *scale,
+					Date:                time.Now().UTC().Format(time.RFC3339),
+					Commit:              gitCommit(),
 				}); err != nil {
 					fmt.Fprintln(os.Stderr, "falkon-bench:", err)
 					os.Exit(1)
@@ -112,6 +116,20 @@ func appendRow(path string, row benchRow) error {
 
 // stageValues extracts per-stage "ns_per_task_<stage>" scalars into the
 // structured map the JSON row carries (nil when the experiment has none).
+// shardValues extracts tasks_per_sec_shards_<n> keys into a shard-count map.
+func shardValues(values map[string]float64) map[string]float64 {
+	var m map[string]float64
+	for k, v := range values {
+		if n, ok := strings.CutPrefix(k, "tasks_per_sec_shards_"); ok {
+			if m == nil {
+				m = make(map[string]float64)
+			}
+			m[n] = v
+		}
+	}
+	return m
+}
+
 func stageValues(values map[string]float64) map[string]float64 {
 	var m map[string]float64
 	for k, v := range values {

@@ -51,6 +51,7 @@ type cfg struct {
 	execs    int
 	slots    int
 	kills    int
+	shards   int
 	binDir   string
 	workDir  string
 	verbose  bool
@@ -69,6 +70,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "small fast run for CI smoke (overrides -tasks/-execs/-kills)")
 		keep    = flag.Bool("keep", false, "keep work directories (logs, journals) after a passing run")
 		verbose = flag.Bool("v", false, "stream child process logs to stderr")
+		shards  = flag.Int("shards", 0, "dispatcher scheduling shards (passed through; 0 = one per CPU)")
 		binDir  = flag.String("bin", "", "directory holding falkon-dispatcher and falkon-executor (empty = go build into the work area)")
 		waitFor = flag.Duration("timeout", 2*time.Minute, "per-run workload completion timeout")
 	)
@@ -77,7 +79,7 @@ func main() {
 
 	c := cfg{
 		seed: *seed, tasks: *tasks, execs: *execs, slots: *slots, kills: *kills,
-		binDir: *binDir, verbose: *verbose, waitFor: *waitFor,
+		shards: *shards, binDir: *binDir, verbose: *verbose, waitFor: *waitFor,
 		maxSleep: 20 * time.Millisecond,
 	}
 	if *quick {
@@ -162,6 +164,7 @@ func runOne(c cfg, keep bool) (err error) {
 			"-snapshot-every", "200",
 			"-replay-timeout", "500ms",
 			"-max-retries", "50",
+			"-shards", fmt.Sprint(c.shards),
 			"-stats-every", "0",
 			"-faults", spec.String(),
 		)

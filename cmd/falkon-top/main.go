@@ -30,6 +30,7 @@ func main() {
 		once       = flag.Bool("once", false, "print one snapshot and exit")
 		stages     = flag.Bool("stages", true, "show the per-stage latency panel")
 		overhead   = flag.Bool("overhead", true, "show the scheduler-overhead panel (where the dispatcher's own time goes)")
+		shards     = flag.Bool("shards", true, "show the shard-imbalance panel (hidden in single-shard mode)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	defer c.Close()
 
 	var lastCompleted int64
+	lastSteals := map[int]int64{}
 	lastAt := time.Now()
 	first := true
 	lines := 0
@@ -52,8 +54,9 @@ func main() {
 		// No rate on the first sample: the counter delta would span the
 		// dispatcher's whole uptime, not one poll interval.
 		rate := 0.0
+		elapsed := now.Sub(lastAt).Seconds()
 		if !first {
-			rate = float64(st.Completed-lastCompleted) / now.Sub(lastAt).Seconds()
+			rate = float64(st.Completed-lastCompleted) / elapsed
 		}
 		first = false
 		lastCompleted, lastAt = st.Completed, now
@@ -73,6 +76,23 @@ func main() {
 			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
 			st.Dispatched, st.Completed, st.Failed, st.Retried, st.Duplicates, notifyErrs, rate)
 		lines++
+		// Shard-imbalance panel: per-shard queue depth, executor split, and
+		// steal rate. Only worth screen space with more than one shard.
+		if *shards && len(st.Shards) > 1 {
+			fmt.Printf("\033[K%-8s %10s %12s %14s %10s %10s\n",
+				"shard", "queued", "outstanding", "execs(busy)", "steals", "steals/s")
+			lines++
+			for _, sh := range st.Shards {
+				stealRate := 0.0
+				if prev, ok := lastSteals[sh.Shard]; ok && elapsed > 0 {
+					stealRate = float64(sh.Steals-prev) / elapsed
+				}
+				lastSteals[sh.Shard] = sh.Steals
+				fmt.Printf("\033[K%-8d %10d %12d %11d(%d) %10d %10.1f\n",
+					sh.Shard, sh.Queued, sh.Outstanding, sh.Executors, sh.Busy, sh.Steals, stealRate)
+				lines++
+			}
+		}
 		// Journal panel appears only when the dispatcher journals.
 		if st.Journal {
 			recovered := ""

@@ -75,6 +75,9 @@ type Config struct {
 	// Provisioning, when non-nil, runs a provisioner instead of a static
 	// pool.
 	Provisioning *ProvisioningConfig
+	// Shards partitions the dispatcher's scheduling state (0 = one shard
+	// per CPU, 1 = legacy single-lock core; see dispatch.Options.Shards).
+	Shards int
 	// JournalDir enables the dispatcher's write-ahead task journal; on boot
 	// the dispatcher recovers any state the directory holds. JournalSync and
 	// SnapshotEvery tune durability and compaction (see dispatch.Options).
@@ -127,6 +130,7 @@ func Start(cfg Config) (*System, error) {
 		NoRetryOnFailure: cfg.NoRetryOnFailure,
 		Policy:           cfg.Policy,
 		CacheCapacity:    cfg.CacheCapacity,
+		Shards:           cfg.Shards,
 		JournalDir:       cfg.JournalDir,
 		JournalSync:      cfg.JournalSync,
 		SnapshotEvery:    cfg.SnapshotEvery,

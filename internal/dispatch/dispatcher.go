@@ -9,11 +9,13 @@
 // The scheduling state machine itself — queue, executor table, outstanding
 // table, replay policy, pick policies — lives in internal/sched, shared
 // with the virtual-time simulator. This package drives it from wall-clock
-// time under one mutex and owns everything transport-shaped: wsrpc
-// connections, the notification engine, tracing, and metrics. Handlers
-// gather the core's effects (trace events, notification pushes, stage
-// observations) under the mutex and apply them after releasing it, so no
-// I/O ever runs inside the scheduler's critical section.
+// time across N shards (Options.Shards, default GOMAXPROCS), each shard a
+// sched.Core under its own mutex: tasks route to shards by a stable
+// affinity hash, executors live on the shard their ID hashes to, and an
+// executor whose home queue is dry steals FIFO from other shards. Handlers
+// gather each core's effects (trace events, notification pushes, stage
+// observations) under the shard lock and apply them after releasing it, so
+// no I/O ever runs inside a scheduler critical section.
 //
 // In keeping with the paper's design (§1, §7), the dispatcher deliberately
 // omits LRM features: there are no priorities, no multiple queues, no
@@ -22,7 +24,9 @@ package dispatch
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"falkon/internal/fproto"
@@ -39,6 +43,12 @@ type Options struct {
 	// Security and PSK configure the wsrpc transport profile.
 	Security wsrpc.SecurityProfile
 	PSK      []byte
+
+	// Shards partitions the scheduling state into this many independently
+	// locked cores (0 = GOMAXPROCS; 1 = the legacy single-lock layout).
+	// Task→shard and executor→shard routing use stable hashes shared with
+	// journal recovery, so a restart re-partitions identically.
+	Shards int
 
 	// NotifyWorkers sizes the notification engine's thread pool (default 4).
 	NotifyWorkers int
@@ -107,16 +117,20 @@ type Options struct {
 }
 
 // taskRef is the core's task payload: the owning instance plus the task.
+// inst is resolved once at enqueue so the finalize path never takes the
+// instance-table lock.
 type taskRef struct {
-	epr string
-	t   task.Task
+	epr  string
+	t    task.Task
+	inst *instance
 }
 
 // execRef is the transport state hung off a sched.Exec (via Ref): the
-// executor's connection and provisioner allocation.
+// executor's connection, provisioner allocation, and home shard index.
 type execRef struct {
 	peer       *wsrpc.Peer
 	allocation string
+	home       int
 }
 
 // outKey identifies an outstanding (dispatched, unacknowledged) task.
@@ -129,6 +143,41 @@ type outKey struct {
 // executors are identified by their string ID, outstanding tasks by
 // (instance, task ID).
 type dcore = sched.Core[string, outKey, taskRef]
+
+// shard is one slice of the scheduling state: a Core under its own mutex,
+// the WAL appender the shard's per-task records route through, and the
+// shard's instruments. Lock order across the dispatcher:
+//
+//	imu (instance table) → shard.mu (one at a time, ascending when
+//	several) → instance.mu → appender internals
+//
+// No handler ever holds two shard mutexes: work stealing pops under the
+// victim's lock alone and assigns under the thief's home lock, with
+// Dispatcher.limbo accounting for the hand-off window.
+type shard struct {
+	idx  int
+	mu   sync.Mutex
+	core *dcore
+	app  *wal.Appender // per-shard journal appender (nil without journal)
+
+	// qdepth mirrors core.QueueLen() outside the lock: the steal scan, the
+	// cross-shard notify pass, and the falkon-top imbalance panel read it
+	// lock-free.
+	qdepth *metrics.Gauge
+	// steals counts tasks this shard's executors took from other shards.
+	steals *metrics.Counter
+
+	// Per-shard dimension of the overhead histograms (the aggregate,
+	// unlabeled-by-shard series lives on the Dispatcher).
+	hLockWait  *metrics.FixedHistogram
+	hSchedCore *metrics.FixedHistogram
+}
+
+// syncDepth republishes the shard's queue length. Callers hold s.mu and
+// have just mutated the queue.
+func (s *shard) syncDepth() {
+	s.qdepth.Set(int64(s.core.QueueLen()))
+}
 
 // traceEv is one deferred tracer record.
 type traceEv struct {
@@ -149,9 +198,9 @@ type resultPush struct {
 }
 
 // notifyPush is one deferred work-available notification ({3}). It holds a
-// snapshot of the executor fields taken under d.mu — never the live
-// *sched.Exec, which other handlers mutate concurrently once the lock is
-// released.
+// snapshot of the executor fields taken under the shard lock — never the
+// live *sched.Exec, which other handlers mutate concurrently once the lock
+// is released.
 type notifyPush struct {
 	peer   *wsrpc.Peer
 	exec   string
@@ -160,16 +209,22 @@ type notifyPush struct {
 }
 
 // fx accumulates a handler's side effects — trace records, stage-latency
-// observations, work-available notifications, and result pushes — gathered
-// while holding d.mu and applied by flush after releasing it. Keeping this
-// I/O outside the scheduler lock is what lets deliveries from many
-// executors pipeline instead of serializing on tracer and histogram
-// writes.
+// observations, work-available notifications, result pushes, and deferred
+// cross-shard requeues — gathered while holding a shard lock and applied
+// by flush after releasing it. Keeping this I/O outside the scheduler
+// locks is what lets deliveries from many executors pipeline instead of
+// serializing on tracer and histogram writes.
 type fx struct {
 	events   []traceEv
 	stamps   []sched.Stamps
 	notifies []notifyPush
 	pushes   []resultPush
+	// requeues are replayed attempts owed back to their affinity shard.
+	// They are deferred because the orphaning shard (the executor's home)
+	// and the task's affinity shard can differ, and no handler holds two
+	// shard locks; each entry holds one Dispatcher.limbo count until
+	// requeueAll lands it.
+	requeues []sched.Item[taskRef]
 }
 
 func (f *fx) trace(at time.Duration, kind obs.EventKind, trace uint64, id task.ID, epr, exec string) {
@@ -188,16 +243,18 @@ func getFx() *fx { return fxPool.Get().(*fx) }
 // burst doesn't park megabytes in the pool.
 func putFx(f *fx) {
 	const keep = 1024
-	if cap(f.events) > keep || cap(f.stamps) > keep || cap(f.notifies) > keep || cap(f.pushes) > keep {
+	if cap(f.events) > keep || cap(f.stamps) > keep || cap(f.notifies) > keep || cap(f.pushes) > keep || cap(f.requeues) > keep {
 		*f = fx{}
 	} else {
 		clear(f.events)
 		clear(f.notifies)
 		clear(f.pushes)
+		clear(f.requeues)
 		f.events = f.events[:0]
 		f.stamps = f.stamps[:0]
 		f.notifies = f.notifies[:0]
 		f.pushes = f.pushes[:0]
+		f.requeues = f.requeues[:0]
 	}
 	fxPool.Put(f)
 }
@@ -220,34 +277,59 @@ type Dispatcher struct {
 	// wait, core work under the mutex, deferred-effect flush, and the
 	// group-commit durability wait. frame_write lives in wsrpc and
 	// wal_commit in the journal's committer; together they account for
-	// where the dispatcher's own time goes per RPC.
+	// where the dispatcher's own time goes per RPC. These are the
+	// aggregates; each shard also observes its own lock_wait/sched_core.
 	hLockWait  *metrics.FixedHistogram
 	hSchedCore *metrics.FixedHistogram
 	hFxFlush   *metrics.FixedHistogram
 	hWALWait   *metrics.FixedHistogram
 
-	mu        sync.Mutex
-	core      *dcore
+	// nshards is fixed at New; shards[i].core == sharded.Shard(i).
+	nshards int
+	sharded *sched.Sharded[string, outKey, taskRef]
+	shards  []*shard
+
+	// imu guards the instance table and EPR allocation — deliberately a
+	// separate, small lock so instance lifecycle never contends with
+	// scheduling. Submit/Collect take it only for the map lookup.
+	imu       sync.RWMutex
 	instances map[string]*instance
 	nextEPR   int64
-	closed    bool
-	draining  bool
-	// drained wakes Drain when the system empties (queue and outstanding
-	// both zero); signalled by wakeDrainLocked.
-	drained     *sync.Cond
+
+	// limbo counts tasks in motion between shard structures: a submit
+	// between its draining check and its enqueues, a stolen task between
+	// victim pop and home assign, a replayed task between executor drop and
+	// affinity requeue. Drain's emptiness check requires limbo == 0, so
+	// work never vanishes from its view mid-hand-off.
+	limbo    atomic.Int64
+	closed   atomic.Bool
+	draining atomic.Bool
+	// dmu/drained implement the single cross-shard drain condition: Drain
+	// re-checks empty() itself; handlers just broadcast after removing
+	// work. wakeDrain is the only place dmu nests inside nothing — no
+	// handler holds a shard lock when broadcasting.
+	dmu     sync.Mutex
+	drained *sync.Cond
+
 	sweeperStop chan struct{}
 	sweeperDone chan struct{}
 
-	// wal is the write-ahead journal (nil without JournalDir). Every
-	// journal append happens while holding d.mu — only durability waits
-	// happen after unlock — so journal order equals state-mutation order,
-	// and a snapshot cut taken under d.mu is an exact prefix of the state.
+	// wal is the write-ahead journal (nil without JournalDir). Per-task
+	// records route through the task's affinity shard's appender while that
+	// shard's lock is held, so each appender's FIFO preserves the
+	// accept→dispatch→complete order per task; control records (instance
+	// create/destroy) ride appender 0, which every commit batch drains
+	// first. A snapshot cut takes every shard lock, so the captured state
+	// is an exact prefix of the journal.
 	wal            *wal.Journal
 	recoveredTasks int64 // pending tasks rebuilt at the last Listen
 	snapEvery      int64
-	snapMark       int64 // journal append count at the last snapshot
-	snapBusy       bool
-	snapWG         sync.WaitGroup
+	snapMark       atomic.Int64 // journal append count at the last snapshot
+	// smu serializes snapshot kickoff against Close so snapWG.Add never
+	// races snapWG.Wait; snapBusy collapses concurrent kickoffs.
+	smu      sync.Mutex
+	snapBusy bool
+	snapWG   sync.WaitGroup
 }
 
 // New constructs a dispatcher (not yet listening).
@@ -255,10 +337,18 @@ func New(opts Options) *Dispatcher {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
+	n := opts.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
 	d := &Dispatcher{
-		opts:  opts,
-		epoch: time.Now(),
-		core: sched.NewCore[string, outKey](sched.Options[taskRef]{
+		opts:    opts,
+		epoch:   time.Now(),
+		nshards: n,
+		sharded: sched.NewSharded[string, outKey](n, sched.Options[taskRef]{
 			Policy:        opts.Policy,
 			CacheCapacity: opts.CacheCapacity,
 			MaxRetries:    opts.MaxRetries,
@@ -269,7 +359,18 @@ func New(opts Options) *Dispatcher {
 		reg:       opts.Metrics,
 		tracer:    obs.NewTracer(opts.TraceCapacity),
 	}
-	d.drained = sync.NewCond(&d.mu)
+	d.shards = make([]*shard, n)
+	for i := range d.shards {
+		d.shards[i] = &shard{
+			idx:        i,
+			core:       d.sharded.Shard(i),
+			qdepth:     d.reg.Gauge(obs.ShardKey(obs.MetricShardQueueDepth, i)),
+			steals:     d.reg.Counter(obs.ShardKey(obs.MetricShardStealsTotal, i)),
+			hLockWait:  d.reg.Histogram(obs.OverheadShardKey(obs.OverheadLockWait, i)),
+			hSchedCore: d.reg.Histogram(obs.OverheadShardKey(obs.OverheadSchedCore, i)),
+		}
+	}
+	d.drained = sync.NewCond(&d.dmu)
 	for i, stage := range obs.Stages {
 		d.hStage[i] = d.reg.Histogram(obs.StageKey(stage))
 	}
@@ -296,10 +397,46 @@ func (d *Dispatcher) logf(format string, args ...any) {
 	}
 }
 
-// flush applies the effects gathered under d.mu. Must be called after
-// releasing the mutex: the tracer, histograms, and notification engine
-// all have their own synchronization.
+// Shards returns the shard count the dispatcher runs with.
+func (d *Dispatcher) Shards() int { return d.nshards }
+
+// taskShard routes a task to its affinity shard: the same function journal
+// recovery uses, so a restart re-partitions identically.
+func (d *Dispatcher) taskShard(epr string, t task.Task) int {
+	if d.nshards == 1 {
+		return 0
+	}
+	return sched.TaskShard(d.nshards, taskDataset(t), sched.HashString(epr)^uint64(t.ID))
+}
+
+// refShard is taskShard against an enqueued taskRef, using the instance's
+// cached EPR hash.
+func (d *Dispatcher) refShard(tr taskRef) int {
+	if d.nshards == 1 {
+		return 0
+	}
+	var h uint64
+	if tr.inst != nil {
+		h = tr.inst.eprHash
+	} else {
+		h = sched.HashString(tr.epr)
+	}
+	return sched.TaskShard(d.nshards, taskDataset(tr.t), h^uint64(tr.t.ID))
+}
+
+// execShard routes an executor ID to its home shard.
+func (d *Dispatcher) execShard(id string) int {
+	return sched.ExecShardString(d.nshards, id)
+}
+
+// flush applies the effects gathered under shard locks. Must be called
+// after releasing them: the tracer, histograms, and notification engine
+// all have their own synchronization, and deferred requeues take other
+// shards' locks.
 func (d *Dispatcher) flush(f *fx) {
+	if len(f.requeues) > 0 {
+		d.requeueAll(f)
+	}
 	for _, e := range f.events {
 		d.tracer.Record(e.at, e.kind, e.trace, e.id, e.epr, e.exec)
 	}
@@ -332,10 +469,85 @@ func (d *Dispatcher) flush(f *fx) {
 	}
 }
 
+// requeueAll returns deferred replays to their affinity shards and runs
+// those shards' notify passes. Runs first in flush, with no shard lock
+// held. Each landed task releases the limbo count its replay took.
+func (d *Dispatcher) requeueAll(f *fx) {
+	now := d.now()
+	for _, it := range f.requeues {
+		s := d.shards[d.refShard(it.X)]
+		s.mu.Lock()
+		s.core.Requeue(it) // limit was already checked by replay; always true
+		s.syncDepth()
+		d.notifyShardLocked(f, s, now)
+		s.mu.Unlock()
+		d.limbo.Add(-1)
+	}
+	f.requeues = f.requeues[:0]
+	d.crossNotify(f, now)
+	d.wakeDrain()
+}
+
+// notifyShardLocked runs s's local notify pass, snapshotting each
+// notification into f while still holding s.mu (the live *sched.Exec must
+// not escape the critical section — concurrent handlers mutate it).
+func (d *Dispatcher) notifyShardLocked(f *fx, s *shard, now time.Duration) {
+	for _, n := range s.core.Notifications(now) {
+		f.notifies = append(f.notifies, notifyPush{
+			peer:   n.Exec.Ref.(*execRef).peer,
+			exec:   n.Exec.ID,
+			at:     n.Exec.LastNotifyAt,
+			queued: n.Queued,
+		})
+	}
+}
+
+// crossNotify wakes idle executors on any shard for work queued anywhere:
+// shard-local notify passes only cover their own queue, so enqueue paths
+// (submit, requeue, register) follow with this global pass. Woken
+// executors pull, and the pull path steals across shards. No-op with one
+// shard or when nothing is queued; the scan reads the lock-free depth
+// gauges and only locks shards that still have idle executors.
+func (d *Dispatcher) crossNotify(f *fx, now time.Duration) {
+	if d.nshards == 1 {
+		return
+	}
+	queued := 0
+	for _, s := range d.shards {
+		queued += int(s.qdepth.Value())
+	}
+	if queued == 0 {
+		return
+	}
+	for _, s := range d.shards {
+		s.mu.Lock()
+		if s.core.IdleLen() == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		covered := 0
+		for _, n := range s.core.NotifyIdle(now, queued) {
+			covered += n.Exec.Free()
+			f.notifies = append(f.notifies, notifyPush{
+				peer:   n.Exec.Ref.(*execRef).peer,
+				exec:   n.Exec.ID,
+				at:     n.Exec.LastNotifyAt,
+				queued: n.Queued,
+			})
+		}
+		s.mu.Unlock()
+		queued -= covered
+		if queued <= 0 {
+			return
+		}
+	}
+}
+
 // Listen binds the dispatcher to addr (":0" for an ephemeral port) and
 // starts serving. With JournalDir set, it first recovers surviving state
 // from the journal — instances, queued and in-flight tasks, and
-// undelivered results all outlive a crash.
+// undelivered results all outlive a crash, re-partitioned onto shards by
+// the same affinity hash that placed them originally.
 func (d *Dispatcher) Listen(addr string) error {
 	if d.opts.JournalDir != "" {
 		st, j, info, err := wal.Recover(d.opts.JournalDir, wal.Options{
@@ -353,9 +565,11 @@ func (d *Dispatcher) Listen(addr string) error {
 		if d.snapEvery == 0 {
 			d.snapEvery = 1 << 16
 		}
-		d.mu.Lock()
-		d.restoreLocked(st)
-		d.mu.Unlock()
+		apps := j.Appenders(d.nshards)
+		for i, s := range d.shards {
+			s.app = apps[i]
+		}
+		d.restore(st)
 		d.recoveredTasks = int64(info.Pending)
 		if info.Records > 0 || info.SnapshotIndex > 0 {
 			d.logf("dispatch: recovered %d pending tasks, %d buffered results, %d instances (snapshot %d + %d records)",
@@ -373,17 +587,21 @@ func (d *Dispatcher) Listen(addr string) error {
 	return nil
 }
 
-// restoreLocked loads recovered journal state into the empty core: pending
-// tasks re-enter the queue (outstanding-at-crash work simply becomes
-// queued again — the executors that held it are gone), instances come back
-// peer-less with their undelivered results buffered for redelivery.
-func (d *Dispatcher) restoreLocked(st *wal.State) {
+// restore loads recovered journal state into the empty shards: pending
+// tasks re-enter their affinity shard's queue (outstanding-at-crash work
+// simply becomes queued again — the executors that held it are gone),
+// instances come back peer-less with their undelivered results buffered
+// for redelivery. Runs before serving starts, so no locks are needed.
+func (d *Dispatcher) restore(st *wal.State) {
 	d.nextEPR = st.NextEPR
-	d.core.Counters = st.Counters
+	// Aggregate lifecycle counters live summed-across-shards; park the
+	// recovered totals on shard 0.
+	d.shards[0].core.Counters = st.Counters
 	for _, win := range st.Instances {
 		inst := &instance{
 			epr:       win.EPR,
 			name:      win.Name,
+			eprHash:   sched.HashString(win.EPR),
 			notify:    win.Notify,
 			submitted: win.Submitted,
 			results:   win.Results,
@@ -396,19 +614,26 @@ func (d *Dispatcher) restoreLocked(st *wal.State) {
 	}
 	now := d.now()
 	for _, p := range st.Pending {
-		d.core.Restore(now, taskRef{epr: p.EPR, t: p.Task}, p.Attempts)
-		if inst, ok := d.instances[p.EPR]; ok {
-			inst.live[p.Task.ID] = struct{}{}
-			inst.inFlight++
+		inst, ok := d.instances[p.EPR]
+		if !ok {
+			continue // replay proved the instance gone; nothing to owe
 		}
+		s := d.shards[d.taskShard(p.EPR, p.Task)]
+		s.core.Restore(now, taskRef{epr: p.EPR, t: p.Task, inst: inst}, p.Attempts)
+		inst.live[p.Task.ID] = struct{}{}
+		inst.inFlight++
+	}
+	for _, s := range d.shards {
+		s.syncDepth()
 	}
 }
 
-// captureLocked snapshots the dispatcher state for the journal. Callers
-// hold d.mu.
-func (d *Dispatcher) captureLocked() *wal.State {
-	st := &wal.State{NextEPR: d.nextEPR, Counters: d.core.Counters}
+// captureAllLocked snapshots the dispatcher state for the journal. Callers
+// hold imu and every shard mutex, so the capture is a consistent cut.
+func (d *Dispatcher) captureAllLocked() *wal.State {
+	st := &wal.State{NextEPR: d.nextEPR, Counters: d.sharded.CountersSum()}
 	for epr, inst := range d.instances {
+		inst.mu.Lock()
 		st.Instances = append(st.Instances, wal.Instance{
 			EPR:       epr,
 			Name:      inst.name,
@@ -416,55 +641,73 @@ func (d *Dispatcher) captureLocked() *wal.State {
 			Submitted: inst.submitted,
 			Results:   append([]task.Result(nil), inst.results...),
 		})
+		inst.mu.Unlock()
 	}
-	d.core.EachQueued(func(it sched.Item[taskRef]) {
-		st.Pending = append(st.Pending, wal.Pending{EPR: it.X.epr, Task: it.X.t, Attempts: it.Attempts})
-	})
-	d.core.EachOutstanding(func(o *sched.Outstanding[string, outKey, taskRef]) {
-		st.Pending = append(st.Pending, wal.Pending{EPR: o.Item.X.epr, Task: o.Item.X.t, Attempts: o.Item.Attempts})
-	})
+	for _, s := range d.shards {
+		s.core.EachQueued(func(it sched.Item[taskRef]) {
+			st.Pending = append(st.Pending, wal.Pending{EPR: it.X.epr, Task: it.X.t, Attempts: it.Attempts})
+		})
+		s.core.EachOutstanding(func(o *sched.Outstanding[string, outKey, taskRef]) {
+			st.Pending = append(st.Pending, wal.Pending{EPR: o.Item.X.epr, Task: o.Item.X.t, Attempts: o.Item.Attempts})
+		})
+	}
 	return st
 }
 
-// maybeSnapshotLocked kicks an asynchronous snapshot once enough records
-// have accumulated since the last one. Callers hold d.mu; the check is two
-// atomic reads, cheap enough for the Deliver hot path.
-func (d *Dispatcher) maybeSnapshotLocked() {
-	if d.wal == nil || d.snapBusy || d.snapEvery < 0 || d.closed {
+// maybeSnapshot kicks an asynchronous snapshot once enough records have
+// accumulated since the last one. The fast path is three atomic reads,
+// cheap enough for the Deliver hot path; the kickoff itself serializes
+// with Close via smu so snapWG.Add never races snapWG.Wait.
+func (d *Dispatcher) maybeSnapshot() {
+	if d.wal == nil || d.snapEvery < 0 || d.closed.Load() {
 		return
 	}
-	if d.wal.Appends()-d.snapMark < d.snapEvery {
+	if d.wal.Appends()-d.snapMark.Load() < d.snapEvery {
+		return
+	}
+	d.smu.Lock()
+	if d.snapBusy || d.closed.Load() {
+		d.smu.Unlock()
 		return
 	}
 	d.snapBusy = true
 	d.snapWG.Add(1)
+	d.smu.Unlock()
 	go d.snapshot()
 }
 
 // snapshot rotates the journal and writes a snapshot at the cut. The
-// rotation runs under d.mu so the captured state is exactly the journal
-// prefix below the cut; the (slower) snapshot write happens unlocked.
+// rotation runs under every shard lock plus imu so the captured state is
+// exactly the journal prefix below the cut; the (slower) snapshot write
+// happens unlocked.
 func (d *Dispatcher) snapshot() {
 	defer d.snapWG.Done()
-	d.mu.Lock()
+	d.imu.Lock()
+	for _, s := range d.shards {
+		s.mu.Lock()
+	}
 	cut, err := d.wal.Rotate()
+	var st *wal.State
+	var mark int64
+	if err == nil {
+		st = d.captureAllLocked()
+		mark = d.wal.Appends()
+	}
+	for i := len(d.shards) - 1; i >= 0; i-- {
+		d.shards[i].mu.Unlock()
+	}
+	d.imu.Unlock()
 	if err != nil {
-		d.snapBusy = false
-		d.mu.Unlock()
+		d.endSnapshot()
 		d.logf("dispatch: journal rotate failed: %v", err)
 		return
 	}
-	st := d.captureLocked()
-	mark := d.wal.Appends()
-	d.mu.Unlock()
 
 	start := time.Now()
 	err = d.wal.WriteSnapshot(cut, st)
 	dur := time.Since(start)
-	d.mu.Lock()
-	d.snapBusy = false
-	d.snapMark = mark
-	d.mu.Unlock()
+	d.snapMark.Store(mark)
+	d.endSnapshot()
 	if err != nil {
 		d.logf("dispatch: snapshot failed: %v", err)
 		return
@@ -475,6 +718,12 @@ func (d *Dispatcher) snapshot() {
 	d.logf("dispatch: journal snapshot %d (%d pending, %d instances) in %v", cut, len(st.Pending), len(st.Instances), dur)
 }
 
+func (d *Dispatcher) endSnapshot() {
+	d.smu.Lock()
+	d.snapBusy = false
+	d.smu.Unlock()
+}
+
 // Addr returns the bound address.
 func (d *Dispatcher) Addr() string { return d.srv.Addr() }
 
@@ -482,14 +731,10 @@ func (d *Dispatcher) Addr() string { return d.srv.Addr() }
 // is flushed and fsynced before Close returns — a clean shutdown seals the
 // journal.
 func (d *Dispatcher) Close() error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if d.closed.Swap(true) {
 		return nil
 	}
-	d.closed = true
-	d.mu.Unlock()
-	d.drained.Broadcast() // release any Drain blocked on a dead system
+	d.wakeDrainAlways() // release any Drain blocked on a dead system
 	if d.sweeperStop != nil {
 		close(d.sweeperStop)
 		<-d.sweeperDone
@@ -497,6 +742,10 @@ func (d *Dispatcher) Close() error {
 	err := d.srv.Close()
 	d.eng.close()
 	if d.wal != nil {
+		// smu barrier: any maybeSnapshot that passed the closed check has
+		// finished its Add by the time we acquire smu, so Wait is safe.
+		d.smu.Lock()
+		d.smu.Unlock() //nolint:staticcheck // empty section is the barrier
 		d.snapWG.Wait()
 		if werr := d.wal.Close(); err == nil {
 			err = werr
@@ -509,14 +758,10 @@ func (d *Dispatcher) Close() error {
 // is abandoned without flushing its in-memory batch — only records the
 // committer already wrote survive, the same post-condition as a kill -9.
 func (d *Dispatcher) Abort() {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if d.closed.Swap(true) {
 		return
 	}
-	d.closed = true
-	d.mu.Unlock()
-	d.drained.Broadcast()
+	d.wakeDrainAlways()
 	if d.sweeperStop != nil {
 		close(d.sweeperStop)
 		<-d.sweeperDone
@@ -524,60 +769,77 @@ func (d *Dispatcher) Abort() {
 	d.srv.Close()
 	d.eng.close()
 	if d.wal != nil {
+		d.smu.Lock()
+		d.smu.Unlock() //nolint:staticcheck // empty section is the barrier
 		d.snapWG.Wait()
 		d.wal.Abort()
 	}
 }
 
-// notifyLocked runs the core's notify pass and snapshots each notification
-// into f while still holding d.mu (the live *sched.Exec must not escape the
-// critical section — concurrent handlers mutate it).
-func (d *Dispatcher) notifyLocked(f *fx, now time.Duration) {
-	for _, n := range d.core.Notifications(now) {
-		f.notifies = append(f.notifies, notifyPush{
-			peer:   n.Exec.Ref.(*execRef).peer,
-			exec:   n.Exec.ID,
-			at:     n.Exec.LastNotifyAt,
-			queued: n.Queued,
-		})
+// wakeDrain nudges blocked Drain calls after a handler (having released
+// its shard lock) removed work from the system. One atomic load when not
+// draining; Drain re-checks the real cross-shard condition itself.
+func (d *Dispatcher) wakeDrain() {
+	if !d.draining.Load() {
+		return
 	}
+	d.wakeDrainAlways()
 }
 
-// wakeDrainLocked wakes blocked Drain calls once the system is empty.
-// Callers hold d.mu and have just removed work from the queue or the
-// outstanding table.
-func (d *Dispatcher) wakeDrainLocked() {
-	if d.draining && d.core.Empty() {
-		d.drained.Broadcast()
+// wakeDrainAlways broadcasts under dmu: taking the lock first means a
+// Drain that just observed a non-empty system is either still holding dmu
+// (we wait, it will re-check after Wait) or already parked in Wait (the
+// broadcast lands) — never between the two, so no wakeup is lost.
+func (d *Dispatcher) wakeDrainAlways() {
+	d.dmu.Lock()
+	d.drained.Broadcast()
+	d.dmu.Unlock()
+}
+
+// empty reports the single cross-shard drain condition: no task queued or
+// outstanding on any shard, and none in limbo between shards.
+func (d *Dispatcher) empty() bool {
+	if d.limbo.Load() != 0 {
+		return false
 	}
+	for _, s := range d.shards {
+		s.mu.Lock()
+		e := s.core.Empty()
+		s.mu.Unlock()
+		if !e {
+			return false
+		}
+	}
+	return true
 }
 
 // Drain puts the dispatcher into drain mode: new submissions are rejected
 // while queued and in-flight tasks complete. It returns once the system is
 // empty or the timeout expires (0 = wait forever), reporting whether the
-// drain finished. The wait is event-driven: handlers broadcast on the
-// queue-empty ∧ outstanding-empty transition, so Drain wakes as the last
-// result arrives rather than on a poll tick.
+// drain finished. The wait is event-driven: handlers broadcast after
+// removing work, and Drain re-evaluates the cross-shard emptiness
+// condition, so it wakes as the last result arrives rather than on a poll
+// tick.
 func (d *Dispatcher) Drain(timeout time.Duration) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.draining = true
+	d.draining.Store(true)
+	d.dmu.Lock()
+	defer d.dmu.Unlock()
 	timedOut := false
 	if timeout > 0 {
 		t := time.AfterFunc(timeout, func() {
-			d.mu.Lock()
+			d.dmu.Lock()
 			timedOut = true
-			d.mu.Unlock()
+			d.dmu.Unlock()
 			d.drained.Broadcast()
 		})
 		defer t.Stop()
 	}
-	for !d.core.Empty() {
+	for !d.empty() {
 		if timedOut {
 			return false
 		}
-		if d.closed {
-			return d.core.Empty()
+		if d.closed.Load() {
+			return d.empty()
 		}
 		d.drained.Wait()
 	}
@@ -585,11 +847,59 @@ func (d *Dispatcher) Drain(timeout time.Duration) bool {
 }
 
 // Stats snapshots dispatcher state (also served as an RPC for remote
-// provisioners).
+// provisioners). Per-shard rows are always populated; aggregate fields sum
+// them.
 func (d *Dispatcher) Stats() fproto.StatsReply {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.statsLocked()
+	var st fproto.StatsReply
+	var ct sched.Counters
+	st.Shards = make([]fproto.ShardStats, d.nshards)
+	for i, s := range d.shards {
+		s.mu.Lock()
+		c := s.core.Counters
+		q, o := s.core.QueueLen(), s.core.OutstandingLen()
+		total, busy := s.core.ExecStats()
+		s.mu.Unlock()
+		ct.Submitted += c.Submitted
+		ct.Completed += c.Completed
+		ct.Failed += c.Failed
+		ct.Retried += c.Retried
+		ct.Dispatched += c.Dispatched
+		ct.Duplicates += c.Duplicates
+		ct.CacheHits += c.CacheHits
+		ct.CacheMisses += c.CacheMisses
+		st.Queued += q
+		st.Outstanding += o
+		st.TotalExecutors += total
+		st.BusyExecutors += busy
+		st.Shards[i] = fproto.ShardStats{
+			Shard:       i,
+			Queued:      q,
+			Outstanding: o,
+			Executors:   total,
+			Busy:        busy,
+			Steals:      s.steals.Value(),
+		}
+	}
+	st.Submitted = ct.Submitted
+	st.Completed = ct.Completed
+	st.Failed = ct.Failed
+	st.Retried = ct.Retried
+	st.Dispatched = ct.Dispatched
+	st.Duplicates = ct.Duplicates
+	st.CacheHits = ct.CacheHits
+	st.CacheMisses = ct.CacheMisses
+	st.IdleExecutors = st.TotalExecutors - st.BusyExecutors
+	st.NotifyErrors = d.eng.errs.Value()
+	d.imu.RLock()
+	st.Instances = len(d.instances)
+	d.imu.RUnlock()
+	if d.wal != nil {
+		st.Journal = true
+		st.JournalAppends = d.wal.Appends()
+		st.JournalFsyncs = d.wal.Fsyncs()
+		st.RecoveredTasks = d.recoveredTasks
+	}
+	return st
 }
 
 // Metrics returns the dispatcher's metric registry (for mounting a debug
@@ -609,16 +919,14 @@ func (d *Dispatcher) SpanHeader() obs.DumpHeader {
 // MetricsSnapshot captures the full registry plus live queue/executor
 // gauges and lifecycle counters — the falkon.metrics RPC body.
 func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
-	d.mu.Lock()
-	st := d.statsLocked()
-	d.mu.Unlock()
+	st := d.Stats()
 	d.reg.Gauge("falkon_queue_depth").Set(int64(st.Queued))
 	d.reg.Gauge("falkon_outstanding_tasks").Set(int64(st.Outstanding))
 	d.reg.Gauge("falkon_instances").Set(int64(st.Instances))
 	d.reg.Gauge(obs.Labeled("falkon_executors", "state", "idle")).Set(int64(st.IdleExecutors))
 	d.reg.Gauge(obs.Labeled("falkon_executors", "state", "busy")).Set(int64(st.BusyExecutors))
 	s := d.reg.Snapshot()
-	// Lifecycle counters live in the scheduling core rather than in the
+	// Lifecycle counters live in the scheduling cores rather than in the
 	// registry, so fold them into the snapshot here.
 	s.Counters["falkon_tasks_submitted_total"] = st.Submitted
 	s.Counters["falkon_tasks_completed_total"] = st.Completed
@@ -629,35 +937,6 @@ func (d *Dispatcher) MetricsSnapshot() obs.MetricsSnapshot {
 	return s
 }
 
-func (d *Dispatcher) statsLocked() fproto.StatsReply {
-	ct := d.core.Counters
-	st := fproto.StatsReply{
-		Queued:       d.core.QueueLen(),
-		Outstanding:  d.core.OutstandingLen(),
-		Submitted:    ct.Submitted,
-		Completed:    ct.Completed,
-		Failed:       ct.Failed,
-		Retried:      ct.Retried,
-		Dispatched:   ct.Dispatched,
-		Duplicates:   ct.Duplicates,
-		Instances:    len(d.instances),
-		CacheHits:    ct.CacheHits,
-		CacheMisses:  ct.CacheMisses,
-		NotifyErrors: d.eng.errs.Value(),
-	}
-	total, busy := d.core.ExecStats()
-	st.TotalExecutors = total
-	st.BusyExecutors = busy
-	st.IdleExecutors = total - busy
-	if d.wal != nil {
-		st.Journal = true
-		st.JournalAppends = d.wal.Appends()
-		st.JournalFsyncs = d.wal.Fsyncs()
-		st.RecoveredTasks = d.recoveredTasks
-	}
-	return st
-}
-
 // onDisconnect requeues work from dropped executors and detaches dropped
 // client instances so their results buffer instead of being pushed into a
 // dead connection (they flush when the client re-attaches).
@@ -666,47 +945,54 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	if meta == "" {
 		// Client connections carry no meta; detach any instances bound to
 		// this peer.
-		d.mu.Lock()
+		d.imu.RLock()
 		for _, inst := range d.instances {
+			inst.mu.Lock()
 			if inst.peer == p {
 				inst.peer = nil
 			}
+			inst.mu.Unlock()
 		}
-		d.mu.Unlock()
+		d.imu.RUnlock()
 		return
 	}
 	f := getFx()
 	defer putFx(f)
-	d.mu.Lock()
-	ex, ok := d.core.Exec(meta)
+	s := d.shards[d.execShard(meta)]
+	s.mu.Lock()
+	ex, ok := s.core.Exec(meta)
 	if !ok || ex.Ref.(*execRef).peer != p {
-		d.mu.Unlock()
+		s.mu.Unlock()
 		return // a newer connection re-registered the id
 	}
-	_, dropped := d.core.DropExecutor(meta)
+	_, dropped := s.core.DropExecutor(meta)
 	for _, o := range dropped {
-		d.replayLocked(f, o, fmt.Sprintf("executor %s disconnected", meta))
+		d.replay(f, s, o, fmt.Sprintf("executor %s disconnected", meta))
 	}
 	if len(dropped) > 0 {
-		d.notifyLocked(f, d.now())
+		d.notifyShardLocked(f, s, d.now())
 	}
-	d.wakeDrainLocked()
-	d.mu.Unlock()
+	s.mu.Unlock()
+	d.wakeDrain()
 	if len(dropped) > 0 {
 		d.logf("dispatch: executor %s dropped with %d tasks in flight", meta, len(dropped))
 	}
 	d.flush(f)
 }
 
-// replayLocked applies the replay policy to an orphaned attempt: the core
-// requeues it while retries remain, otherwise the task is finalized
-// failed. Callers hold d.mu.
-func (d *Dispatcher) replayLocked(f *fx, o *sched.Outstanding[string, outKey, taskRef], reason string) {
-	if d.core.Requeue(o.Item) {
+// replay applies the replay policy to an orphaned attempt: while retries
+// remain the item is deferred into f.requeues (landed on its affinity
+// shard by flush — which may differ from s, and no handler holds two shard
+// locks), otherwise the task is finalized failed. Callers hold s.mu, the
+// shard the attempt was outstanding on.
+func (d *Dispatcher) replay(f *fx, s *shard, o *sched.Outstanding[string, outKey, taskRef], reason string) {
+	if o.Item.Attempts <= s.core.RetryLimit(o.Item) {
+		d.limbo.Add(1)
+		f.requeues = append(f.requeues, o.Item)
 		f.trace(d.now(), obs.EvRetried, o.Item.X.t.Trace, o.Item.X.t.ID, o.Item.X.epr, o.Executor)
 		return
 	}
-	d.finalizeLocked(f, o.Item.X.epr, task.Result{
+	d.finalize(f, s, o.Item.X, task.Result{
 		ID:           o.Item.X.t.ID,
 		Trace:        o.Item.X.t.Trace,
 		Err:          "retries exhausted: " + reason,
@@ -719,10 +1005,11 @@ func (d *Dispatcher) replayLocked(f *fx, o *sched.Outstanding[string, outKey, ta
 	})
 }
 
-// assignLocked pops up to max tasks for executor ex, recording them as
-// outstanding. It returns the protocol assignments. piggy marks
-// assignments riding a deliver acknowledgment rather than a work pull.
-func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy bool) []fproto.Assignment {
+// assignLocked pops up to max tasks from s's own queue for executor ex
+// (homed on s), recording them as outstanding. It returns the protocol
+// assignments. piggy marks assignments riding a deliver acknowledgment
+// rather than a work pull. Callers hold s.mu.
+func (d *Dispatcher) assignLocked(f *fx, s *shard, ex *sched.Exec[string], max int, piggy bool) []fproto.Assignment {
 	if max <= 0 {
 		max = 1
 	}
@@ -733,17 +1020,19 @@ func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy 
 	var as []fproto.Assignment
 	now := d.now()
 	for len(as) < max {
-		it, hit, ok := d.core.Pick(ex)
+		it, hit, ok := s.core.Pick(ex)
 		if !ok {
 			break
 		}
-		if inst, ok := d.instances[it.X.epr]; !ok || inst.destroyed {
+		if it.X.inst == nil || it.X.inst.destroyed.Load() {
 			continue // instance destroyed while queued
 		}
-		d.core.Assign(now, ex, outKey{it.X.epr, it.X.t.ID}, it)
-		if d.wal != nil {
+		s.core.Assign(now, ex, outKey{it.X.epr, it.X.t.ID}, it)
+		if s.app != nil {
 			// Advisory record: recovery uses it to restore attempt counts.
-			d.wal.Append(wal.KindDispatch, wal.DispatchRec{EPR: it.X.epr, ID: it.X.t.ID, Exec: ex.ID})
+			// Tasks in s's own queue have affinity s, so s.app IS the task's
+			// affinity appender and per-task record order is preserved.
+			s.app.Append(wal.KindDispatch, wal.DispatchRec{EPR: it.X.epr, ID: it.X.t.ID, Exec: ex.ID, Shard: s.idx})
 		}
 		f.trace(now, kind, it.X.t.Trace, it.X.t.ID, it.X.epr, ex.ID)
 		as = append(as, fproto.Assignment{EPR: it.X.epr, Task: it.X.t, CacheHit: hit})
@@ -751,36 +1040,134 @@ func (d *Dispatcher) assignLocked(f *fx, ex *sched.Exec[string], max int, piggy 
 	return as
 }
 
-// finalizeLocked delivers a finished result to its instance (push or
-// buffer). Callers hold d.mu; the push itself is deferred into f.
-func (d *Dispatcher) finalizeLocked(f *fx, epr string, r task.Result) {
+// stolen is one task in flight from a victim shard to a thief's home.
+type stolen struct {
+	it sched.Item[taskRef]
+	v  *shard
+}
+
+// queuedElsewhere reports (lock-free) whether any other shard has queued
+// work worth stealing.
+func (d *Dispatcher) queuedElsewhere(home *shard) bool {
+	if d.nshards == 1 {
+		return false
+	}
+	for _, s := range d.shards {
+		if s != home && s.qdepth.Value() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stealTasks pops up to max tasks from other shards' queues, scanning
+// victims in deterministic order home+1, home+2, ... guided by the
+// lock-free depth gauges. Only the victim's lock is held while popping —
+// never two shard locks — and each popped task holds a limbo count until
+// assignStolen lands or drops it. The steal is policy-blind FIFO
+// (PickAny): no dataset cache is consulted, so no executor state is read
+// under a foreign shard's lock.
+func (d *Dispatcher) stealTasks(home, max int) []stolen {
+	var st []stolen
+	for i := 1; i < d.nshards && len(st) < max; i++ {
+		v := d.shards[(home+i)%d.nshards]
+		if v.qdepth.Value() == 0 {
+			continue
+		}
+		v.mu.Lock()
+		for len(st) < max {
+			it, ok := v.core.PickAny()
+			if !ok {
+				break
+			}
+			d.limbo.Add(1)
+			st = append(st, stolen{it, v})
+		}
+		v.syncDepth()
+		v.mu.Unlock()
+	}
+	return st
+}
+
+// assignStolen records stolen tasks as outstanding on ex's home shard s
+// and returns their assignments. Dispatch records route through each
+// task's affinity (victim) appender, keeping per-task journal order. If ex
+// was dropped while the steal ran (its registration changed under us), the
+// tasks go back to their affinity shards via f.requeues instead.  Callers
+// hold s.mu.
+func (d *Dispatcher) assignStolen(f *fx, s *shard, ex *sched.Exec[string], items []stolen, piggy bool) []fproto.Assignment {
+	if len(items) == 0 {
+		return nil
+	}
+	if cur, ok := s.core.Exec(ex.ID); !ok || cur != ex {
+		for _, st := range items {
+			f.requeues = append(f.requeues, st.it) // keeps the limbo count
+		}
+		return nil
+	}
+	kind := obs.EvPulled
+	if piggy {
+		kind = obs.EvAcked
+	}
+	var as []fproto.Assignment
+	now := d.now()
+	for _, st := range items {
+		it := st.it
+		if it.X.inst == nil || it.X.inst.destroyed.Load() {
+			d.limbo.Add(-1)
+			continue // instance destroyed while queued
+		}
+		s.core.Assign(now, ex, outKey{it.X.epr, it.X.t.ID}, it)
+		s.steals.Inc()
+		if st.v.app != nil {
+			st.v.app.Append(wal.KindDispatch, wal.DispatchRec{EPR: it.X.epr, ID: it.X.t.ID, Exec: ex.ID, Shard: st.v.idx})
+		}
+		f.trace(now, kind, it.X.t.Trace, it.X.t.ID, it.X.epr, ex.ID)
+		as = append(as, fproto.Assignment{EPR: it.X.epr, Task: it.X.t, CacheHit: false})
+		d.limbo.Add(-1)
+	}
+	return as
+}
+
+// finalize delivers a finished result to its instance (push or buffer).
+// Callers hold s.mu — the shard whose counters absorb the completion; the
+// push itself is deferred into f. The complete record routes through the
+// task's affinity appender so it serializes after that task's accept and
+// dispatch records.
+func (d *Dispatcher) finalize(f *fx, s *shard, tr taskRef, r task.Result) {
 	if d.wal != nil {
+		ai := d.refShard(tr)
 		// Logged with the payload so undelivered results survive a crash
 		// and are redelivered on recovery (clients dedupe by task ID).
-		d.wal.Append(wal.KindComplete, wal.CompleteRec{EPR: epr, Result: r})
+		d.shards[ai].app.Append(wal.KindComplete, wal.CompleteRec{EPR: tr.epr, Result: r, Shard: ai})
 	}
 	if r.Failed() {
-		d.core.Counters.Failed++
-		f.trace(d.now(), obs.EvFailed, r.Trace, r.ID, epr, r.ExecutorID)
+		s.core.Counters.Failed++
+		f.trace(d.now(), obs.EvFailed, r.Trace, r.ID, tr.epr, r.ExecutorID)
 	} else {
-		d.core.Counters.Completed++
+		s.core.Counters.Completed++
 	}
-	inst, ok := d.instances[epr]
-	if !ok || inst.destroyed {
+	inst := tr.inst
+	if inst == nil || inst.destroyed.Load() {
 		return
 	}
+	inst.mu.Lock()
 	inst.inFlight--
 	if inst.notify && inst.peer != nil {
 		if inst.live != nil {
 			delete(inst.live, r.ID) // pushed: delivery obligation discharged
 		}
-		f.pushes = append(f.pushes, resultPush{peer: inst.peer, epr: epr, r: r})
+		peer := inst.peer
+		inst.mu.Unlock()
+		f.pushes = append(f.pushes, resultPush{peer: peer, epr: tr.epr, r: r})
 		return
 	}
 	inst.addResult(r)
+	inst.mu.Unlock()
 }
 
-// sweeper periodically applies the timeout half of the replay policy.
+// sweeper periodically applies the timeout half of the replay policy
+// across every shard.
 func (d *Dispatcher) sweeper() {
 	defer close(d.sweeperDone)
 	interval := d.opts.ReplayTimeout / 2
@@ -797,18 +1184,22 @@ func (d *Dispatcher) sweeper() {
 		}
 		cutoff := d.now() - d.opts.ReplayTimeout
 		var f fx
-		d.mu.Lock()
-		expired := d.core.Expire(cutoff)
-		for _, o := range expired {
-			d.replayLocked(&f, o, "replay timeout")
+		total := 0
+		for _, s := range d.shards {
+			s.mu.Lock()
+			expired := s.core.Expire(cutoff)
+			for _, o := range expired {
+				d.replay(&f, s, o, "replay timeout")
+			}
+			if len(expired) > 0 {
+				d.notifyShardLocked(&f, s, d.now())
+			}
+			s.mu.Unlock()
+			total += len(expired)
 		}
-		if len(expired) > 0 {
-			d.notifyLocked(&f, d.now())
-		}
-		d.wakeDrainLocked()
-		d.mu.Unlock()
-		if len(expired) > 0 {
-			d.logf("dispatch: replayed %d timed-out tasks", len(expired))
+		d.wakeDrain()
+		if total > 0 {
+			d.logf("dispatch: replayed %d timed-out tasks", total)
 		}
 		d.flush(&f)
 	}

@@ -7,6 +7,26 @@ import (
 	"falkon/internal/task"
 )
 
+// enqueueRaw pushes a bare task onto its affinity shard the way a submit
+// would, bypassing the transport (tests only).
+func enqueueRaw(d *Dispatcher, epr string, t task.Task) {
+	s := d.shards[d.taskShard(epr, t)]
+	s.mu.Lock()
+	s.core.Enqueue(0, taskRef{epr: epr, t: t})
+	s.syncDepth()
+	s.mu.Unlock()
+}
+
+// dropAllQueued empties every shard's queue (tests only).
+func dropAllQueued(d *Dispatcher) {
+	for _, s := range d.shards {
+		s.mu.Lock()
+		s.core.DropQueued(func(taskRef) bool { return true })
+		s.syncDepth()
+		s.mu.Unlock()
+	}
+}
+
 func TestDrainEmptySystemReturnsImmediately(t *testing.T) {
 	d := New(Options{})
 	start := time.Now()
@@ -22,19 +42,15 @@ func TestDrainEmptySystemReturnsImmediately(t *testing.T) {
 // the empty transition itself, not on a poll tick.
 func TestDrainWakesPromptly(t *testing.T) {
 	d := New(Options{})
-	d.mu.Lock()
-	d.core.Enqueue(0, taskRef{epr: "x", t: task.Task{ID: 1}})
-	d.mu.Unlock()
+	enqueueRaw(d, "x", task.Task{ID: 1})
 
 	done := make(chan bool, 1)
 	go func() { done <- d.Drain(10 * time.Second) }()
 	time.Sleep(20 * time.Millisecond) // let Drain block on the condition
 
 	start := time.Now()
-	d.mu.Lock()
-	d.core.DropQueued(func(taskRef) bool { return true })
-	d.wakeDrainLocked()
-	d.mu.Unlock()
+	dropAllQueued(d)
+	d.wakeDrain()
 
 	select {
 	case ok := <-done:
@@ -51,14 +67,38 @@ func TestDrainWakesPromptly(t *testing.T) {
 
 func TestDrainTimesOutWhileWorkRemains(t *testing.T) {
 	d := New(Options{})
-	d.mu.Lock()
-	d.core.Enqueue(0, taskRef{epr: "x", t: task.Task{ID: 1}})
-	d.mu.Unlock()
+	enqueueRaw(d, "x", task.Task{ID: 1})
 	start := time.Now()
 	if d.Drain(50 * time.Millisecond) {
 		t.Fatal("drain succeeded with work queued")
 	}
 	if el := time.Since(start); el < 40*time.Millisecond || el > 2*time.Second {
 		t.Fatalf("timed-out drain returned after %v", el)
+	}
+}
+
+// TestDrainWaitsForLimbo pins the cross-shard hand-off accounting: work in
+// limbo (e.g. mid-steal between a victim pop and a home assign) must keep
+// Drain blocked even though no shard queue holds it.
+func TestDrainWaitsForLimbo(t *testing.T) {
+	d := New(Options{})
+	d.limbo.Add(1)
+	done := make(chan bool, 1)
+	go func() { done <- d.Drain(10 * time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("drain returned while a task was in limbo")
+	default:
+	}
+	d.limbo.Add(-1)
+	d.wakeDrain()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("drain reported timeout")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("drain never woke after limbo cleared")
 	}
 }

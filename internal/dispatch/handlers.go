@@ -15,10 +15,10 @@ import (
 
 // register installs the protocol handlers on the wsrpc server. Everything
 // except Collect dispatches inline on the connection's read goroutine
-// (RegisterFast): the handlers only take d.mu briefly and defer I/O through
-// fx/flush, so skipping the per-call goroutine removes the dominant
-// scheduling overhead on the Submit/Deliver hot path. Collect long-polls
-// and must keep its own goroutine.
+// (RegisterFast): the handlers only take one shard mutex briefly and defer
+// I/O through fx/flush, so skipping the per-call goroutine removes the
+// dominant scheduling overhead on the Submit/Deliver hot path. Collect
+// long-polls and must keep its own goroutine.
 func (d *Dispatcher) register() {
 	d.srv.RegisterFast(fproto.MethodCreateInstance, d.handleCreateInstance)
 	d.srv.RegisterFast(fproto.MethodDestroyInstance, d.handleDestroyInstance)
@@ -49,24 +49,28 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 	if req.EPR != "" {
 		return d.reattachInstance(p, req)
 	}
-	d.mu.Lock()
+	d.imu.Lock()
 	d.nextEPR++
 	epr := fmt.Sprintf("falkon-instance-%d", d.nextEPR)
 	inst := &instance{
-		epr:    epr,
-		name:   req.ClientName,
-		peer:   p,
-		notify: req.WantNotifications,
+		epr:     epr,
+		name:    req.ClientName,
+		eprHash: sched.HashString(epr),
+		peer:    p,
+		notify:  req.WantNotifications,
 	}
 	var h wal.Handle
 	if d.wal != nil {
 		inst.live = make(map[task.ID]struct{})
+		// Control records ride appender 0 (the journal's default), which
+		// every commit batch drains first — an instance record always lands
+		// before any accept that references it.
 		h, err = d.wal.AppendWait(wal.KindInstance, wal.InstanceRec{EPR: epr, Name: req.ClientName, Notify: req.WantNotifications})
 	}
 	if err == nil {
 		d.instances[epr] = inst
 	}
-	d.mu.Unlock()
+	d.imu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -85,12 +89,13 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 func (d *Dispatcher) reattachInstance(p *wsrpc.Peer, req *fproto.CreateInstanceRequest) (any, error) {
 	f := getFx()
 	defer putFx(f)
-	d.mu.Lock()
+	d.imu.RLock()
 	inst, ok := d.instances[req.EPR]
-	if !ok || inst.destroyed {
-		d.mu.Unlock()
+	d.imu.RUnlock()
+	if !ok || inst.destroyed.Load() {
 		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
 	}
+	inst.mu.Lock()
 	inst.peer = p
 	inst.notify = req.WantNotifications
 	if inst.notify {
@@ -98,7 +103,7 @@ func (d *Dispatcher) reattachInstance(p *wsrpc.Peer, req *fproto.CreateInstanceR
 			f.pushes = append(f.pushes, resultPush{peer: p, epr: req.EPR, r: r})
 		}
 	}
-	d.mu.Unlock()
+	inst.mu.Unlock()
 	d.flush(f)
 	return fproto.CreateInstanceReply{EPR: req.EPR, Recovered: true}, nil
 }
@@ -108,22 +113,30 @@ func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) 
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
+	d.imu.Lock()
 	inst, ok := d.instances[req.EPR]
 	if !ok {
-		d.mu.Unlock()
+		d.imu.Unlock()
 		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
 	}
-	inst.destroyed = true
+	inst.destroyed.Store(true)
 	delete(d.instances, req.EPR)
-	d.core.DropQueued(func(tr taskRef) bool { return tr.epr == req.EPR })
+	d.imu.Unlock()
+	// Sweep the instance's queued tasks off every shard. A submit racing
+	// the destroy may still land tasks afterwards; they are dropped at pick
+	// time by the destroyed check, and replay tombstones them the same way.
+	for _, s := range d.shards {
+		s.mu.Lock()
+		s.core.DropQueued(func(tr taskRef) bool { return tr.epr == req.EPR })
+		s.syncDepth()
+		s.mu.Unlock()
+	}
 	var h wal.Handle
 	if d.wal != nil {
 		h, _ = d.wal.AppendWait(wal.KindDestroy, wal.DestroyRec{EPR: req.EPR})
 	}
 	// Outstanding tasks' results will be dropped on delivery.
-	d.wakeDrainLocked()
-	d.mu.Unlock()
+	d.wakeDrain()
 	if err := h.Wait(); err != nil {
 		return nil, err
 	}
@@ -135,22 +148,25 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	if err != nil {
 		return nil, err
 	}
-	f := getFx()
-	defer putFx(f)
-	t0 := time.Now()
-	d.mu.Lock()
-	t1 := time.Now()
+	d.imu.RLock()
 	inst, ok := d.instances[req.EPR]
-	if !ok || inst.destroyed {
-		d.mu.Unlock()
+	d.imu.RUnlock()
+	if !ok || inst.destroyed.Load() {
 		return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
 	}
-	if d.draining {
-		d.mu.Unlock()
+	// The limbo count makes this submit visible to Drain before the
+	// draining check: either Drain's flag-store precedes our check (we
+	// reject) or our count precedes its emptiness check (it waits for the
+	// enqueues below).
+	d.limbo.Add(1)
+	if d.draining.Load() {
+		d.limbo.Add(-1)
 		return nil, fmt.Errorf("dispatch: draining, not accepting submissions")
 	}
-	now := d.now()
+	f := getFx()
+	defer putFx(f)
 	tasks, deduped := req.Tasks, 0
+	inst.mu.Lock()
 	if inst.live != nil {
 		// Idempotent resubmission: drop tasks whose delivery is still owed
 		// (queued, running, or buffered) — their results are coming. Tasks
@@ -168,33 +184,79 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 			inst.live[t.ID] = struct{}{}
 		}
 	}
-	for _, t := range tasks {
-		d.core.Enqueue(now, taskRef{epr: req.EPR, t: t})
-		f.trace(now, obs.EvEnqueued, t.Trace, t.ID, req.EPR, "")
-	}
-	var h wal.Handle
-	var werr error
-	if d.wal != nil && len(tasks) > 0 {
-		h, werr = d.wal.AppendWait(wal.KindAccept, wal.AcceptRec{EPR: req.EPR, Tasks: tasks})
-	}
 	inst.submitted += int64(len(tasks))
 	inst.inFlight += len(tasks)
-	d.notifyLocked(f, now)
-	d.mu.Unlock()
+	inst.mu.Unlock()
+
+	// Partition the bundle by affinity shard, preserving submit order
+	// within each shard (per-shard FIFO is the sharded ordering contract).
+	var byShard [][]task.Task
+	if d.nshards == 1 {
+		byShard = [][]task.Task{tasks}
+	} else {
+		byShard = make([][]task.Task, d.nshards)
+		for _, t := range tasks {
+			si := sched.TaskShard(d.nshards, taskDataset(t), inst.eprHash^uint64(t.ID))
+			byShard[si] = append(byShard[si], t)
+		}
+	}
+	now := d.now()
+	var lockWait, coreWork time.Duration
+	var handles []wal.Handle
+	var werr error
+	for si, group := range byShard {
+		if len(group) == 0 {
+			continue
+		}
+		s := d.shards[si]
+		l0 := time.Now()
+		s.mu.Lock()
+		l1 := time.Now()
+		for _, t := range group {
+			s.core.Enqueue(now, taskRef{epr: req.EPR, t: t, inst: inst})
+			f.trace(now, obs.EvEnqueued, t.Trace, t.ID, req.EPR, "")
+		}
+		if s.app != nil {
+			// Appended under the shard lock, before any pick can see these
+			// tasks: the accept precedes every dispatch/complete for them on
+			// this appender, so per-task journal order survives sharding.
+			h, e := s.app.AppendWait(wal.KindAccept, wal.AcceptRec{EPR: req.EPR, Tasks: group, Shard: si})
+			if e != nil {
+				if werr == nil {
+					werr = e
+				}
+			} else {
+				handles = append(handles, h)
+			}
+		}
+		d.notifyShardLocked(f, s, now)
+		s.syncDepth()
+		s.mu.Unlock()
+		l2 := time.Now()
+		lockWait += l1.Sub(l0)
+		coreWork += l2.Sub(l1)
+		s.hLockWait.Observe(l1.Sub(l0).Seconds())
+		s.hSchedCore.Observe(l2.Sub(l1).Seconds())
+	}
+	d.limbo.Add(-1)
+	d.crossNotify(f, now)
 	t2 := time.Now()
 	d.flush(f)
 	t3 := time.Now()
-	d.hLockWait.Observe(t1.Sub(t0).Seconds())
-	d.hSchedCore.Observe(t2.Sub(t1).Seconds())
+	d.hLockWait.Observe(lockWait.Seconds())
+	d.hSchedCore.Observe(coreWork.Seconds())
 	d.hFxFlush.Observe(t3.Sub(t2).Seconds())
+	d.wakeDrain() // an all-deduped submit leaves the system unchanged
 	if werr != nil {
 		return nil, werr
 	}
-	// Durability barrier: the acknowledgment is withheld until the accept
-	// record reaches disk, so an acked task survives any crash. The group
-	// committer amortizes the fsync across every submit in the batch.
-	if err := h.Wait(); err != nil {
-		return nil, err
+	// Durability barrier: the acknowledgment is withheld until every
+	// shard's accept record reaches disk, so an acked task survives any
+	// crash. The group committer amortizes one fsync across all of them.
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			return nil, err
+		}
 	}
 	if d.wal != nil {
 		d.hWALWait.Observe(time.Since(t3).Seconds())
@@ -209,22 +271,23 @@ func (d *Dispatcher) handleCollect(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	}
 	deadline := time.Now().Add(time.Duration(req.WaitMillis) * time.Millisecond)
 	for {
-		d.mu.Lock()
+		d.imu.RLock()
 		inst, ok := d.instances[req.EPR]
-		if !ok || inst.destroyed {
-			d.mu.Unlock()
+		d.imu.RUnlock()
+		if !ok || inst.destroyed.Load() {
 			return nil, fmt.Errorf("dispatch: no such instance %q", req.EPR)
 		}
+		inst.mu.Lock()
 		results := inst.takeResults(req.Max)
 		pendingN := inst.inFlight
 		if len(results) > 0 || req.WaitMillis <= 0 || !time.Now().Before(deadline) {
-			d.mu.Unlock()
+			inst.mu.Unlock()
 			return fproto.CollectReply{Results: results, Pending: pendingN}, nil
 		}
 		// Block until results arrive or the deadline passes.
 		w := make(chan struct{}, 1)
 		inst.waiters = append(inst.waiters, w)
-		d.mu.Unlock()
+		inst.mu.Unlock()
 		select {
 		case <-w:
 		case <-time.After(time.Until(deadline)):
@@ -243,14 +306,20 @@ func (d *Dispatcher) handleRegister(p *wsrpc.Peer, body json.RawMessage) (any, e
 	p.SetMeta(req.ExecutorID)
 	f := getFx()
 	defer putFx(f)
-	d.mu.Lock()
+	home := d.execShard(req.ExecutorID)
+	s := d.shards[home]
+	s.mu.Lock()
 	// A re-register replaces the old connection (e.g. executor restart);
 	// the core keeps outstanding entries so late results still resolve.
-	ex := d.core.AddExec(req.ExecutorID, req.Slots)
-	ex.Ref = &execRef{peer: p, allocation: req.Allocation}
-	d.core.Offer(ex)
-	d.notifyLocked(f, d.now())
-	d.mu.Unlock()
+	ex := s.core.AddExec(req.ExecutorID, req.Slots)
+	ex.Ref = &execRef{peer: p, allocation: req.Allocation, home: home}
+	s.core.Offer(ex)
+	d.notifyShardLocked(f, s, d.now())
+	s.mu.Unlock()
+	// Work may be queued on other shards with no free executor of their
+	// own; the global pass lets this fresh executor cover it (by stealing
+	// on its first pull).
+	d.crossNotify(f, d.now())
 	d.flush(f)
 	return fproto.RegisterReply{OK: true, DispatcherEpoch: d.epoch.UnixNano()}, nil
 }
@@ -262,14 +331,15 @@ func (d *Dispatcher) handleDeregister(_ *wsrpc.Peer, body json.RawMessage) (any,
 	}
 	f := getFx()
 	defer putFx(f)
-	d.mu.Lock()
-	_, dropped := d.core.DropExecutor(req.ExecutorID)
+	s := d.shards[d.execShard(req.ExecutorID)]
+	s.mu.Lock()
+	_, dropped := s.core.DropExecutor(req.ExecutorID)
 	for _, o := range dropped {
-		d.replayLocked(f, o, "executor deregistered")
+		d.replay(f, s, o, "executor deregistered")
 	}
-	d.notifyLocked(f, d.now())
-	d.wakeDrainLocked()
-	d.mu.Unlock()
+	d.notifyShardLocked(f, s, d.now())
+	s.mu.Unlock()
+	d.wakeDrain()
 	d.flush(f)
 	return struct{}{}, nil
 }
@@ -281,20 +351,35 @@ func (d *Dispatcher) handleGetWork(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	}
 	f := getFx()
 	defer putFx(f)
-	d.mu.Lock()
-	ex, ok := d.core.Exec(req.ExecutorID)
+	s := d.shards[d.execShard(req.ExecutorID)]
+	s.mu.Lock()
+	ex, ok := s.core.Exec(req.ExecutorID)
 	if !ok {
-		d.mu.Unlock()
+		s.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
 	}
 	ex.Notified = false
-	as := d.assignLocked(f, ex, req.Max, false)
-	d.core.Offer(ex)
+	want := req.Max
+	if want <= 0 {
+		want = 1
+	}
+	as := d.assignLocked(f, s, ex, want, false)
+	if len(as) < want && d.queuedElsewhere(s) {
+		// Home queue dry but work exists elsewhere: steal. Victim locks are
+		// taken one at a time with s.mu released.
+		s.syncDepth()
+		s.mu.Unlock()
+		st := d.stealTasks(s.idx, want-len(as))
+		s.mu.Lock()
+		as = append(as, d.assignStolen(f, s, ex, st, false)...)
+	}
+	s.core.Offer(ex)
 	if len(as) > 0 {
 		// Other executors may still be needed for the rest of the queue.
-		d.notifyLocked(f, d.now())
+		d.notifyShardLocked(f, s, d.now())
 	}
-	d.mu.Unlock()
+	s.syncDepth()
+	s.mu.Unlock()
 	d.flush(f)
 	return fproto.GetWorkReply{Assignments: as}, nil
 }
@@ -306,17 +391,20 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	}
 	f := getFx()
 	defer putFx(f)
+	s := d.shards[d.execShard(req.ExecutorID)]
 	t0 := time.Now()
-	d.mu.Lock()
+	s.mu.Lock()
 	t1 := time.Now()
-	ex, ok := d.core.Exec(req.ExecutorID)
+	ex, ok := s.core.Exec(req.ExecutorID)
 	if !ok {
-		d.mu.Unlock()
+		s.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: unregistered executor %q", req.ExecutorID)
 	}
 	now := d.now()
 	for _, tr := range req.Results {
-		o, ok := d.core.Complete(req.ExecutorID, outKey{tr.EPR, tr.Result.ID})
+		// Outstanding entries live on the executor's home shard even for
+		// stolen tasks, so this lookup never leaves s.
+		o, ok := s.core.Complete(req.ExecutorID, outKey{tr.EPR, tr.Result.ID})
 		if !ok {
 			continue // duplicate delivery, counted by the core
 		}
@@ -326,47 +414,61 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 		// core clamped NotifiedAt at assignment; Stamps.Clamp enforces the
 		// rest of the Figure-10 ordering, so the four stages partition
 		// end-to-end latency exactly.
-		s := sched.Stamps{
+		st := sched.Stamps{
 			Queued:     o.Item.QueuedAt,
 			Notified:   o.NotifiedAt,
 			Dispatched: o.DispatchedAt,
 			Started:    now - tr.RunDur,
 			Finished:   now,
 		}.Clamp()
-		r.QueuedAt = s.Queued
-		r.DispatchedAt = s.Dispatched
-		r.StartedAt = s.Started
-		r.FinishedAt = s.Finished
+		r.QueuedAt = st.Queued
+		r.DispatchedAt = st.Dispatched
+		r.StartedAt = st.Started
+		r.FinishedAt = st.Finished
 		r.Attempts = o.Item.Attempts
 		r.ExecutorID = req.ExecutorID
 		r.Trace = o.Item.X.t.Trace
-		d.core.NoteCompletion(ex, taskDataset(o.Item.X.t))
+		s.core.NoteCompletion(ex, taskDataset(o.Item.X.t))
 		if r.Failed() && !d.opts.NoRetryOnFailure {
-			d.replayLocked(f, o, "task failed: "+failReason(r))
+			d.replay(f, s, o, "task failed: "+failReason(r))
 			continue
 		}
-		f.trace(s.Started, obs.EvStarted, r.Trace, r.ID, tr.EPR, req.ExecutorID)
-		f.trace(s.Finished, obs.EvFinished, r.Trace, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(st.Started, obs.EvStarted, r.Trace, r.ID, tr.EPR, req.ExecutorID)
+		f.trace(st.Finished, obs.EvFinished, r.Trace, r.ID, tr.EPR, req.ExecutorID)
 		f.trace(now, obs.EvDelivered, r.Trace, r.ID, tr.EPR, req.ExecutorID)
-		f.stamps = append(f.stamps, s)
-		d.finalizeLocked(f, tr.EPR, r)
+		f.stamps = append(f.stamps, st)
+		d.finalize(f, s, o.Item.X, r)
 	}
 	ex.Notified = false
 	var as []fproto.Assignment
 	if req.WantWork {
-		as = d.assignLocked(f, ex, req.MaxNew, true)
+		want := req.MaxNew
+		if want <= 0 {
+			want = 1
+		}
+		as = d.assignLocked(f, s, ex, want, true)
+		if len(as) < want && d.queuedElsewhere(s) {
+			s.syncDepth()
+			s.mu.Unlock()
+			st := d.stealTasks(s.idx, want-len(as))
+			s.mu.Lock()
+			as = append(as, d.assignStolen(f, s, ex, st, true)...)
+		}
 	}
-	d.core.Offer(ex)
-	d.notifyLocked(f, now)
-	d.wakeDrainLocked()
-	d.maybeSnapshotLocked()
-	d.mu.Unlock()
+	s.core.Offer(ex)
+	d.notifyShardLocked(f, s, now)
+	s.syncDepth()
+	s.mu.Unlock()
 	t2 := time.Now()
+	d.wakeDrain()
+	d.maybeSnapshot()
 	d.flush(f)
 	t3 := time.Now()
 	d.hLockWait.Observe(t1.Sub(t0).Seconds())
 	d.hSchedCore.Observe(t2.Sub(t1).Seconds())
 	d.hFxFlush.Observe(t3.Sub(t2).Seconds())
+	s.hLockWait.Observe(t1.Sub(t0).Seconds())
+	s.hSchedCore.Observe(t2.Sub(t1).Seconds())
 	return fproto.DeliverReply{Assignments: as}, nil
 }
 
@@ -379,9 +481,7 @@ func failReason(r task.Result) string {
 }
 
 func (d *Dispatcher) handleStats(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.statsLocked(), nil
+	return d.Stats(), nil
 }
 
 func (d *Dispatcher) handleMetrics(_ *wsrpc.Peer, _ json.RawMessage) (any, error) {

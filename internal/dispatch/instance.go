@@ -1,6 +1,9 @@
 package dispatch
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"falkon/internal/task"
 	"falkon/internal/wsrpc"
 )
@@ -8,9 +11,26 @@ import (
 // instance is the per-client state behind one endpoint reference, following
 // the paper's factory/instance pattern: each client gets its own queue
 // accounting and result buffer, cleanly separated from other clients.
+//
+// With the sharded core an instance's tasks spread across shards, so the
+// instance carries its own small mutex instead of living under a global
+// dispatcher lock: two shards finalizing results for the same client
+// serialize here, on the client, not on each other.
 type instance struct {
-	epr    string
-	name   string
+	epr  string
+	name string
+
+	// eprHash caches sched.HashString(epr) for task→shard routing; computed
+	// once at creation/recovery, immutable after.
+	eprHash uint64
+
+	// destroyed is checked lock-free on the pick and finalize hot paths:
+	// tasks of a destroyed instance are dropped wherever they surface.
+	destroyed atomic.Bool
+
+	// mu guards everything below. Lock order: a shard mutex may be held
+	// when taking mu (finalize); never the reverse.
+	mu     sync.Mutex
 	peer   *wsrpc.Peer // connection that created the instance
 	notify bool        // push results over peer ({8}) vs. client polling
 
@@ -36,11 +56,9 @@ type instance struct {
 	// re-runs (its result was lost with the connection). Nil when the
 	// dispatcher runs without a journal.
 	live map[task.ID]struct{}
-
-	destroyed bool
 }
 
-// addResult buffers r and wakes any blocked Collect.
+// addResult buffers r and wakes any blocked Collect. Callers hold in.mu.
 func (in *instance) addResult(r task.Result) {
 	in.results = append(in.results, r)
 	for _, w := range in.waiters {
@@ -53,6 +71,7 @@ func (in *instance) addResult(r task.Result) {
 }
 
 // takeResults removes and returns up to max buffered results (0 = all).
+// Callers hold in.mu.
 func (in *instance) takeResults(max int) []task.Result {
 	n := len(in.results)
 	if max > 0 && max < n {

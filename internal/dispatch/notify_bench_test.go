@@ -1,0 +1,63 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"falkon/internal/fproto"
+	"falkon/internal/metrics"
+	"falkon/internal/task"
+	"falkon/internal/wsrpc"
+)
+
+// BenchmarkNotifyEnginePush measures contention on the engine's push path:
+// many goroutines enqueue work-available hints for a rotating set of peers
+// while the worker pool drains them over loopback. Before the engine was
+// sharded into lanes every push serialized on one mutex; with lanes, pushes
+// for different peers contend only within their lane.
+func BenchmarkNotifyEnginePush(b *testing.B) {
+	_, connect := startNotifyTarget(b)
+	const npeers = 8
+	peers := make([]*wsrpc.Peer, npeers)
+	for i := range peers {
+		peers[i], _ = connect()
+	}
+	eng := newNotifyEngine(4, nil, new(metrics.Gauge), new(metrics.Counter), new(metrics.Counter))
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1))
+		for pb.Next() {
+			eng.notifyWork(peers[i%npeers], 1)
+			i++
+		}
+	})
+	eng.close() // timed: the run isn't done until every push is delivered
+	b.StopTimer()
+}
+
+// BenchmarkNotifyEngineResults is the client-facing variant: result pushes
+// for distinct instances on distinct peers, exercising the run-merge path.
+func BenchmarkNotifyEngineResults(b *testing.B) {
+	_, connect := startNotifyTarget(b)
+	const npeers = 8
+	peers := make([]*wsrpc.Peer, npeers)
+	eprs := make([]string, npeers)
+	for i := range peers {
+		peers[i], _ = connect()
+		eprs[i] = "epr-" + string(rune('a'+i))
+	}
+	eng := newNotifyEngine(4, nil, new(metrics.Gauge), new(metrics.Counter), new(metrics.Counter))
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1))
+		for pb.Next() {
+			k := i % npeers
+			eng.push(peers[k], fproto.NotifyResults, fproto.ResultsNotify{EPR: eprs[k], Results: []task.Result{{ID: task.ID(i)}}})
+			i++
+		}
+	})
+	eng.close() // timed: the run isn't done until every push is delivered
+	b.StopTimer()
+}

@@ -13,7 +13,7 @@ import (
 
 // startNotifyTarget runs a wsrpc server whose clients count received
 // work-available notifications.
-func startNotifyTarget(t *testing.T) (*wsrpc.Server, func() (*wsrpc.Peer, *atomic.Int64)) {
+func startNotifyTarget(t testing.TB) (*wsrpc.Server, func() (*wsrpc.Peer, *atomic.Int64)) {
 	t.Helper()
 	srv := wsrpc.NewServer(wsrpc.ServerOptions{Logf: t.Logf})
 	peerCh := make(chan *wsrpc.Peer, 16)

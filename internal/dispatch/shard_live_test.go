@@ -1,0 +1,206 @@
+package dispatch_test
+
+// Sharded-core tests against the live dispatcher: work stealing keeps a
+// lone executor busy across all shards, and journal recovery re-partitions
+// pending tasks onto exactly the shards they occupied before the crash
+// (same hash on both sides of the restart).
+
+import (
+	"testing"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/task"
+)
+
+func TestShardedStealServesWholeQueue(t *testing.T) {
+	d := dispatch.New(dispatch.Options{Shards: 4, Logf: t.Logf})
+	if err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+
+	ex, err := executor.Start(executor.Options{ID: "exec-0", DispatcherAddr: d.Addr(), SleepScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ex.Stop)
+
+	c, err := client.Connect(client.Options{DispatcherAddr: d.Addr(), BundleSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const n = 200
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, n, 0)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.WaitN(n, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[task.ID]bool, n)
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Fatalf("duplicate result for %v", r.ID)
+		}
+		seen[r.ID] = true
+	}
+
+	st := d.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats carry %d shard rows, want 4", len(st.Shards))
+	}
+	var steals, queued int64
+	for _, row := range st.Shards {
+		steals += row.Steals
+		queued += int64(row.Queued)
+	}
+	// Tasks hash across 4 shards; the lone executor's home shard holds only
+	// ~1/4 of them, so serving the rest required cross-shard steals.
+	if steals == 0 {
+		t.Fatal("single executor over 4 shards recorded no steals")
+	}
+	if queued != int64(st.Queued) {
+		t.Fatalf("shard rows sum to %d queued, aggregate says %d", queued, st.Queued)
+	}
+}
+
+func TestShardedRecoveryRepartitionsIdentically(t *testing.T) {
+	dir := t.TempDir()
+	d1 := dispatch.New(dispatch.Options{Shards: 4, JournalDir: dir, Logf: t.Logf})
+	if err := d1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := d1.Addr()
+
+	c, err := client.Connect(client.Options{DispatcherAddr: addr, BundleSize: 40, Reconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// No executor: every task stays queued on its affinity shard, making
+	// the pre-crash partition directly observable in the stats.
+	const n = 120
+	var gen task.IDGen
+	tasks := task.Batch(&gen, n, 0)
+	if err := c.Submit(tasks); err != nil {
+		t.Fatal(err)
+	}
+	before := d1.Stats()
+	if before.Queued != n {
+		t.Fatalf("queued %d before crash, want %d", before.Queued, n)
+	}
+	d1.Abort() // kill -9: recovery must rebuild the same partition
+
+	d2 := dispatch.New(dispatch.Options{Shards: 4, JournalDir: dir, Logf: t.Logf})
+	if err := d2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d2.Close() })
+
+	after := d2.Stats()
+	if len(after.Shards) != len(before.Shards) {
+		t.Fatalf("shard count changed across restart: %d -> %d", len(before.Shards), len(after.Shards))
+	}
+	for i := range after.Shards {
+		if after.Shards[i].Queued != before.Shards[i].Queued {
+			t.Fatalf("shard %d queue depth changed across restart: %d -> %d (re-partitioning not identical)",
+				i, before.Shards[i].Queued, after.Shards[i].Queued)
+		}
+	}
+
+	// The recovered queue must still drain exactly once.
+	ex, err := executor.Start(executor.Options{ID: "exec-0", DispatcherAddr: addr, SleepScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ex.Stop)
+	results, err := c.WaitN(n, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[task.ID]bool, n)
+	for _, r := range results {
+		if r.Failed() {
+			t.Fatalf("task %v failed: %+v", r.ID, r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate result for %v", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d unique results, want %d", len(seen), n)
+	}
+}
+
+func TestShardedCrashRecoveryMidWorkloadExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	d1 := dispatch.New(dispatch.Options{Shards: 4, JournalDir: dir, Logf: t.Logf})
+	if err := d1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := d1.Addr()
+
+	ex, err := executor.Start(executor.Options{
+		ID:               "exec-0",
+		DispatcherAddr:   addr,
+		SleepScale:       0.001,
+		Reconnect:        true,
+		ReconnectTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ex.Stop)
+
+	c, err := client.Connect(client.Options{DispatcherAddr: addr, BundleSize: 25, Reconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const n = 200
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, n, 50*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.WaitN(n/4, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Abort()
+
+	d2 := dispatch.New(dispatch.Options{Shards: 4, JournalDir: dir, Logf: t.Logf})
+	if err := d2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d2.Close() })
+
+	rest, err := c.WaitN(n-len(first), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[task.ID]bool, n)
+	for _, r := range append(first, rest...) {
+		if r.Failed() {
+			t.Fatalf("task %v failed: %+v", r.ID, r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate result for %v", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d unique results, want %d", len(seen), n)
+	}
+	if st := d2.Stats(); st.RecoveredTasks == 0 {
+		t.Fatal("recovered dispatcher replayed no tasks")
+	}
+}

@@ -225,6 +225,21 @@ type StatsReply struct {
 	// RecoveredTasks counts pending tasks rebuilt from the journal at the
 	// last restart.
 	RecoveredTasks int64 `json:"recovered_tasks,omitempty"`
+	// Shards holds one row per scheduling shard when the dispatcher runs a
+	// sharded core (always populated; length 1 in legacy single-shard mode).
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one scheduling shard's row in StatsReply: queue depth and
+// executor population show imbalance, Steals shows how much the shard's
+// executors had to take from other shards' queues to stay busy.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Queued      int   `json:"queued"`
+	Outstanding int   `json:"outstanding"`
+	Executors   int   `json:"executors"`
+	Busy        int   `json:"busy"`
+	Steals      int64 `json:"steals,omitempty"`
 }
 
 // MetricsReply is the falkon.metrics reply: a full registry snapshot —

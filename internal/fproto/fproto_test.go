@@ -2,6 +2,7 @@ package fproto
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 
@@ -73,9 +74,10 @@ func TestAssignmentCacheHitOmittedWhenFalse(t *testing.T) {
 }
 
 func TestStatsReplyRoundTrip(t *testing.T) {
-	in := StatsReply{Queued: 5, Outstanding: 2, TotalExecutors: 7, Submitted: 100, CacheHits: 3}
+	in := StatsReply{Queued: 5, Outstanding: 2, TotalExecutors: 7, Submitted: 100, CacheHits: 3,
+		Shards: []ShardStats{{Shard: 0, Queued: 3, Steals: 1}, {Shard: 1, Queued: 2}}}
 	out := roundTrip(t, in)
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("out = %+v, want %+v", out, in)
 	}
 }

@@ -352,6 +352,14 @@ func (c *Core[E, K, T]) Pick(x *Exec[E]) (it Item[T], hit, ok bool) {
 	return it, false, ok
 }
 
+// PickAny pops the queue head regardless of policy. The work-stealing
+// path uses it: a thief takes FIFO from the victim shard's queue without
+// consulting any executor's dataset cache, so no executor-owned state is
+// ever read under a foreign shard's lock.
+func (c *Core[E, K, T]) PickAny() (it Item[T], ok bool) {
+	return c.queue.Pop()
+}
+
 // NoteCompletion records dataset residency after x ran a task reading
 // dataset (no-op unless data-aware).
 func (c *Core[E, K, T]) NoteCompletion(x *Exec[E], dataset string) {
@@ -443,7 +451,16 @@ func (c *Core[E, K, T]) Requeue(it Item[T]) bool {
 // notified and stamping LastNotifyAt = now, and returns the pushes the
 // caller owes. Each executor gets at most one outstanding notification.
 func (c *Core[E, K, T]) Notifications(now time.Duration) []Notification[E] {
-	queued := c.queue.Len()
+	return c.NotifyIdle(now, c.queue.Len())
+}
+
+// IdleLen returns live (non-tombstoned) entries on the idle stack.
+func (c *Core[E, K, T]) IdleLen() int { return len(c.idle) - c.dead }
+
+// NotifyIdle is Notifications against an explicit queue count: sharded
+// callers pass a cross-shard total so this shard's idle executors can be
+// woken for work queued elsewhere (they will steal it on their next pull).
+func (c *Core[E, K, T]) NotifyIdle(now time.Duration, queued int) []Notification[E] {
 	var ns []Notification[E]
 	for queued > 0 {
 		x, ok := c.PopIdle()

@@ -78,6 +78,7 @@ type mtask struct {
 // -> busy -> idle.
 type Exec struct {
 	ID           int
+	home         int // home shard (sched.ExecShardInt); 0 in single-shard mode
 	registeredAt time.Duration
 	busyFor      time.Duration // accumulated payload time (resources used)
 	idle         bool
@@ -127,7 +128,20 @@ type Model struct {
 	E *sim.Engine
 	P Profile
 
-	core *sched.Core[int, int, mtask]
+	// Shards partitions the scheduling state the same way the live
+	// dispatcher's -shards flag does: tasks hash to affinity shards, each
+	// executor has a home shard, and a home-dry executor steals from other
+	// shards in deterministic victim order. Set after New, before any
+	// executor or task arrives; 0 or 1 (the default) is the legacy
+	// single-core model, bit-for-bit.
+	Shards int
+
+	opts sched.Options[mtask]
+	sh   *sched.Sharded[int, int, mtask]
+
+	// steals counts cross-shard picks (an executor's home queue was dry
+	// while another shard had work).
+	steals int
 
 	dq sched.Ring[dispJob]
 	sq sched.Ring[dispJob] // submission pipeline (container thread pool)
@@ -183,27 +197,51 @@ type Model struct {
 
 // New creates a model on engine e.
 func New(e *sim.Engine, p Profile) *Model {
+	opts := sched.Options[mtask]{
+		MaxRetries: p.MaxRetries,
+		Dataset:    func(t mtask) string { return t.dataset },
+	}
 	return &Model{
 		E: e, P: p,
-		core: sched.NewCore[int, int](sched.Options[mtask]{
-			MaxRetries: p.MaxRetries,
-			Dataset:    func(t mtask) string { return t.dataset },
-		}),
+		opts: opts,
+		sh:   sched.NewSharded[int, int](1, opts),
 	}
 }
 
 // syncCore folds the model's public knobs (set after New, before work
-// arrives) into the core. Called from every public entry point that adds
+// arrives) into the cores. Called from every public entry point that adds
 // executors or tasks.
 func (m *Model) syncCore() {
-	if m.DataAware && m.core.Policy() != sched.PolicyDataAware {
-		m.core.SetPolicy(sched.PolicyDataAware, m.CacheCapacity)
+	if n := m.Shards; n > 1 && n != m.sh.N() {
+		if m.nextTask > 0 || m.nextExec > 0 {
+			panic("simfalkon: Shards must be set before any executor or task")
+		}
+		m.sh = sched.NewSharded[int, int](n, m.opts)
 	}
-	m.core.SetMaxRetries(m.P.MaxRetries)
+	for i := 0; i < m.sh.N(); i++ {
+		c := m.sh.Shard(i)
+		if m.DataAware && c.Policy() != sched.PolicyDataAware {
+			c.SetPolicy(sched.PolicyDataAware, m.CacheCapacity)
+		}
+		c.SetMaxRetries(m.P.MaxRetries)
+	}
+}
+
+// home returns x's home-shard core: the core holding its idle membership,
+// dataset cache, and outstanding entries.
+func (m *Model) home(x *Exec) *sched.Core[int, int, mtask] { return m.sh.Shard(x.home) }
+
+// affinity returns the core a task requeues to — the same shard its original
+// enqueue hashed to, matching the live dispatcher's replay routing.
+func (m *Model) affinity(t mtask) *sched.Core[int, int, mtask] {
+	return m.sh.Shard(sched.TaskShard(m.sh.N(), t.dataset, uint64(t.id)))
 }
 
 // QueueLen returns queued (not yet dispatched) tasks.
-func (m *Model) QueueLen() int { return m.core.QueueLen() }
+func (m *Model) QueueLen() int { return m.sh.QueueLen() }
+
+// Steals returns cross-shard picks served (0 in single-shard mode).
+func (m *Model) Steals() int { return m.steals }
 
 // BusyExecutors returns executors currently running a task.
 func (m *Model) BusyExecutors() int { return m.busyN }
@@ -219,19 +257,21 @@ func (m *Model) Executors() []*Exec { return m.execs }
 
 // Submitted and Completed return task counters (Completed includes tasks
 // that exhausted retries and were reported failed).
-func (m *Model) Submitted() int { return int(m.core.Counters.Submitted) }
+func (m *Model) Submitted() int { return int(m.sh.CountersSum().Submitted) }
 func (m *Model) Completed() int {
-	return int(m.core.Counters.Completed + m.core.Counters.Failed)
+	ct := m.sh.CountersSum()
+	return int(ct.Completed + ct.Failed)
 }
 
 // Failed and Retried report replay-policy activity under failure
 // injection.
-func (m *Model) Failed() int  { return int(m.core.Counters.Failed) }
-func (m *Model) Retried() int { return int(m.core.Counters.Retried) }
+func (m *Model) Failed() int  { return int(m.sh.CountersSum().Failed) }
+func (m *Model) Retried() int { return int(m.sh.CountersSum().Retried) }
 
 // CacheStats returns data-aware dispatch hit/miss counts.
 func (m *Model) CacheStats() (hits, misses int) {
-	return int(m.core.Counters.CacheHits), int(m.core.Counters.CacheMisses)
+	ct := m.sh.CountersSum()
+	return int(ct.CacheHits), int(ct.CacheMisses)
 }
 
 // stateChanged invokes the observer hook.
@@ -249,16 +289,17 @@ func (m *Model) AddExecutor(idleTimeout time.Duration, onRelease func(*Exec)) *E
 	m.nextExec++
 	x := &Exec{
 		ID:           m.nextExec,
+		home:         sched.ExecShardInt(m.sh.N(), uint64(m.nextExec)),
 		registeredAt: m.E.Now(),
 		idle:         true,
 		idleTimeout:  idleTimeout,
 		onRelease:    onRelease,
 	}
-	x.sx = m.core.AddExec(x.ID, 1)
+	x.sx = m.home(x).AddExec(x.ID, 1)
 	x.sx.Ref = x
 	m.execs = append(m.execs, x)
 	m.liveN++
-	m.core.Offer(x.sx)
+	m.home(x).Offer(x.sx)
 	m.armIdleTimer(x)
 	m.armPollTimer(x)
 	m.stateChanged()
@@ -297,8 +338,8 @@ func (m *Model) armPollTimer(x *Exec) {
 			if x.released || !x.idle || m.pollingStopped {
 				return
 			}
-			if it, ok := m.pickFor(x.sx); ok {
-				m.core.RemoveIdle(x.sx)
+			if it, ok := m.pickFor(x); ok {
+				m.home(x).RemoveIdle(x.sx)
 				m.wakeExec(x)
 				m.runOn(x, it)
 				return
@@ -328,7 +369,7 @@ func (m *Model) releaseExec(x *Exec) {
 		x.pollTimer.Stop()
 		x.pollTimer = nil
 	}
-	m.core.RemoveIdle(x.sx)
+	m.home(x).RemoveIdle(x.sx)
 	m.liveN--
 	m.stateChanged()
 	if x.onRelease != nil {
@@ -414,7 +455,8 @@ func (m *Model) Submit(specs []Spec, bundle int) {
 			now := m.E.Now()
 			for _, s := range batch {
 				m.nextTask++
-				m.core.Enqueue(now, mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes})
+				t := mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes}
+				m.affinity(t).Enqueue(now, t)
 			}
 			if share := m.P.SubmitShare; share > 0 {
 				m.dispSubmit(time.Duration(share*float64(cost)), m.kick)
@@ -436,7 +478,8 @@ func (m *Model) PreloadQueue(n int, dur time.Duration) {
 	now := m.E.Now()
 	for i := 0; i < n; i++ {
 		m.nextTask++
-		m.core.Enqueue(now, mtask{id: m.nextTask, dur: dur})
+		t := mtask{id: m.nextTask, dur: dur}
+		m.affinity(t).Enqueue(now, t)
 	}
 	m.kick()
 }
@@ -450,38 +493,87 @@ func (m *Model) SubmitSleepStream(total int, dur time.Duration, bundle int) {
 	m.Submit(specs, bundle)
 }
 
-// pickFor selects the next task for sx under the core's policy. On a
-// data-aware cache hit the staging cost is dropped — the dataset is
-// already resident on the executor's node.
-func (m *Model) pickFor(sx *sched.Exec[int]) (sched.Item[mtask], bool) {
-	it, hit, ok := m.core.Pick(sx)
+// pickFor selects the next task for x: first from its home shard under the
+// core's policy (on a data-aware cache hit the staging cost is dropped — the
+// dataset is already resident on the executor's node), then, home dry, by
+// stealing the FIFO head of the first non-empty victim shard. Steals are
+// policy-blind, so they never hit the cache.
+func (m *Model) pickFor(x *Exec) (sched.Item[mtask], bool) {
+	it, hit, ok := m.home(x).Pick(x.sx)
 	if hit {
 		it.X.stageIn = 0
 	}
-	return it, ok
+	if ok {
+		return it, true
+	}
+	if m.sh.N() > 1 {
+		if st, _, ok := m.sh.StealPick(x.home); ok {
+			m.steals++
+			return st, true
+		}
+	}
+	return it, false
 }
 
 // kick assigns queued tasks to idle executors over the cold dispatch path
 // (notification push + work pull). Under a pure-pull profile there are no
-// notifications: executors discover work on their own polls.
+// notifications: executors discover work on their own polls. Each shard
+// first notifies against its own queue (exactly the single-core path); a
+// cross-shard pass then wakes idle executors on dry shards for work queued
+// elsewhere, which their picks steal.
 func (m *Model) kick() {
 	if m.P.PurePullInterval > 0 {
 		return
 	}
-	for _, n := range m.core.Notifications(m.E.Now()) {
-		sx := n.Exec
-		x := sx.Ref.(*Exec)
-		it, ok := m.pickFor(sx)
-		if !ok {
-			// The queue drained while earmarking; return the executor.
-			sx.Notified = false
-			m.core.Offer(sx)
-			break
+	now := m.E.Now()
+	for i := 0; i < m.sh.N(); i++ {
+		c := m.sh.Shard(i)
+		for _, n := range c.Notifications(now) {
+			sx := n.Exec
+			x := sx.Ref.(*Exec)
+			it, ok := m.pickFor(x)
+			if !ok {
+				// The queue drained while earmarking; return the executor.
+				sx.Notified = false
+				c.Offer(sx)
+				break
+			}
+			m.wakeExec(x)
+			m.dispSubmit(m.P.NotifyCost+m.P.GetWorkCost, func() {
+				m.runOn(x, it)
+			})
 		}
-		m.wakeExec(x)
-		m.dispSubmit(m.P.NotifyCost+m.P.GetWorkCost, func() {
-			m.runOn(x, it)
-		})
+	}
+	m.crossKick(now)
+}
+
+// crossKick is the cross-shard notify pass: idle executors on shards whose
+// own queues are dry learn about the global backlog, exactly like the live
+// dispatcher's crossNotify. No-op with one shard, keeping the legacy model's
+// event sequence untouched.
+func (m *Model) crossKick(now time.Duration) {
+	if m.sh.N() <= 1 {
+		return
+	}
+	for i := 0; i < m.sh.N(); i++ {
+		queued := m.sh.QueueLen()
+		if queued == 0 {
+			return
+		}
+		for _, n := range m.sh.NotifyIdle(i, now, queued) {
+			sx := n.Exec
+			x := sx.Ref.(*Exec)
+			it, ok := m.pickFor(x)
+			if !ok {
+				sx.Notified = false
+				m.home(x).Offer(sx)
+				break
+			}
+			m.wakeExec(x)
+			m.dispSubmit(m.P.NotifyCost+m.P.GetWorkCost, func() {
+				m.runOn(x, it)
+			})
+		}
 	}
 }
 
@@ -510,7 +602,7 @@ func (m *Model) runOn(x *Exec, it sched.Item[mtask]) {
 	}
 	dispatchedAt := m.E.Now()
 	t := it.X
-	o := m.core.Assign(dispatchedAt, sx, t.id, it)
+	o := m.home(x).Assign(dispatchedAt, sx, t.id, it)
 	over := m.P.ExecOverhead
 	if j := m.P.ExecOverheadJitter; j > 0 {
 		over += m.E.ExpDuration(j)
@@ -535,7 +627,7 @@ func (m *Model) runOn(x *Exec, it sched.Item[mtask]) {
 		// still paid a GetWork call for it.
 		var next *sched.Item[mtask]
 		if m.P.Prefetch {
-			if nt, ok := m.pickFor(sx); ok {
+			if nt, ok := m.pickFor(x); ok {
 				next = &nt
 				m.dispSubmit(m.P.GetWorkCost, func() {})
 			}
@@ -555,23 +647,25 @@ func (m *Model) runOn(x *Exec, it sched.Item[mtask]) {
 // neither piggy-back nor idle the executor.
 func (m *Model) finish(x *Exec, o *sched.Outstanding[int, int, mtask], startedAt time.Duration, prefetched bool) {
 	now := m.E.Now()
-	m.core.Complete(x.sx.ID, o.Key)
+	hc := m.home(x)
+	hc.Complete(x.sx.ID, o.Key)
 	t := o.Item.X
 	x.busyFor += t.dur
-	m.core.NoteCompletion(x.sx, t.dataset)
+	hc.NoteCompletion(x.sx, t.dataset)
 	// Failure injection: the replay policy re-queues the task unless its
 	// retries are exhausted.
 	taskFailed := false
 	if p := m.P.FailureProb; p > 0 && m.E.Rand().Float64() < p {
-		if m.core.Requeue(o.Item) {
+		if m.affinity(t).Requeue(o.Item) {
+			m.kick()
 			m.afterDelivery(x, prefetched)
 			return
 		}
 		taskFailed = true
-		m.core.Counters.Failed++
+		hc.Counters.Failed++
 	}
 	if !taskFailed {
-		m.core.Counters.Completed++
+		hc.Counters.Completed++
 	}
 	// One clamp for both runtimes: the Figure-10 stages of the resulting
 	// record partition its end-to-end latency exactly.
@@ -611,7 +705,7 @@ func (m *Model) afterDelivery(x *Exec, prefetched bool) {
 		return // the executor is already running its next task
 	}
 	if !m.P.NoPiggyback {
-		if it, ok := m.pickFor(x.sx); ok {
+		if it, ok := m.pickFor(x); ok {
 			// Piggy-back: the delivery acknowledgment already carried the
 			// next task; no additional dispatcher cost.
 			m.runOn(x, it)
@@ -621,7 +715,7 @@ func (m *Model) afterDelivery(x *Exec, prefetched bool) {
 	x.busy = false
 	x.idle = true
 	m.busyN--
-	m.core.Offer(x.sx)
+	m.home(x).Offer(x.sx)
 	m.armIdleTimer(x)
 	m.armPollTimer(x)
 	m.stateChanged()

@@ -1,0 +1,163 @@
+package simfalkon
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"falkon/internal/sched"
+	"falkon/internal/sim"
+)
+
+// runShardedRecords runs nTasks zero-duration tasks through nExec executors
+// with the given shard count and returns the completion records.
+func runShardedRecords(t *testing.T, shards, nExec, nTasks int, specs []Spec) []Rec {
+	t.Helper()
+	e := sim.New(42)
+	m := New(e, NoSecurity())
+	m.Shards = shards
+	m.KeepRecords = true
+	for i := 0; i < nExec; i++ {
+		m.AddExecutor(0, nil)
+	}
+	if specs == nil {
+		m.PreloadQueue(nTasks, 0)
+	} else {
+		m.Submit(specs, 100)
+	}
+	e.Run()
+	if m.Completed() != nTasks {
+		t.Fatalf("completed %d of %d", m.Completed(), nTasks)
+	}
+	return m.Records
+}
+
+// TestSingleShardIsBitForBitLegacy pins the tentpole's compatibility
+// requirement: Shards=1 (and the default, 0) must reproduce the legacy
+// single-core model event-for-event — same records, same virtual
+// timestamps. The 487/204/28/12 calibration tests in model_test.go run on
+// the default path, so together these keep the calibrations exact.
+func TestSingleShardIsBitForBitLegacy(t *testing.T) {
+	base := runShardedRecords(t, 0, 16, 2000, nil)
+	one := runShardedRecords(t, 1, 16, 2000, nil)
+	if !reflect.DeepEqual(base, one) {
+		t.Fatal("Shards=1 diverged from the default single-core model")
+	}
+}
+
+// TestShardedRunIsDeterministic pins determinism under N>1: two runs with
+// the same seed and shard count produce identical records.
+func TestShardedRunIsDeterministic(t *testing.T) {
+	a := runShardedRecords(t, 4, 16, 2000, nil)
+	b := runShardedRecords(t, 4, 16, 2000, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identically seeded sharded runs diverged")
+	}
+}
+
+// hotDataset returns a dataset name whose affinity shard (under n shards)
+// differs from the home shard of executor ID 1, so every pick by that
+// executor must cross shards.
+func hotDataset(t *testing.T, n int) string {
+	t.Helper()
+	home := sched.ExecShardInt(n, 1)
+	for _, name := range []string{"hot-a", "hot-b", "hot-c", "hot-d", "hot-e"} {
+		if sched.TaskShard(n, name, 0) != home {
+			return name
+		}
+	}
+	t.Fatal("no candidate dataset hashed off the executor's home shard")
+	return ""
+}
+
+// TestHotKeyedWorkloadStaysFIFO pins per-shard FIFO under sharding: tasks
+// keyed to one dataset all hash to one shard, and even when served by an
+// executor homed elsewhere (every pick a steal), they run in submission
+// order — steals take the victim queue's FIFO head, never reorder it.
+func TestHotKeyedWorkloadStaysFIFO(t *testing.T) {
+	const n, nTasks = 4, 300
+	ds := hotDataset(t, n)
+	specs := make([]Spec, nTasks)
+	for i := range specs {
+		specs[i] = Spec{Dur: time.Millisecond, Dataset: ds}
+	}
+	e := sim.New(42)
+	m := New(e, NoSecurity())
+	m.Shards = n
+	m.KeepRecords = true
+	m.AddExecutor(0, nil)
+	m.Submit(specs, 50)
+	e.Run()
+	if m.Completed() != nTasks {
+		t.Fatalf("completed %d of %d", m.Completed(), nTasks)
+	}
+	for i, r := range m.Records {
+		if r.ID != i+1 {
+			t.Fatalf("record %d ran task %d: hot-keyed FIFO order broken", i, r.ID)
+		}
+	}
+	if m.Steals() != nTasks {
+		t.Fatalf("steals = %d, want %d (every pick crosses to the hot shard)", m.Steals(), nTasks)
+	}
+}
+
+// TestSkewedWorkloadTriggersSteals pins work stealing end-to-end: with all
+// work hashed to one shard and executors spread across n shards, the
+// off-shard executors keep busy by stealing, and everything completes.
+func TestSkewedWorkloadTriggersSteals(t *testing.T) {
+	const n, nExec, nTasks = 4, 16, 2000
+	specs := make([]Spec, nTasks)
+	for i := range specs {
+		specs[i] = Spec{Dataset: "skew"}
+	}
+	e := sim.New(42)
+	m := New(e, NoSecurity())
+	m.Shards = n
+	for i := 0; i < nExec; i++ {
+		m.AddExecutor(0, nil)
+	}
+	m.Submit(specs, 100)
+	e.Run()
+	if m.Completed() != nTasks {
+		t.Fatalf("completed %d of %d", m.Completed(), nTasks)
+	}
+	if m.Steals() == 0 {
+		t.Fatal("skewed workload produced no steals")
+	}
+}
+
+// TestUniformWorkloadSpreadsAndCompletes sanity-checks the uniform path at
+// N>1: untagged sequential IDs spread across shards via the mixed hash, all
+// tasks complete, and throughput is not degenerate (executors on every
+// shard keep working, stealing when their own slice runs dry).
+func TestUniformWorkloadSpreadsAndCompletes(t *testing.T) {
+	const n, nExec, nTasks = 4, 32, 4000
+	e := sim.New(42)
+	m := New(e, NoSecurity())
+	m.Shards = n
+	for i := 0; i < nExec; i++ {
+		m.AddExecutor(0, nil)
+	}
+	m.PreloadQueue(nTasks, 0)
+	end := e.Run()
+	if m.Completed() != nTasks {
+		t.Fatalf("completed %d of %d", m.Completed(), nTasks)
+	}
+	if got := float64(nTasks) / end.Seconds(); got < 400 {
+		t.Fatalf("sharded throughput = %.1f tasks/s, want near the 487 calibration", got)
+	}
+}
+
+// TestShardsMustBeSetBeforeWork pins the knob's contract.
+func TestShardsMustBeSetBeforeWork(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, NoSecurity())
+	m.AddExecutor(0, nil)
+	m.Shards = 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late Shards change did not panic")
+		}
+	}()
+	m.PreloadQueue(1, 0)
+}

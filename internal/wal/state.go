@@ -23,23 +23,31 @@ type DestroyRec struct {
 	EPR string `json:"epr"`
 }
 
-// AcceptRec records a bundle of accepted tasks.
+// AcceptRec records a bundle of accepted tasks. Shard is the scheduling
+// shard the bundle was enqueued on — informational: recovery re-partitions
+// by the same affinity hash (sched.TaskShard), so the field lets tools and
+// tests verify the re-partitioning is identical rather than drive it.
 type AcceptRec struct {
 	EPR   string      `json:"epr"`
 	Tasks []task.Task `json:"tasks"`
+	Shard int         `json:"shard,omitempty"`
 }
 
-// DispatchRec records one task assignment.
+// DispatchRec records one task assignment. Shard is the task's affinity
+// shard (informational, see AcceptRec).
 type DispatchRec struct {
-	EPR  string  `json:"epr"`
-	ID   task.ID `json:"id"`
-	Exec string  `json:"exec,omitempty"`
+	EPR   string  `json:"epr"`
+	ID    task.ID `json:"id"`
+	Exec  string  `json:"exec,omitempty"`
+	Shard int     `json:"shard,omitempty"`
 }
 
-// CompleteRec records one finalized result.
+// CompleteRec records one finalized result. Shard is the task's affinity
+// shard (informational, see AcceptRec).
 type CompleteRec struct {
 	EPR    string      `json:"epr"`
 	Result task.Result `json:"result"`
+	Shard  int         `json:"shard,omitempty"`
 }
 
 // Instance is one recovered client instance.

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"falkon/internal/metrics"
@@ -103,9 +104,10 @@ type waiter struct {
 }
 
 // Journal is a segmented append-only write-ahead log. Appends are buffered
-// under a short mutex and flushed by a single committer goroutine, so many
-// concurrent appenders amortize one write+fsync (group commit). Only the
-// committer and Rotate touch the segment files.
+// in per-shard Appenders under short per-appender mutexes and flushed by a
+// single committer goroutine, so many concurrent appenders amortize one
+// write+fsync (group commit) without contending on one buffer lock. Only
+// the committer and Rotate touch the segment files.
 type Journal struct {
 	dir  string
 	opts Options
@@ -118,25 +120,162 @@ type Journal struct {
 
 	fs FS
 
-	// wmu serializes file writes and rotation; mu guards the append buffer
-	// and segment pointer. Appenders take only mu (never block on I/O).
+	// wmu serializes file writes and rotation; mu guards the appender list,
+	// segment pointer, and lifecycle state. Record appends take only their
+	// Appender's own mutex (never block on I/O or on each other).
 	wmu sync.Mutex
 	mu  sync.Mutex
-	buf []byte
-	ws  []*waiter
-	// spare recycles the drained append buffer, so steady-state appends
-	// never grow a fresh array.
-	spare    []byte
+	// apps are every Appender ever handed out; def (== apps[0]) is the
+	// journal's default appender behind Append/AppendWait. A commit drains
+	// appenders in index order, which is what makes cross-appender record
+	// ordering within one batch deterministic (see Appenders).
+	apps []*Appender
+	def  *Appender
+	// scratch assembles one commit batch from the appender buffers so the
+	// segment sees a single write per commit.
+	scratch  []byte
 	seg      File
 	segIndex uint64
 	segSize  int64
 	err      error // sticky I/O error: the journal fails closed
 	erred    bool  // OnError already fired
 	closed   bool
+	// bad flips once the journal can no longer accept appends (closed or
+	// sticky error): the appenders' fast-path reject check.
+	bad atomic.Bool
 
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
+}
+
+// Appender is one shard's append buffer into the journal. Appenders are
+// independent FIFOs: records appended through one Appender commit in append
+// order, while records on different Appenders only order by commit batch
+// (within a batch, lower appender index first). Callers that need two
+// records ordered (a task's accept before its dispatch before its complete)
+// must route them through the same Appender.
+type Appender struct {
+	j *Journal
+
+	mu  sync.Mutex
+	buf []byte
+	ws  []*waiter
+	// spare recycles the drained append buffer, so steady-state appends
+	// never grow a fresh array.
+	spare []byte
+	// dead marks the final drain (close/abort): late appends fail instead
+	// of parking records in a buffer no commit will ever visit.
+	dead bool
+}
+
+// Append buffers one record without waiting for durability (see
+// Journal.Append).
+func (a *Appender) Append(kind Kind, v any) error {
+	_, err := a.append(kind, v, false)
+	return err
+}
+
+// AppendWait buffers one record and returns its durability Handle (see
+// Journal.AppendWait).
+func (a *Appender) AppendWait(kind Kind, v any) (Handle, error) {
+	return a.append(kind, v, true)
+}
+
+func (a *Appender) append(kind Kind, v any, wait bool) (Handle, error) {
+	j := a.j
+	if j.bad.Load() {
+		return Handle{}, j.stickyErr()
+	}
+	a.mu.Lock()
+	if a.dead {
+		a.mu.Unlock()
+		return Handle{}, j.stickyErr()
+	}
+	var err error
+	a.buf, err = marshalRecord(a.buf, kind, v)
+	if err != nil {
+		a.mu.Unlock()
+		return Handle{}, err
+	}
+	var h Handle
+	if wait {
+		w := &waiter{ch: make(chan struct{})}
+		a.ws = append(a.ws, w)
+		h = Handle{w: w}
+	}
+	a.mu.Unlock()
+	j.cAppends.Inc()
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	return h, nil
+}
+
+// take removes the appender's buffered batch, optionally sealing it against
+// further appends (the final drain of close/abort).
+func (a *Appender) take(final bool) (buf []byte, ws []*waiter) {
+	a.mu.Lock()
+	buf, ws = a.buf, a.ws
+	a.buf, a.spare = a.spare[:0], nil
+	a.ws = nil
+	if final {
+		a.dead = true
+	}
+	a.mu.Unlock()
+	return buf, ws
+}
+
+// recycle returns a drained buffer for reuse (bounded so one burst doesn't
+// park megabytes per appender).
+func (a *Appender) recycle(buf []byte) {
+	if cap(buf) > 1<<20 {
+		return
+	}
+	a.mu.Lock()
+	if a.spare == nil {
+		a.spare = buf[:0]
+	}
+	a.mu.Unlock()
+}
+
+// stickyErr reports why the journal rejects appends.
+func (j *Journal) stickyErr() error {
+	j.mu.Lock()
+	err := j.err
+	j.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("wal: journal closed")
+	}
+	return err
+}
+
+// Appenders grows the appender set to n (minimum 1) and returns it. The
+// sharded dispatcher takes one appender per scheduling shard so hot-path
+// appends never contend on a single buffer mutex; appender 0 doubles as the
+// journal's own default (Journal.Append) and carries control records.
+// Within one commit batch, appender 0's records land before appender 1's
+// and so on — cross-appender ordering beyond that is by batch only.
+func (j *Journal) Appenders(n int) []*Appender {
+	if n < 1 {
+		n = 1
+	}
+	j.mu.Lock()
+	for len(j.apps) < n {
+		j.apps = append(j.apps, &Appender{j: j})
+	}
+	apps := j.apps[:n]
+	j.mu.Unlock()
+	return apps
+}
+
+// appenders snapshots the current appender list.
+func (j *Journal) appenders() []*Appender {
+	j.mu.Lock()
+	apps := j.apps
+	j.mu.Unlock()
+	return apps
 }
 
 const defaultSegmentBytes = 16 << 20
@@ -182,6 +321,8 @@ func open(dir string, next uint64, opts Options) (*Journal, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	j.def = &Appender{j: j}
+	j.apps = []*Appender{j.def}
 	seg, err := j.createSegment(next)
 	if err != nil {
 		return nil, err
@@ -206,54 +347,23 @@ func (j *Journal) createSegment(i uint64) (File, error) {
 	return f, nil
 }
 
-// Append buffers one record without waiting for durability. Used for the
-// advisory transitions (dispatch, complete): losing the tail only means a
-// task re-runs, and downstream dedupe keeps delivery exactly-once.
+// Append buffers one record on the default appender without waiting for
+// durability. Used for the advisory transitions (dispatch, complete):
+// losing the tail only means a task re-runs, and downstream dedupe keeps
+// delivery exactly-once.
 func (j *Journal) Append(kind Kind, v any) error {
-	_, err := j.append(kind, v, false)
-	return err
+	return j.def.Append(kind, v)
 }
 
-// AppendWait buffers one record and returns a Handle whose Wait releases
-// once the record is committed per the sync policy. Used for transitions
-// that must be durable before they are acknowledged (instance creation,
-// task acceptance).
+// AppendWait buffers one record on the default appender and returns a
+// Handle whose Wait releases once the record is committed per the sync
+// policy. Used for transitions that must be durable before they are
+// acknowledged (instance creation, task acceptance).
 func (j *Journal) AppendWait(kind Kind, v any) (Handle, error) {
-	return j.append(kind, v, true)
+	return j.def.AppendWait(kind, v)
 }
 
-func (j *Journal) append(kind Kind, v any, wait bool) (Handle, error) {
-	j.mu.Lock()
-	if j.closed || j.err != nil {
-		err := j.err
-		j.mu.Unlock()
-		if err == nil {
-			err = fmt.Errorf("wal: journal closed")
-		}
-		return Handle{}, err
-	}
-	var err error
-	j.buf, err = marshalRecord(j.buf, kind, v)
-	if err != nil {
-		j.mu.Unlock()
-		return Handle{}, err
-	}
-	var h Handle
-	if wait {
-		w := &waiter{ch: make(chan struct{})}
-		j.ws = append(j.ws, w)
-		h = Handle{w: w}
-	}
-	j.mu.Unlock()
-	j.cAppends.Inc()
-	select {
-	case j.kick <- struct{}{}:
-	default:
-	}
-	return h, nil
-}
-
-// run is the committer loop: drain the append buffer, write it as one
+// run is the committer loop: drain the appender buffers, write them as one
 // batch, fsync per policy, release the batch's waiters.
 func (j *Journal) run() {
 	defer close(j.done)
@@ -266,34 +376,42 @@ func (j *Journal) run() {
 	for {
 		select {
 		case <-j.stop:
-			j.commit(true)
+			j.commit(true, true)
 			return
 		case <-j.kick:
-			j.commit(j.opts.Sync.Mode == SyncGroup)
+			j.commit(j.opts.Sync.Mode == SyncGroup, false)
 		case <-tickC:
-			j.commit(true)
+			j.commit(true, false)
 		}
 	}
 }
 
-// commit writes the buffered batch and optionally fsyncs. File I/O runs
-// under wmu only, so appenders never block behind a sync.
-func (j *Journal) commit(sync bool) {
+// commit drains every appender (index order), writes the concatenated
+// batch, and optionally fsyncs. File I/O runs under wmu only, so appenders
+// never block behind a sync. final seals the appenders (close/shutdown):
+// any append racing the last commit fails instead of parking.
+func (j *Journal) commit(sync, final bool) {
 	j.wmu.Lock()
+	apps := j.appenders()
 	j.mu.Lock()
-	buf, ws := j.buf, j.ws
-	j.buf, j.spare = j.spare[:0], nil
-	j.ws = nil
+	batch := j.scratch[:0]
 	seg, err := j.seg, j.err
 	j.mu.Unlock()
+	var ws []*waiter
+	for _, a := range apps {
+		buf, aws := a.take(final)
+		batch = append(batch, buf...)
+		ws = append(ws, aws...)
+		a.recycle(buf)
+	}
 
 	wrote := false
 	ioStart := time.Now()
-	if err == nil && len(buf) > 0 {
-		_, err = seg.Write(buf)
+	if err == nil && len(batch) > 0 {
+		_, err = seg.Write(batch)
 		if err == nil {
 			wrote = true
-			j.cBytes.Add(int64(len(buf)))
+			j.cBytes.Add(int64(len(batch)))
 		}
 	}
 	if err == nil && sync && wrote && j.opts.Sync.Mode != SyncOff {
@@ -310,17 +428,20 @@ func (j *Journal) commit(sync bool) {
 	j.mu.Lock()
 	if err != nil && j.err == nil {
 		j.err = err
+		j.bad.Store(true)
 	}
 	fireErr := err != nil && !j.erred && !j.closed
 	if fireErr {
 		j.erred = true
 	}
-	if j.spare == nil && cap(buf) <= 1<<20 {
-		j.spare = buf[:0]
+	if cap(batch) <= 8<<20 {
+		j.scratch = batch[:0]
+	} else {
+		j.scratch = nil
 	}
 	grown := false
 	if wrote {
-		j.segSize += int64(len(buf))
+		j.segSize += int64(len(batch))
 		grown = j.segSize >= j.opts.SegmentBytes
 	}
 	j.mu.Unlock()
@@ -342,18 +463,27 @@ func (j *Journal) commit(sync bool) {
 }
 
 // Rotate seals the current segment (flushing and fsyncing any buffered
-// records into it) and opens the next. It returns the new segment's index:
-// every record appended before the call is in a segment below that index,
-// which is the snapshot boundary invariant WriteSnapshot relies on.
+// records from every appender into it) and opens the next. It returns the
+// new segment's index: every record appended before the call is in a
+// segment below that index, which is the snapshot boundary invariant
+// WriteSnapshot relies on.
 func (j *Journal) Rotate() (uint64, error) {
 	j.wmu.Lock()
 	defer j.wmu.Unlock()
+	apps := j.appenders()
 	j.mu.Lock()
-	buf, ws := j.buf, j.ws
-	j.buf, j.ws = nil, nil
 	seg, next := j.seg, j.segIndex+1
-	if j.closed {
-		j.mu.Unlock()
+	closed := j.closed
+	j.mu.Unlock()
+	var buf []byte
+	var ws []*waiter
+	for _, a := range apps {
+		abuf, aws := a.take(closed)
+		buf = append(buf, abuf...)
+		ws = append(ws, aws...)
+		a.recycle(abuf)
+	}
+	if closed {
 		err := fmt.Errorf("wal: journal closed")
 		for _, w := range ws {
 			w.err = err
@@ -361,7 +491,6 @@ func (j *Journal) Rotate() (uint64, error) {
 		}
 		return 0, err
 	}
-	j.mu.Unlock()
 
 	var err error
 	if len(buf) > 0 {
@@ -398,6 +527,7 @@ func (j *Journal) noteErr(err error) {
 	j.mu.Lock()
 	if j.err == nil {
 		j.err = err
+		j.bad.Store(true)
 	}
 	fire := !j.erred && !j.closed
 	if fire {
@@ -438,6 +568,7 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	j.bad.Store(true)
 	j.mu.Unlock()
 	close(j.stop)
 	<-j.done
@@ -467,13 +598,18 @@ func (j *Journal) Abort() {
 	if j.err == nil {
 		j.err = fmt.Errorf("wal: aborted")
 	}
-	j.buf = nil // drop the unwritten batch: a crash would have lost it
-	ws := j.ws
-	j.ws = nil
+	j.bad.Store(true)
 	j.mu.Unlock()
-	for _, w := range ws {
-		w.err = fmt.Errorf("wal: aborted")
-		close(w.ch)
+	// Drop every appender's unwritten batch: a crash would have lost it.
+	// Sealing (final take) makes racing appends fail instead of parking
+	// records no commit will visit.
+	for _, a := range j.appenders() {
+		buf, ws := a.take(true)
+		_ = buf
+		for _, w := range ws {
+			w.err = fmt.Errorf("wal: aborted")
+			close(w.ch)
+		}
 	}
 	close(j.stop)
 	<-j.done

@@ -218,6 +218,16 @@ func BenchmarkAbl3Tier(b *testing.B) { benchExperiment(b, "abl-3tier", 0.1) }
 // Live-runtime throughput sweep inside the experiment registry.
 func BenchmarkLiveThroughputExperiment(b *testing.B) { benchExperiment(b, "live-throughput", 0.1) }
 
+// Live 2-level dispatch tree (1 forwarder root, 4 dispatcher leaves) vs the
+// flat dispatcher at the same executor count. The same experiment at full
+// scale is `falkon-bench -experiment tree-throughput -json`, which appends
+// the tasks_per_sec_by_depth row to BENCH_live.json.
+func BenchmarkTreeDispatchThroughput(b *testing.B) { benchExperiment(b, "tree-throughput", 0.1) }
+
+// Client-dispatcher bundle-size sweep on the live runtime (Figure 5's
+// economics, which also set the tree root's bundle knob).
+func BenchmarkBundleSweep(b *testing.B) { benchExperiment(b, "bundle-sweep", 0.1) }
+
 // Live Figure 4 miniature with real shared-bandwidth contention.
 func BenchmarkLiveFig4(b *testing.B) { benchExperiment(b, "live-fig4", 0.1) }
 

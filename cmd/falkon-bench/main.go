@@ -35,6 +35,17 @@ type benchRow struct {
 	// Per-shard-count throughput (live-throughput only), keyed by shard
 	// count: "1" is the legacy single-lock core, "4" the sharded core.
 	TasksPerSecByShards map[string]float64 `json:"tasks_per_sec_by_shards,omitempty"`
+	// Shards and Depth describe the measured topology: scheduler shard
+	// count inside one dispatcher, and dispatch-tree depth (1 = flat
+	// dispatcher, 2 = root + leaves).
+	Shards int `json:"shards,omitempty"`
+	Depth  int `json:"depth,omitempty"`
+	// Per-depth throughput (tree-throughput only), keyed by tree depth:
+	// "1" is the flat dispatcher, "2" the root+leaves tree.
+	TasksPerSecByDepth map[string]float64 `json:"tasks_per_sec_by_depth,omitempty"`
+	// Per-bundle-size throughput (bundle-sweep only), keyed by the client
+	// bundle size — the paper's Figure 5 curve.
+	TasksPerSecByBundle map[string]float64 `json:"tasks_per_sec_by_bundle,omitempty"`
 	Scale               float64            `json:"scale"`
 	Date                string             `json:"date"`
 	Commit              string             `json:"commit,omitempty"`
@@ -85,6 +96,10 @@ func main() {
 					AllocsPerOp:         res.Values["allocs_per_op"],
 					NsPerTask:           stageValues(res.Values),
 					TasksPerSecByShards: shardValues(res.Values),
+					Shards:              int(res.Values["shards"]),
+					Depth:               int(res.Values["depth"]),
+					TasksPerSecByDepth:  prefixValues(res.Values, "tasks_per_sec_depth_"),
+					TasksPerSecByBundle: prefixValues(res.Values, "tasks_per_sec_bundle_"),
 					Scale:               *scale,
 					Date:                time.Now().UTC().Format(time.RFC3339),
 					Commit:              gitCommit(),
@@ -118,9 +133,16 @@ func appendRow(path string, row benchRow) error {
 // structured map the JSON row carries (nil when the experiment has none).
 // shardValues extracts tasks_per_sec_shards_<n> keys into a shard-count map.
 func shardValues(values map[string]float64) map[string]float64 {
+	return prefixValues(values, "tasks_per_sec_shards_")
+}
+
+// prefixValues collects "<prefix><key>" scalars into a map keyed by the
+// suffix (nil when the experiment has none) — the depth/bundle/shard
+// breakdowns of the JSON row.
+func prefixValues(values map[string]float64, prefix string) map[string]float64 {
 	var m map[string]float64
 	for k, v := range values {
-		if n, ok := strings.CutPrefix(k, "tasks_per_sec_shards_"); ok {
+		if n, ok := strings.CutPrefix(k, prefix); ok {
 			if m == nil {
 				m = make(map[string]float64)
 			}

@@ -52,6 +52,7 @@ type cfg struct {
 	slots    int
 	kills    int
 	shards   int
+	tree     int
 	binDir   string
 	workDir  string
 	verbose  bool
@@ -71,7 +72,8 @@ func main() {
 		keep    = flag.Bool("keep", false, "keep work directories (logs, journals) after a passing run")
 		verbose = flag.Bool("v", false, "stream child process logs to stderr")
 		shards  = flag.Int("shards", 0, "dispatcher scheduling shards (passed through; 0 = one per CPU)")
-		binDir  = flag.String("bin", "", "directory holding falkon-dispatcher and falkon-executor (empty = go build into the work area)")
+		tree    = flag.Int("tree", 0, "dispatch-tree leaves: boot 1 forwarder root + N journaled leaf dispatchers, SIGKILL leaves instead of the dispatcher (0 = flat single dispatcher)")
+		binDir  = flag.String("bin", "", "directory holding the falkon binaries (empty = go build into the work area)")
 		waitFor = flag.Duration("timeout", 2*time.Minute, "per-run workload completion timeout")
 	)
 	flag.Parse()
@@ -79,7 +81,7 @@ func main() {
 
 	c := cfg{
 		seed: *seed, tasks: *tasks, execs: *execs, slots: *slots, kills: *kills,
-		shards: *shards, binDir: *binDir, verbose: *verbose, waitFor: *waitFor,
+		shards: *shards, tree: *tree, binDir: *binDir, verbose: *verbose, waitFor: *waitFor,
 		maxSleep: 20 * time.Millisecond,
 	}
 	if *quick {
@@ -96,7 +98,7 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		log.Printf("building binaries into %s", dir)
-		build := exec.Command("go", "build", "-o", dir, "./cmd/falkon-dispatcher", "./cmd/falkon-executor")
+		build := exec.Command("go", "build", "-o", dir, "./cmd/falkon-dispatcher", "./cmd/falkon-executor", "./cmd/falkon-forwarder")
 		build.Stderr = os.Stderr
 		if err := build.Run(); err != nil {
 			log.Fatalf("falkon-chaos: go build: %v", err)
@@ -108,12 +110,17 @@ func main() {
 	for i := 0; i < *sweep; i++ {
 		run := c
 		run.seed = c.seed + uint64(i)
-		err := runOne(run, *keep)
+		var err error
+		if run.tree > 0 {
+			err = runTreeOne(run, *keep)
+		} else {
+			err = runOne(run, *keep)
+		}
 		if err != nil {
 			failed++
 			fmt.Printf("FAIL seed=%d: %v\n", run.seed, err)
-			fmt.Printf("REPRODUCE: go run ./cmd/falkon-chaos -seed %d -tasks %d -execs %d -slots %d -kills %d\n",
-				run.seed, run.tasks, run.execs, run.slots, run.kills)
+			fmt.Printf("REPRODUCE: go run ./cmd/falkon-chaos -seed %d -tasks %d -execs %d -slots %d -kills %d -tree %d\n",
+				run.seed, run.tasks, run.execs, run.slots, run.kills, run.tree)
 		}
 	}
 	if failed > 0 {
@@ -256,32 +263,8 @@ func runOne(c cfg, keep bool) (err error) {
 	}
 	<-killDone
 
-	// Invariant 1: exactly-once delivery. N results, N distinct IDs, and
-	// every submitted ID accounted for.
-	if len(results) != len(ts) {
-		return fmt.Errorf("submitted %d tasks, got %d results", len(ts), len(results))
-	}
-	got := make(map[task.ID]struct{}, len(results))
-	failedResults := 0
-	for _, r := range results {
-		if _, dup := got[r.ID]; dup {
-			return fmt.Errorf("task %v delivered twice", r.ID)
-		}
-		got[r.ID] = struct{}{}
-		if r.Failed() {
-			failedResults++
-			log.Printf("seed %d: task %v failed: %s (exit %d)", c.seed, r.ID, r.Err, r.ExitCode)
-		}
-	}
-	for _, t := range ts {
-		if _, ok := got[t.ID]; !ok {
-			return fmt.Errorf("task %v lost: no result", t.ID)
-		}
-	}
-	// Invariant 2: no task failed — sleep tasks cannot fail on their own,
-	// so any failure means the replay policy gave up on a live task.
-	if failedResults > 0 {
-		return fmt.Errorf("%d tasks failed under injected faults", failedResults)
+	if err := verifyExactlyOnce(c.seed, ts, results); err != nil {
+		return err
 	}
 
 	// Invariant 3: the system drained — nothing queued or outstanding once
@@ -316,6 +299,37 @@ func runOne(c cfg, keep bool) (err error) {
 	// chaos run's output is greppable against /metrics dashboards.
 	printFaultCounters("client", creg.Snapshot().Counters)
 	printFaultCounters("dispatcher", ms.Counters)
+	return nil
+}
+
+// verifyExactlyOnce checks invariants 1 and 2 against a completed workload:
+// N submitted tasks yield exactly N results with N distinct IDs, none lost,
+// none delivered twice — and none failed, since sleep tasks cannot fail on
+// their own, so any failure means the replay policy gave up on live work.
+func verifyExactlyOnce(seed uint64, ts []task.Task, results []task.Result) error {
+	if len(results) != len(ts) {
+		return fmt.Errorf("submitted %d tasks, got %d results", len(ts), len(results))
+	}
+	got := make(map[task.ID]struct{}, len(results))
+	failedResults := 0
+	for _, r := range results {
+		if _, dup := got[r.ID]; dup {
+			return fmt.Errorf("task %v delivered twice", r.ID)
+		}
+		got[r.ID] = struct{}{}
+		if r.Failed() {
+			failedResults++
+			log.Printf("seed %d: task %v failed: %s (exit %d)", seed, r.ID, r.Err, r.ExitCode)
+		}
+	}
+	for _, t := range ts {
+		if _, ok := got[t.ID]; !ok {
+			return fmt.Errorf("task %v lost: no result", t.ID)
+		}
+	}
+	if failedResults > 0 {
+		return fmt.Errorf("%d tasks failed under injected faults", failedResults)
+	}
 	return nil
 }
 

@@ -1,11 +1,14 @@
-// Command falkon-forwarder runs the 3-tier architecture's middle tier
-// (paper §6, Figure 16): a public-facing relay that spreads client
-// instances across one or more dispatchers, letting executors live in
-// private IP space behind cluster manager nodes.
+// Command falkon-forwarder runs the root of the hierarchical dispatch tree
+// (paper §6, Figure 16): clients speak to it exactly as to a flat
+// dispatcher, while it bundles work downstream to leaf dispatchers, routes
+// every bundle by the leaves' reported capacity, and aggregates results —
+// and stats, and metrics — back upward. Leaves can themselves be
+// forwarders, giving trees deeper than two levels.
 //
 // Usage:
 //
 //	falkon-forwarder -addr :7524 -dispatchers host1:7523,host2:7523
+//	falkon-forwarder -addr :7524 -dispatchers leaffwd1:7524,leaffwd2:7524 -bundle 128
 package main
 
 import (
@@ -14,10 +17,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
 	"falkon/internal/forward"
+	"falkon/internal/fproto"
 	"falkon/internal/obs"
 	"falkon/internal/wsrpc"
 )
@@ -26,6 +29,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":7524", "listen address for clients")
 		dispatchers = flag.String("dispatchers", "127.0.0.1:7523", "comma-separated dispatcher addresses")
+		bundle      = flag.Int("bundle", 0, "root→leaf bundle size (0 = default 64)")
+		noCapacity  = flag.Bool("no-capacity", false, "disable capacity-hint routing, fall back to round-robin")
 		secure      = flag.Bool("secure", false, "use the secure-conversation transport profile on both tiers")
 		pskFile     = flag.String("psk-file", "", "pre-shared key file (required with -secure)")
 		debugAddr   = flag.String("debug-addr", "", "HTTP address serving /metrics and /debug/pprof/ (empty = off)")
@@ -33,7 +38,9 @@ func main() {
 	flag.Parse()
 
 	opts := forward.Options{
-		Dispatchers: strings.Split(*dispatchers, ","),
+		Dispatchers: fproto.SplitAddrs(*dispatchers),
+		Bundle:      *bundle,
+		NoCapacity:  *noCapacity,
 		Logf:        log.Printf,
 	}
 	if *secure {

@@ -2,12 +2,14 @@
 // dispatcher's (or forwarder's) stats and prints a refreshing status line —
 // queue depth, executor states, completion counters, throughput — plus a
 // per-stage dispatch latency panel (the paper's Figure 10 breakdown) built
-// from the falkon.metrics histograms.
+// from the falkon.metrics histograms. Pointed at a dispatch-tree root, it
+// additionally shows one row per leaf: liveness, queue/outstanding depth,
+// executor split, the root's routed-bundle counters, and bundles/s.
 //
 // Usage:
 //
 //	falkon-top -dispatcher host:7523
-//	falkon-top -dispatcher host:7524 -interval 2s   # against a forwarder
+//	falkon-top -dispatcher host:7524 -interval 2s   # against a tree root
 //	falkon-top -dispatcher host:7523 -stages=false  # status line only
 package main
 
@@ -31,6 +33,7 @@ func main() {
 		stages     = flag.Bool("stages", true, "show the per-stage latency panel")
 		overhead   = flag.Bool("overhead", true, "show the scheduler-overhead panel (where the dispatcher's own time goes)")
 		shards     = flag.Bool("shards", true, "show the shard-imbalance panel (hidden in single-shard mode)")
+		leaves     = flag.Bool("leaves", true, "show the per-leaf panel when polling a dispatch-tree root")
 	)
 	flag.Parse()
 
@@ -42,6 +45,7 @@ func main() {
 
 	var lastCompleted int64
 	lastSteals := map[int]int64{}
+	lastBundles := map[string]int64{}
 	lastAt := time.Now()
 	first := true
 	lines := 0
@@ -72,10 +76,38 @@ func main() {
 		if st.NotifyErrors > 0 {
 			notifyErrs = fmt.Sprintf(" notify_errs=%d", st.NotifyErrors)
 		}
-		fmt.Printf("\r\033[Kqueued=%-8d running=%-6d executors=%d(busy %d) dispatched=%d done=%d failed=%d retried=%d dup=%d%s rate=%.0f/s\n",
-			st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
+		// A root announces its tree depth; a flat dispatcher stays silent.
+		depth := ""
+		if st.Depth > 1 {
+			depth = fmt.Sprintf("depth=%d ", st.Depth)
+		}
+		fmt.Printf("\r\033[K%squeued=%-8d running=%-6d executors=%d(busy %d) dispatched=%d done=%d failed=%d retried=%d dup=%d%s rate=%.0f/s\n",
+			depth, st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
 			st.Dispatched, st.Completed, st.Failed, st.Retried, st.Duplicates, notifyErrs, rate)
 		lines++
+		// Per-leaf panel: present only when polling a dispatch-tree root.
+		// Each row is one leaf dispatcher — its live capacity, the root's
+		// routing counters toward it, and the bundle rate this interval.
+		if *leaves && len(st.Leaves) > 0 {
+			fmt.Printf("\033[K%-22s %4s %8s %12s %12s %8s %9s %10s %8s %7s\n",
+				"leaf", "up", "queued", "outstanding", "execs(busy)", "pending", "bundles", "bundles/s", "reroute", "redial")
+			lines++
+			for _, lf := range st.Leaves {
+				bundleRate := 0.0
+				if prev, ok := lastBundles[lf.Leaf]; ok && elapsed > 0 {
+					bundleRate = float64(lf.Bundles-prev) / elapsed
+				}
+				lastBundles[lf.Leaf] = lf.Bundles
+				up := "no"
+				if lf.Up {
+					up = "yes"
+				}
+				fmt.Printf("\033[K%-22s %4s %8d %12d %9d(%d) %8d %9d %10.1f %8d %7d\n",
+					lf.Leaf, up, lf.Queued, lf.Outstanding, lf.Executors, lf.Busy,
+					lf.Pending, lf.Bundles, bundleRate, lf.Reroutes, lf.Reconnects)
+				lines++
+			}
+		}
 		// Shard-imbalance panel: per-shard queue depth, executor split, and
 		// steal rate. Only worth screen space with more than one shard.
 		if *shards && len(st.Shards) > 1 {

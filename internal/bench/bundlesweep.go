@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"falkon/internal/core"
+	"falkon/internal/task"
+)
+
+func init() {
+	register("bundle-sweep", bundleSweep)
+}
+
+// bundleSweep reproduces the paper's §4.3 bundling curve (Figure 5) on the
+// LIVE runtime: sweep the client-dispatcher bundle size and measure
+// end-to-end tasks/s. Small bundles pay one RPC round trip per task; larger
+// bundles amortize the per-message envelope until the curve flattens at the
+// dispatcher's hot-path ceiling. The same economics drive the tree root's
+// BundleSize knob, so this curve calibrates root→leaf bundling too.
+func bundleSweep(scale float64) *Result {
+	res := &Result{
+		ID:     "bundle-sweep",
+		Title:  "Client-dispatcher bundling sweep, live runtime (sleep-0 tasks)",
+		Header: []string{"bundle", "tasks", "tasks/s"},
+		Values: map[string]float64{},
+	}
+	nTasks := scaled(10000, scale, 1000)
+	best := 0.0
+	for _, bundle := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		tput, err := runBundle(bundle, nTasks)
+		cell := f0(tput)
+		if err != nil {
+			cell = "error"
+			res.Notes = append(res.Notes, fmt.Sprintf("bundle %d: %v", bundle, err))
+		}
+		res.Rows = append(res.Rows, []string{fmt.Sprint(bundle), fmt.Sprint(nTasks), cell})
+		res.Values[fmt.Sprintf("tasks_per_sec_bundle_%d", bundle)] = tput
+		if tput > best {
+			best = tput
+		}
+	}
+	res.Values["tasks_per_sec"] = best
+	res.Notes = append(res.Notes,
+		"Figure 5's shape: bundle 1 is round-trip-bound, the curve climbs as the envelope amortizes, then flattens at the dispatcher ceiling (the paper peaked ~1500 tasks/s at bundle ~300 on GT4/SOAP)")
+	return res
+}
+
+// runBundle measures one bundle-size point on a fresh loopback system.
+func runBundle(bundle, nTasks int) (float64, error) {
+	sys, err := core.Start(core.Config{Executors: 8, BundleSize: bundle})
+	if err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+	var gen task.IDGen
+	start := time.Now()
+	if err := sys.Submit(task.Batch(&gen, nTasks, 0)); err != nil {
+		return 0, err
+	}
+	if _, err := sys.WaitN(nTasks, 5*time.Minute); err != nil {
+		return 0, err
+	}
+	return float64(nTasks) / time.Since(start).Seconds(), nil
+}

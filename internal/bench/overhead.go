@@ -56,6 +56,11 @@ func overheadBreakdown(scale float64) *Result {
 	snap := sys.Dispatcher().MetricsSnapshot()
 	res.Values = map[string]float64{
 		"tasks_per_sec": float64(nTasks) / elapsed.Seconds(),
+		// Topology context for trend rows: how many scheduler shards the
+		// dispatcher resolved to, and the dispatch-tree depth (1 = flat; the
+		// tree-throughput experiment measures depth 2).
+		"shards": float64(sys.Dispatcher().Shards()),
+		"depth":  1,
 	}
 	row := func(stage, key string) {
 		h := snap.Histogram(key)

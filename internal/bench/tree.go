@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/core"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/forward"
+	"falkon/internal/task"
+)
+
+func init() {
+	register("tree-throughput", treeThroughput)
+}
+
+// treeThroughput races the flat single dispatcher against a live 2-level
+// dispatch tree (1 forwarder root, 4 dispatcher leaves) on the same box, at
+// an executor count high enough that dispatcher-side work dominates. Every
+// component is real — TCP loopback, full protocol, bundled root→leaf
+// routing by capacity hints. The depth-2 row is the tentpole measurement:
+// on multi-core hardware the tree multiplies dispatcher CPU and pulls
+// ahead; on a single-CPU runner the extra hop costs a few percent and
+// parity is the expectation (same caveat as live-throughput's shard sweep).
+func treeThroughput(scale float64) *Result {
+	res := &Result{
+		ID:     "tree-throughput",
+		Title:  "Flat dispatcher vs 2-level dispatch tree (sleep-0 tasks, live TCP)",
+		Header: []string{"depth", "topology", "executors", "tasks", "tasks/s"},
+	}
+	nTasks := scaled(20000, scale, 2000)
+	nExec := scaled(256, scale, 32)
+
+	flat, err := runFlat(nExec, nTasks)
+	if err != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf("flat run: %v", err))
+		return res
+	}
+	res.Rows = append(res.Rows, []string{"1", "flat dispatcher", fmt.Sprint(nExec), fmt.Sprint(nTasks), f0(flat)})
+
+	const leaves = 4
+	tree, err := runTree(leaves, nExec, nTasks)
+	if err != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf("tree run: %v", err))
+		return res
+	}
+	res.Rows = append(res.Rows, []string{"2", fmt.Sprintf("1 root + %d leaves", leaves), fmt.Sprint(nExec), fmt.Sprint(nTasks), f0(tree)})
+
+	res.Values = map[string]float64{
+		"tasks_per_sec":         tree,
+		"tasks_per_sec_depth_1": flat,
+		"tasks_per_sec_depth_2": tree,
+		"depth":                 2,
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("tree/flat ratio %.2f; the tree's win is dispatcher-CPU parallelism, so the ratio tracks core count (1.0 ± the root-hop cost on a single-CPU box)", tree/flat))
+	return res
+}
+
+// runFlat measures the single-dispatcher baseline via the in-process system.
+func runFlat(nExec, nTasks int) (float64, error) {
+	sys, err := core.Start(core.Config{Executors: nExec, BundleSize: 100})
+	if err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+	var gen task.IDGen
+	start := time.Now()
+	if err := sys.Submit(task.Batch(&gen, nTasks, 0)); err != nil {
+		return 0, err
+	}
+	if _, err := sys.WaitN(nTasks, 5*time.Minute); err != nil {
+		return 0, err
+	}
+	return float64(nTasks) / time.Since(start).Seconds(), nil
+}
+
+// runTree boots the live 2-level tree — dispatcher leaves, a forwarder root
+// routing bundles by capacity, executors striped across the leaves — and
+// measures client-visible throughput through the root.
+func runTree(leaves, nExec, nTasks int) (float64, error) {
+	var addrs []string
+	var ds []*dispatch.Dispatcher
+	defer func() {
+		for _, d := range ds {
+			d.Close()
+		}
+	}()
+	for i := 0; i < leaves; i++ {
+		d := dispatch.New(dispatch.Options{})
+		if err := d.Listen("127.0.0.1:0"); err != nil {
+			return 0, err
+		}
+		ds = append(ds, d)
+		addrs = append(addrs, d.Addr())
+	}
+	var execs []*executor.Executor
+	defer func() {
+		for _, ex := range execs {
+			ex.Stop()
+		}
+	}()
+	for i := 0; i < nExec; i++ {
+		ex, err := executor.Start(executor.Options{
+			ID:             fmt.Sprintf("tree-exec-%d", i),
+			DispatcherAddr: addrs[i%leaves],
+		})
+		if err != nil {
+			return 0, err
+		}
+		execs = append(execs, ex)
+	}
+	f, err := forward.New(forward.Options{Dispatchers: addrs, Bundle: 64})
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		return 0, err
+	}
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), BundleSize: 100})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	var gen task.IDGen
+	start := time.Now()
+	if err := c.Submit(task.Batch(&gen, nTasks, 0)); err != nil {
+		return 0, err
+	}
+	if _, err := c.WaitN(nTasks, 5*time.Minute); err != nil {
+		return 0, err
+	}
+	return float64(nTasks) / time.Since(start).Seconds(), nil
+}

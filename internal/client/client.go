@@ -28,7 +28,13 @@ import (
 
 // Options configures Connect.
 type Options struct {
-	// DispatcherAddr is the dispatcher's wsrpc address.
+	// DispatcherAddr is the dispatcher's wsrpc address, or a comma-separated
+	// chain of addresses tried in order ("leaf:5001,root:5000"): in a
+	// hierarchical tree the client attaches to its leaf and fails over to
+	// the next address in the chain — typically the root — when the leaf
+	// dies. Failing over to a dispatcher that doesn't know the instance
+	// falls back to a fresh instance plus resubmission of owed tasks, the
+	// same path as a journal-less restart.
 	DispatcherAddr string
 	// Name labels the client in dispatcher logs.
 	Name string
@@ -64,6 +70,15 @@ type Options struct {
 // Client is a connected Falkon client owning one dispatcher instance.
 type Client struct {
 	opts Options
+
+	// addrs is the parsed DispatcherAddr chain; addrIdx (under mu) is the
+	// element the live connection used, where redials start. eprIdx is the
+	// address the current instance was created on — EPRs are per-dispatcher,
+	// so a reconnect that lands elsewhere must not reattach by EPR (the same
+	// name could be a stranger's instance there) and starts fresh instead.
+	addrs   []string
+	addrIdx int
+	eprIdx  int
 
 	// traceBase is the random per-client base trace IDs are derived from:
 	// a task's trace is traceBase + its ID, so the mapping is stable across
@@ -114,10 +129,14 @@ func Connect(opts Options) (*Client, error) {
 	}
 	c := &Client{
 		opts:      opts,
+		addrs:     fproto.SplitAddrs(opts.DispatcherAddr),
 		traceBase: randTraceBase(),
 		results:   make(chan task.Result, 4096),
 		closedCh:  make(chan struct{}),
 		deadCh:    make(chan struct{}),
+	}
+	if len(c.addrs) == 0 {
+		return nil, fmt.Errorf("client: no dispatcher address")
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if opts.Reconnect {
@@ -139,6 +158,7 @@ func Connect(opts Options) (*Client, error) {
 	}
 	c.cli = cli
 	c.epr = reply.EPR
+	c.eprIdx = c.addrIdx
 	go c.supervise(cli)
 	if opts.Poll {
 		c.pollStop = make(chan struct{})
@@ -158,13 +178,34 @@ func randTraceBase() uint64 {
 	return binary.LittleEndian.Uint64(b[:])
 }
 
+// dial connects to the first reachable address in the chain, starting at
+// the one the previous connection used: a blip redials the same dispatcher
+// (preserving the instance), a dead leaf rotates to the fallback.
 func (c *Client) dial() (*wsrpc.Client, error) {
-	return wsrpc.Dial(c.opts.DispatcherAddr, wsrpc.ClientOptions{
-		Security: c.opts.Security,
-		PSK:      c.opts.PSK,
-		OnNotify: c.onNotify,
-		Faults:   c.opts.Faults,
-	})
+	c.mu.Lock()
+	start := c.addrIdx
+	c.mu.Unlock()
+	var firstErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (start + i) % len(c.addrs)
+		cli, err := wsrpc.Dial(c.addrs[idx], wsrpc.ClientOptions{
+			Security: c.opts.Security,
+			PSK:      c.opts.PSK,
+			OnNotify: c.onNotify,
+			Faults:   c.opts.Faults,
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.mu.Lock()
+		c.addrIdx = idx
+		c.mu.Unlock()
+		return cli, nil
+	}
+	return nil, firstErr
 }
 
 // EPR returns the instance endpoint reference.
@@ -255,6 +296,9 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 		}
 		c.mu.Lock()
 		epr, name, poll := c.epr, c.opts.Name, c.opts.Poll
+		if c.addrIdx != c.eprIdx {
+			epr = "" // failed over: the EPR means nothing (or worse) here
+		}
 		c.mu.Unlock()
 		var reply fproto.CreateInstanceReply
 		err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
@@ -263,7 +307,7 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 			EPR:               epr,
 		}, &reply)
 		var remote *wsrpc.RemoteError
-		if errors.As(err, &remote) {
+		if errors.As(err, &remote) && epr != "" {
 			// The dispatcher is up but doesn't know the instance (no journal,
 			// or it was pruned): start fresh and resubmit everything.
 			err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
@@ -278,6 +322,7 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 		c.mu.Lock()
 		c.cli = cli
 		c.epr = reply.EPR
+		c.eprIdx = c.addrIdx
 		c.gen++
 		c.reconnects++
 		resubmit := make([]task.Task, 0, len(c.pending))

@@ -1,0 +1,115 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"falkon/internal/backoff"
+	"falkon/internal/client"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/fproto"
+	"falkon/internal/task"
+)
+
+// TestSplitAddrs pins the dispatcher-chain syntax shared by the client and
+// executor attach paths.
+func TestSplitAddrs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ,", []string{"a:1", "b:2"}},
+		{"", nil},
+		{",,", nil},
+	}
+	for _, c := range cases {
+		got := fproto.SplitAddrs(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitAddrs(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitAddrs(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+// TestClientFailsOverToFallbackDispatcher attaches a client to a leaf with a
+// root-fallback chain, kills the leaf, and expects the client to re-home on
+// the fallback — resubmitting owed work under a fresh instance, since EPRs
+// don't travel between dispatchers — and to keep delivering exactly once.
+func TestClientFailsOverToFallbackDispatcher(t *testing.T) {
+	fast := backoff.Policy{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.2}
+	leaf := dispatch.New(dispatch.Options{Logf: t.Logf})
+	if err := leaf.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	root := dispatch.New(dispatch.Options{Logf: t.Logf})
+	if err := root.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { root.Close() })
+	// One executor chained the same way: when the leaf dies it follows the
+	// client to the fallback.
+	ex, err := executor.Start(executor.Options{
+		ID: "fo-exec", DispatcherAddr: leaf.Addr() + "," + root.Addr(),
+		SleepScale: 0.001, Reconnect: true, Backoff: fast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ex.Stop)
+
+	c, err := client.Connect(client.Options{
+		DispatcherAddr: leaf.Addr() + "," + root.Addr(),
+		BundleSize:     10, Reconnect: true, Backoff: fast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(20, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Owed work in flight, then the leaf crashes for good (no restart).
+	if err := c.Submit(task.Batch(&gen, 30, 2*time.Second)); err != nil { // 2ms real
+		t.Fatal(err)
+	}
+	leaf.Abort()
+
+	rs, err := c.WaitN(30, 30*time.Second)
+	if err != nil {
+		t.Fatalf("tasks lost across failover: %v", err)
+	}
+	seen := make(map[task.ID]bool)
+	for _, r := range rs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate result %v", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if c.Reconnects() < 1 {
+		t.Fatalf("reconnects = %d, want ≥1", c.Reconnects())
+	}
+
+	// The fallback is now home: fresh work flows without the leaf.
+	if err := c.Submit(task.Batch(&gen, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(10, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Stats(); err != nil || st.Completed == 0 {
+		t.Fatalf("fallback dispatcher stats = %+v, err %v", st, err)
+	}
+}

@@ -296,6 +296,10 @@ type Dispatcher struct {
 	instances map[string]*instance
 	nextEPR   int64
 
+	// parents tracks attached tree parents (forwarder roots) that receive
+	// capacity hints for bundle routing.
+	parents parents
+
 	// limbo counts tasks in motion between shard structures: a submit
 	// between its draining check and its enqueues, a stolen task between
 	// victim pop and home assign, a replayed task between executor drop and
@@ -944,7 +948,8 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	meta, _ := p.Meta().(string)
 	if meta == "" {
 		// Client connections carry no meta; detach any instances bound to
-		// this peer.
+		// this peer, and forget it as a tree parent if it attached as one.
+		d.parents.drop(p)
 		d.imu.RLock()
 		for _, inst := range d.instances {
 			inst.mu.Lock()
@@ -978,6 +983,7 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 		d.logf("dispatch: executor %s dropped with %d tasks in flight", meta, len(dropped))
 	}
 	d.flush(f)
+	d.noteCapacityChange(true) // executor population changed
 }
 
 // replay applies the replay policy to an orphaned attempt: while retries

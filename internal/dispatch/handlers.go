@@ -28,6 +28,7 @@ func (d *Dispatcher) register() {
 	d.srv.RegisterFast(fproto.MethodDeregister, d.handleDeregister)
 	d.srv.RegisterFast(fproto.MethodGetWork, d.handleGetWork)
 	d.srv.RegisterFast(fproto.MethodDeliver, d.handleDeliver)
+	d.srv.RegisterFast(fproto.MethodAttachParent, d.handleAttachParent)
 	d.srv.RegisterFast(fproto.MethodStats, d.handleStats)
 	d.srv.RegisterFast(fproto.MethodMetrics, d.handleMetrics)
 	d.srv.RegisterFast(fproto.MethodEvents, d.handleEvents)
@@ -143,7 +144,7 @@ func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) 
 	return struct{}{}, nil
 }
 
-func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
+func (d *Dispatcher) handleSubmit(p *wsrpc.Peer, body json.RawMessage) (any, error) {
 	req, err := decode[fproto.SubmitRequest](body)
 	if err != nil {
 		return nil, err
@@ -261,7 +262,15 @@ func (d *Dispatcher) handleSubmit(_ *wsrpc.Peer, body json.RawMessage) (any, err
 	if d.wal != nil {
 		d.hWALWait.Observe(time.Since(t3).Seconds())
 	}
-	return fproto.SubmitReply{Accepted: len(req.Tasks), Deduped: deduped}, nil
+	reply := fproto.SubmitReply{Accepted: len(req.Tasks), Deduped: deduped}
+	if d.parents.has(p) {
+		// A submitting parent gets a fresh capacity hint piggy-backed on the
+		// acknowledgment — its routing table tracks this leaf's backlog with
+		// zero extra round trips.
+		h := d.capacityHint()
+		reply.Capacity = &h
+	}
+	return reply, nil
 }
 
 func (d *Dispatcher) handleCollect(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
@@ -321,6 +330,7 @@ func (d *Dispatcher) handleRegister(p *wsrpc.Peer, body json.RawMessage) (any, e
 	// on its first pull).
 	d.crossNotify(f, d.now())
 	d.flush(f)
+	d.noteCapacityChange(true) // executor population changed
 	return fproto.RegisterReply{OK: true, DispatcherEpoch: d.epoch.UnixNano()}, nil
 }
 
@@ -341,6 +351,7 @@ func (d *Dispatcher) handleDeregister(_ *wsrpc.Peer, body json.RawMessage) (any,
 	s.mu.Unlock()
 	d.wakeDrain()
 	d.flush(f)
+	d.noteCapacityChange(true) // executor population changed
 	return struct{}{}, nil
 }
 
@@ -469,6 +480,7 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 	d.hFxFlush.Observe(t3.Sub(t2).Seconds())
 	s.hLockWait.Observe(t1.Sub(t0).Seconds())
 	s.hSchedCore.Observe(t2.Sub(t1).Seconds())
+	d.noteCapacityChange(false) // throttled: completions free leaf headroom
 	return fproto.DeliverReply{Assignments: as}, nil
 }
 

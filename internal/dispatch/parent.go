@@ -1,0 +1,121 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"falkon/internal/fproto"
+	"falkon/internal/wsrpc"
+)
+
+// capPushInterval throttles capacity pushes to attached parents: executor
+// completions arrive thousands of times per second, but a routing hint only
+// needs to be fresh on the scale of a bundle round trip.
+const capPushInterval = 20 * time.Millisecond
+
+// parents tracks the connections registered as tree parents (forwarder
+// roots) via falkon.attach-parent. Parents receive NotifyCapacity pushes
+// whenever the dispatcher's headroom changes materially, and their submit
+// acknowledgments piggy-back a fresh hint.
+type parents struct {
+	n  atomic.Int32 // lock-free emptiness check for the hot path
+	mu sync.Mutex
+	m  map[uint64]*wsrpc.Peer
+
+	seq      atomic.Uint64
+	lastPush atomic.Int64 // unix nanos of the last throttled push
+}
+
+func (ps *parents) add(p *wsrpc.Peer) {
+	ps.mu.Lock()
+	if ps.m == nil {
+		ps.m = make(map[uint64]*wsrpc.Peer)
+	}
+	if _, ok := ps.m[p.ID()]; !ok {
+		ps.m[p.ID()] = p
+		ps.n.Add(1)
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *parents) drop(p *wsrpc.Peer) {
+	ps.mu.Lock()
+	if _, ok := ps.m[p.ID()]; ok {
+		delete(ps.m, p.ID())
+		ps.n.Add(-1)
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *parents) has(p *wsrpc.Peer) bool {
+	if ps.n.Load() == 0 {
+		return false
+	}
+	ps.mu.Lock()
+	_, ok := ps.m[p.ID()]
+	ps.mu.Unlock()
+	return ok
+}
+
+// handleAttachParent registers the peer as a tree parent and returns the
+// current capacity hint as the attach snapshot.
+func (d *Dispatcher) handleAttachParent(p *wsrpc.Peer, body json.RawMessage) (any, error) {
+	var req fproto.AttachParentRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+	}
+	d.parents.add(p)
+	if req.Parent != "" {
+		d.logf("dispatch: parent %q attached from %s", req.Parent, p.RemoteAddr())
+	}
+	return d.capacityHint(), nil
+}
+
+// capacityHint snapshots the dispatcher's headroom: backlog (queued +
+// outstanding) and executor population across every shard. Slots are
+// approximated by executors (the paper maps one executor per processor), so
+// IdleSlots is the idle executor count.
+func (d *Dispatcher) capacityHint() fproto.CapacityHint {
+	h := fproto.CapacityHint{Seq: d.parents.seq.Add(1)}
+	for _, s := range d.shards {
+		s.mu.Lock()
+		q, o := s.core.QueueLen(), s.core.OutstandingLen()
+		total, busy := s.core.ExecStats()
+		s.mu.Unlock()
+		h.Queued += q
+		h.Outstanding += o
+		h.Executors += total
+		h.IdleSlots += total - busy
+	}
+	return h
+}
+
+// noteCapacityChange pushes a fresh capacity hint to every attached parent,
+// throttled to capPushInterval. force bypasses the throttle (executor
+// population changes shift routing more than one completion does). The
+// no-parent fast path is a single atomic load, so the Deliver hot path pays
+// nothing when no tree is attached.
+func (d *Dispatcher) noteCapacityChange(force bool) {
+	if d.parents.n.Load() == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	if !force {
+		last := d.parents.lastPush.Load()
+		if now-last < int64(capPushInterval) || !d.parents.lastPush.CompareAndSwap(last, now) {
+			return
+		}
+	} else {
+		d.parents.lastPush.Store(now)
+	}
+	h := d.capacityHint()
+	d.parents.mu.Lock()
+	for _, p := range d.parents.m {
+		d.eng.push(p, fproto.NotifyCapacity, h)
+	}
+	d.parents.mu.Unlock()
+}

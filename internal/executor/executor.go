@@ -36,7 +36,10 @@ type Func func(t task.Task) (stdout string, exitCode int, err error)
 type Options struct {
 	// ID names the executor; it must be unique per dispatcher.
 	ID string
-	// DispatcherAddr is the dispatcher's wsrpc address.
+	// DispatcherAddr is the dispatcher's wsrpc address, or a comma-separated
+	// chain tried in order ("leaf:5001,root:5000"): in a hierarchical tree
+	// the executor registers with its leaf and, in Reconnect mode, fails
+	// over to the next address in the chain when the leaf stays down.
 	DispatcherAddr string
 	// Slots is the number of tasks run concurrently (default 1; the paper
 	// runs one executor per processor).
@@ -99,6 +102,12 @@ type Options struct {
 type Executor struct {
 	opts Options
 
+	// addrs is the parsed DispatcherAddr chain; addrIdx is the element the
+	// live connection used, where redials start. Only Start and the
+	// supervise goroutine touch addrIdx, never concurrently.
+	addrs   []string
+	addrIdx int
+
 	// Observability. epoch is the dispatcher's wall-clock epoch (UnixNano)
 	// from registration; trace events are stamped relative to it so executor
 	// and dispatcher spans share one timeline despite separate clocks. It is
@@ -150,10 +159,14 @@ func Start(opts Options) (*Executor, error) {
 		opts.ReconnectTimeout = 30 * time.Second
 	}
 	e := &Executor{
-		opts: opts,
-		wake: make(chan struct{}, opts.Slots),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		opts:  opts,
+		addrs: fproto.SplitAddrs(opts.DispatcherAddr),
+		wake:  make(chan struct{}, opts.Slots),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if len(e.addrs) == 0 {
+		return nil, fmt.Errorf("executor %s: no dispatcher address", opts.ID)
 	}
 	e.reg = opts.Metrics
 	if e.reg == nil {
@@ -170,13 +183,7 @@ func Start(opts Options) (*Executor, error) {
 	e.hOverhed = e.reg.Histogram("falkon_executor_overhead_seconds")
 	e.lastBusy = time.Now()
 	e.cond = sync.NewCond(&e.mu)
-	cli, err := wsrpc.Dial(opts.DispatcherAddr, wsrpc.ClientOptions{
-		Security: opts.Security,
-		PSK:      opts.PSK,
-		OnNotify: e.onNotify,
-		Metrics:  e.reg,
-		Faults:   opts.Faults,
-	})
+	cli, err := e.dialChain()
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +220,32 @@ func Start(opts Options) (*Executor, error) {
 		close(e.done)
 	}()
 	return e, nil
+}
+
+// dialChain connects to the first reachable address in the chain, starting
+// at the one the previous connection used: a dispatcher blip redials the
+// same leaf, a dead leaf rotates to the fallback (typically the tree root).
+func (e *Executor) dialChain() (*wsrpc.Client, error) {
+	var firstErr error
+	for i := 0; i < len(e.addrs); i++ {
+		idx := (e.addrIdx + i) % len(e.addrs)
+		cli, err := wsrpc.Dial(e.addrs[idx], wsrpc.ClientOptions{
+			Security: e.opts.Security,
+			PSK:      e.opts.PSK,
+			OnNotify: e.onNotify,
+			Metrics:  e.reg,
+			Faults:   e.opts.Faults,
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.addrIdx = idx
+		return cli, nil
+	}
+	return nil, firstErr
 }
 
 // curCli returns the current connection.
@@ -287,13 +320,7 @@ func (e *Executor) reregister() (*wsrpc.Client, bool) {
 			return nil, false
 		}
 		e.cRegRetries.Inc()
-		cli, err := wsrpc.Dial(e.opts.DispatcherAddr, wsrpc.ClientOptions{
-			Security: e.opts.Security,
-			PSK:      e.opts.PSK,
-			OnNotify: e.onNotify,
-			Metrics:  e.reg,
-			Faults:   e.opts.Faults,
-		})
+		cli, err := e.dialChain()
 		if err != nil {
 			continue
 		}

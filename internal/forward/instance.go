@@ -1,0 +1,124 @@
+package forward
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"falkon/internal/task"
+)
+
+// pentry is one task the root owes a result for: the task itself (kept for
+// replay if its leaf dies) and the leaf it is currently routed to.
+type pentry struct {
+	t    task.Task
+	leaf int
+}
+
+// finst is one root-owned instance. The root hands out its own EPR space
+// ("fwd-N") and creates downstream instances lazily, one per leaf the
+// instance's work actually lands on; results funnel back through the root's
+// buffer so Collect and push notification work even while leaves churn.
+//
+// Lock order: Forwarder.mu → finst.mu. Neither is ever held across a
+// downstream call.
+type finst struct {
+	epr  string
+	name string
+
+	destroyed atomic.Bool
+
+	mu     sync.Mutex
+	peer   upstreamPeer // client connection for pushed results (nil = detached)
+	notify bool
+
+	// pending maps every task awaiting a result to its current leaf; done
+	// records delivered task IDs so replayed duplicates drop exactly like
+	// the client library's dedupe. A resubmit of a done task re-runs it
+	// (the ID leaves done), mirroring dispatcher instance semantics.
+	pending map[task.ID]pentry
+	done    map[task.ID]struct{}
+
+	submitted int64
+	dupDrops  int64
+
+	// downEPR[i] is this instance's EPR on leaf i ("" until first use);
+	// creating[i] is a barrier channel while a create call is in flight so
+	// concurrent submits don't create duplicate downstream instances.
+	downEPR  []string
+	creating []chan struct{}
+
+	// results buffers deliveries for poll-mode (or detached) clients;
+	// waiters are blocked Collect calls.
+	results []task.Result
+	waiters []chan struct{}
+}
+
+// upstreamPeer is the slice of wsrpc.Peer the instance needs; an interface
+// so tests can fake a push target.
+type upstreamPeer interface {
+	Notify(method string, arg any) error
+}
+
+func newFinst(epr, name string, leaves int) *finst {
+	return &finst{
+		epr:      epr,
+		name:     name,
+		pending:  make(map[task.ID]pentry),
+		done:     make(map[task.ID]struct{}),
+		downEPR:  make([]string, leaves),
+		creating: make([]chan struct{}, leaves),
+	}
+}
+
+// addResult buffers r and wakes blocked Collect calls. Callers hold mu.
+func (in *finst) addResult(r task.Result) {
+	in.results = append(in.results, r)
+	for _, w := range in.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	in.waiters = in.waiters[:0]
+}
+
+// takeResults removes up to max buffered results (0 = all). Callers hold mu.
+func (in *finst) takeResults(max int) []task.Result {
+	n := len(in.results)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]task.Result, n)
+	copy(out, in.results)
+	in.results = in.results[n:]
+	if len(in.results) == 0 {
+		in.results = nil
+	}
+	return out
+}
+
+// pendingFor counts tasks currently routed to leaf idx. Callers hold mu.
+func (in *finst) pendingFor(idx int) int {
+	n := 0
+	for _, pe := range in.pending {
+		if pe.leaf == idx {
+			n++
+		}
+	}
+	return n
+}
+
+// takePendingFor collects the tasks currently routed to leaf idx, in
+// arbitrary order. Callers hold mu.
+func (in *finst) takePendingFor(idx int) []task.Task {
+	var ts []task.Task
+	for _, pe := range in.pending {
+		if pe.leaf == idx {
+			ts = append(ts, pe.t)
+		}
+	}
+	return ts
+}

@@ -12,11 +12,26 @@
 package fproto
 
 import (
+	"strings"
 	"time"
 
 	"falkon/internal/obs"
 	"falkon/internal/task"
 )
+
+// SplitAddrs parses a dispatcher address chain: a comma-separated list tried
+// in order ("leaf:5001,root:5000"), so clients and executors can attach to a
+// tree leaf and fall back to the root (or another leaf) when it dies. Empty
+// elements and surrounding whitespace are dropped.
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 // RPC method names served by the dispatcher.
 const (
@@ -31,12 +46,20 @@ const (
 	MethodStats           = "falkon.stats"
 	MethodMetrics         = "falkon.metrics"
 	MethodEvents          = "falkon.events"
+	// MethodAttachParent registers the calling peer as a tree parent (a
+	// forwarder root): the dispatcher replies with its current capacity and
+	// thereafter pushes NotifyCapacity hints so the parent can route bundles
+	// by headroom. Dispatchers predating the hierarchical tree reject the
+	// method; parents treat that as "no hints" and fall back to round-robin.
+	MethodAttachParent = "falkon.attach-parent"
 )
 
 // Notification method names pushed by the dispatcher.
 const (
 	NotifyWorkAvailable = "falkon.work-available"
 	NotifyResults       = "falkon.results"
+	// NotifyCapacity carries a CapacityHint to attached tree parents.
+	NotifyCapacity = "falkon.capacity"
 )
 
 // CreateInstanceRequest asks the dispatcher factory for a new instance.
@@ -82,6 +105,36 @@ type SubmitReply struct {
 	// (idempotent resubmission after a reconnect); they are counted in
 	// Accepted too, since their results are still owed to the client.
 	Deduped int `json:"deduped,omitempty"`
+	// Capacity piggy-backs a fresh capacity hint when the submitting peer
+	// attached as a tree parent, so every bundle acknowledgment refreshes
+	// the root's routing view. Absent for ordinary clients (and from
+	// dispatchers predating the tree, which old parents tolerate).
+	Capacity *CapacityHint `json:"capacity,omitempty"`
+}
+
+// AttachParentRequest registers the calling connection as a tree parent.
+type AttachParentRequest struct {
+	// Parent labels the parent in dispatcher logs.
+	Parent string `json:"parent,omitempty"`
+}
+
+// CapacityHint is a leaf dispatcher's headroom summary, pushed upward to
+// tree parents (NotifyCapacity) and piggy-backed on bundle acknowledgments.
+// The root scores leaves by (Queued + Outstanding − IdleSlots) plus its own
+// optimistic in-flight count, routing each bundle to the leaf with the most
+// headroom.
+type CapacityHint struct {
+	// Queued and Outstanding are the leaf's backlog: tasks waiting plus
+	// tasks dispatched but not yet delivered.
+	Queued      int `json:"queued"`
+	Outstanding int `json:"outstanding"`
+	// IdleSlots counts executors registered and without work; Executors is
+	// the total registered population.
+	IdleSlots int `json:"idle_slots"`
+	Executors int `json:"executors"`
+	// Seq orders hints from one leaf: a push that arrives after a fresher
+	// one (piggy-backed on a submit acknowledgment, say) is discarded.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // CollectRequest polls for finished results ({9,10}).
@@ -228,6 +281,14 @@ type StatsReply struct {
 	// Shards holds one row per scheduling shard when the dispatcher runs a
 	// sharded core (always populated; length 1 in legacy single-shard mode).
 	Shards []ShardStats `json:"shards,omitempty"`
+	// Depth is the dispatch-tree depth of the answering endpoint: 0 or
+	// absent for a plain dispatcher, 2 for a forwarder root fronting leaf
+	// dispatchers.
+	Depth int `json:"depth,omitempty"`
+	// Leaves holds one row per downstream leaf dispatcher when the
+	// answering endpoint is a tree root (falkon-top renders the per-leaf
+	// panel from these).
+	Leaves []LeafStats `json:"leaves,omitempty"`
 }
 
 // ShardStats is one scheduling shard's row in StatsReply: queue depth and
@@ -240,6 +301,31 @@ type ShardStats struct {
 	Executors   int   `json:"executors"`
 	Busy        int   `json:"busy"`
 	Steals      int64 `json:"steals,omitempty"`
+}
+
+// LeafStats is one leaf dispatcher's row in a tree root's StatsReply: the
+// leaf's own backlog and executor population (from its last capacity hint
+// or stats poll) plus the root's view of the traffic routed through it.
+type LeafStats struct {
+	Leaf string `json:"leaf"` // leaf dispatcher address
+	Up   bool   `json:"up"`
+	// Queued/Outstanding/Executors/Busy mirror the leaf's own stats.
+	Queued      int `json:"queued"`
+	Outstanding int `json:"outstanding"`
+	Executors   int `json:"executors"`
+	Busy        int `json:"busy"`
+	// Pending counts tasks the root has routed to this leaf and not yet
+	// seen results for (the root's replay obligation if the leaf dies).
+	Pending int `json:"pending"`
+	// Bundles and Tasks count root→leaf submissions; Results counts
+	// results relayed upward from this leaf.
+	Bundles int64 `json:"bundles"`
+	Tasks   int64 `json:"tasks"`
+	Results int64 `json:"results"`
+	// Reroutes counts tasks moved off this leaf after it died; Reconnects
+	// counts redial+reattach cycles survived.
+	Reroutes   int64 `json:"reroutes,omitempty"`
+	Reconnects int64 `json:"reconnects,omitempty"`
 }
 
 // MetricsReply is the falkon.metrics reply: a full registry snapshot —

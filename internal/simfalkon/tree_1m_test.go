@@ -1,0 +1,44 @@
+//go:build !race
+
+package simfalkon
+
+import (
+	"testing"
+	"time"
+
+	"falkon/internal/sim"
+)
+
+// TestTreeMillionExecutors is the petascale headline run: one million
+// simulated executors over a 16-leaf tree, one task per executor, replayed
+// twice with bit-identical completion digests. Excluded under -race (the
+// instrumented run is ~10x slower and the model is single-goroutine anyway)
+// and in -short mode.
+func TestTreeMillionExecutors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-executor run in -short mode")
+	}
+	const leaves, nExec, nTasks = 16, 1_000_000, 1_000_000
+	run := func() (uint64, time.Duration, int) {
+		e := sim.New(1)
+		tr := NewTree(e, NoSecurity(), leaves)
+		tr.AddExecutors(nExec)
+		tr.SubmitSleepStream(nTasks, 0, 1024)
+		end := e.Run()
+		return tr.Digest(), end, tr.Completed()
+	}
+	d1, end1, c1 := run()
+	if c1 != nTasks {
+		t.Fatalf("completed %d of %d", c1, nTasks)
+	}
+	tput := float64(nTasks) / end1.Seconds()
+	t.Logf("1M executors over %d leaves: %d tasks in %v virtual (%.0f tasks/s)", leaves, nTasks, end1.Round(time.Millisecond), tput)
+	// 16 leaves must land well past any single dispatcher's cold-path rate.
+	if tput < 1000 {
+		t.Fatalf("16-leaf throughput %.0f/s, want >= 1000/s", tput)
+	}
+	d2, end2, c2 := run()
+	if d1 != d2 || end1 != end2 || c1 != c2 {
+		t.Fatalf("non-deterministic 1M run: (%x,%v,%d) vs (%x,%v,%d)", d1, end1, c1, d2, end2, c2)
+	}
+}

@@ -1,0 +1,143 @@
+package simfalkon
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"falkon/internal/sim"
+)
+
+// runTreeThroughput drives nTasks zero-duration tasks through a tree of
+// `leaves` leaves with nExec executors and returns sustained tasks/s.
+func runTreeThroughput(t *testing.T, leaves, nExec, nTasks int) float64 {
+	t.Helper()
+	e := sim.New(42)
+	tr := NewTree(e, NoSecurity(), leaves)
+	tr.AddExecutors(nExec)
+	tr.SubmitSleepStream(nTasks, 0, 256)
+	end := e.Run()
+	if tr.Completed() != nTasks {
+		t.Fatalf("tree(%d leaves): completed %d of %d", leaves, tr.Completed(), nTasks)
+	}
+	return float64(nTasks) / end.Seconds()
+}
+
+// TestTreeSingleLeafBitForBit pins the depth-1 passthrough: a tree with one
+// leaf must replay the legacy single-dispatcher model event-for-event, so
+// every calibration pinned against Model holds for Tree too.
+func TestTreeSingleLeafBitForBit(t *testing.T) {
+	run := func(tree bool) ([]Rec, time.Duration) {
+		e := sim.New(7)
+		p := NoSecurity()
+		p.ExecOverheadJitter = 20 * time.Millisecond
+		if tree {
+			tr := NewTree(e, p, 1)
+			tr.KeepRecords = true
+			for i := 0; i < 16; i++ {
+				tr.AddExecutor(0, nil)
+			}
+			tr.SubmitSleepStream(2000, 500*time.Millisecond, 50)
+			end := e.Run()
+			return tr.Records, end
+		}
+		m := New(e, p)
+		m.KeepRecords = true
+		for i := 0; i < 16; i++ {
+			m.AddExecutor(0, nil)
+		}
+		m.SubmitSleepStream(2000, 500*time.Millisecond, 50)
+		end := e.Run()
+		return m.Records, end
+	}
+	flatRecs, flatEnd := run(false)
+	treeRecs, treeEnd := run(true)
+	if flatEnd != treeEnd {
+		t.Fatalf("single-leaf tree end %v != flat model end %v", treeEnd, flatEnd)
+	}
+	if !reflect.DeepEqual(flatRecs, treeRecs) {
+		t.Fatalf("single-leaf tree records diverge from the flat model (%d vs %d recs)", len(treeRecs), len(flatRecs))
+	}
+}
+
+// TestTreeThroughputScalesWithLeaves is the 54K-scale headline: with the
+// dispatcher CPU as the bottleneck, adding leaves multiplies throughput
+// until the root's routing cost bites. At 54K executors and ~2 tasks per
+// executor, every dispatch takes the cold path (notify + get-work, ~7 ms of
+// dispatcher CPU), so a single leaf sits far below the 487/s piggyback
+// ceiling — exactly the regime where the tree pays off. 4 leaves must clear
+// 3x a single leaf.
+func TestTreeThroughputScalesWithLeaves(t *testing.T) {
+	const nExec, nTasks = 54000, 108000
+	t1 := runTreeThroughput(t, 1, nExec, nTasks)
+	t2 := runTreeThroughput(t, 2, nExec, nTasks)
+	t4 := runTreeThroughput(t, 4, nExec, nTasks)
+	t.Logf("54K executors: 1 leaf %.0f/s, 2 leaves %.0f/s, 4 leaves %.0f/s", t1, t2, t4)
+	if t1 < 100 {
+		t.Fatalf("single-leaf throughput %.0f/s, below the cold-path floor", t1)
+	}
+	if t2 < 1.7*t1 {
+		t.Fatalf("2 leaves = %.0f/s, want >= 1.7x single leaf (%.0f/s)", t2, t1)
+	}
+	if t4 < 3*t1 {
+		t.Fatalf("4 leaves = %.0f/s, want >= 3x single leaf (%.0f/s)", t4, t1)
+	}
+}
+
+// TestTree262KExecutors pushes past the single-dispatcher regime: 262,144
+// executors over 8 leaves must beat a single dispatcher at the same scale
+// by at least 5x, with every task accounted for.
+func TestTree262KExecutors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("262K-executor run in -short mode")
+	}
+	const nExec, nTasks = 262144, 262144
+	t1 := runTreeThroughput(t, 1, nExec, nTasks)
+	t8 := runTreeThroughput(t, 8, nExec, nTasks)
+	t.Logf("262K executors: 1 leaf %.0f/s, 8 leaves %.0f/s", t1, t8)
+	if t8 < 5*t1 {
+		t.Fatalf("8-leaf throughput %.0f/s, want >= 5x the flat %.0f/s", t8, t1)
+	}
+}
+
+// TestTreeRoutesByCapacity starves one leaf of executors and checks the
+// root's capacity routing sends essentially everything to the leaves that
+// can drain it (the executor-less leaf scores worst every round).
+func TestTreeRoutesByCapacity(t *testing.T) {
+	e := sim.New(42)
+	tr := NewTree(e, NoSecurity(), 2)
+	// All executors on leaf 0: striping is manual here.
+	for i := 0; i < 64; i++ {
+		tr.Leaves[0].AddExecutor(0, nil)
+	}
+	tr.SubmitSleepStream(5000, 0, 256)
+	e.Run()
+	if tr.Completed() != 5000 {
+		t.Fatalf("completed %d of 5000", tr.Completed())
+	}
+	// Leaf 1 has no executors; capacity routing must keep its share of the
+	// queue at the in-flight noise floor, not half the workload.
+	if got := tr.Leaves[1].Submitted(); got > 500 {
+		t.Fatalf("executor-less leaf received %d of 5000 tasks", got)
+	}
+}
+
+// TestTreeDeterministicReplay runs the same multi-leaf workload twice and
+// requires identical completion digests and end times.
+func TestTreeDeterministicReplay(t *testing.T) {
+	run := func() (uint64, time.Duration, int) {
+		e := sim.New(99)
+		p := NoSecurity()
+		p.ExecOverheadJitter = 20 * time.Millisecond
+		tr := NewTree(e, p, 4)
+		tr.AddExecutors(1024)
+		tr.SubmitSleepStream(20000, 100*time.Millisecond, 128)
+		end := e.Run()
+		return tr.Digest(), end, tr.Completed()
+	}
+	d1, e1, c1 := run()
+	d2, e2, c2 := run()
+	if d1 != d2 || e1 != e2 || c1 != c2 {
+		t.Fatalf("non-deterministic tree: (%x,%v,%d) vs (%x,%v,%d)", d1, e1, c1, d2, e2, c2)
+	}
+}

@@ -8,23 +8,36 @@
 #   ./scripts/chaos.sh --quick             # 1 small seed (CI smoke)
 #   ./scripts/chaos.sh 42                  # one specific seed
 #   ./scripts/chaos.sh --quick 7 3         # seeds 7..9, small runs
+#   ./scripts/chaos.sh --tree 2 --quick    # 2-level tree: SIGKILL leaves
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 QUICK=()
+TREE=()
 SWEEP_DEFAULT=5
-if [ "${1:-}" = "--quick" ]; then
-    QUICK=(-quick)
-    SWEEP_DEFAULT=1
-    shift
-fi
+while :; do
+    case "${1:-}" in
+    --quick)
+        QUICK=(-quick)
+        SWEEP_DEFAULT=1
+        shift
+        ;;
+    --tree)
+        TREE=(-tree "$2")
+        shift 2
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
 SEED="${1:-1}"
 SWEEP="${2:-$SWEEP_DEFAULT}"
 
 BIN="$(mktemp -d)"
 trap 'rm -rf "$BIN"' EXIT
 
-go build -o "$BIN" ./cmd/falkon-dispatcher ./cmd/falkon-executor ./cmd/falkon-chaos
+go build -o "$BIN" ./cmd/falkon-dispatcher ./cmd/falkon-executor ./cmd/falkon-forwarder ./cmd/falkon-chaos
 
-"$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}"
+"$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}" "${TREE[@]}"

@@ -34,6 +34,11 @@ go test -run='TestBinariesCrashRecovery' -count=1 .
 # format parses; merge real cross-process span dumps and require the
 # corrected stage durations to partition each task's e2e latency.
 go test -run='TestBinariesMetricsExposition|TestBinariesSpanMergeAcrossProcesses' -count=1 .
+# Petascale headline: the 1M-simulated-executor dispatch-tree run, replayed
+# twice with bit-identical digests. It rides the plain test pass above too
+# (it is skipped under -short and -race); the explicit run here makes a
+# skip regression fail loudly instead of silently shrinking coverage.
+go test -run='TestTreeMillionExecutors' -count=1 -v ./internal/simfalkon/
 # Short fuzz pass over the journal decoder: it must never panic and never
 # fabricate records, whatever bytes a torn tail left behind.
 go test -run='^$' -fuzz=FuzzJournalDecode -fuzztime=5s ./internal/wal/

@@ -46,49 +46,62 @@ import (
 
 // cfg carries one run's parameters, all derived from flags and the seed.
 type cfg struct {
-	seed     uint64
-	tasks    int
-	execs    int
-	slots    int
-	kills    int
-	shards   int
-	tree     int
-	binDir   string
-	workDir  string
-	verbose  bool
-	waitFor  time.Duration
-	maxSleep time.Duration
+	seed      uint64
+	tasks     int
+	execs     int
+	slots     int
+	kills     int
+	shards    int
+	tree      int
+	treeDepth int
+	standbys  int
+	binDir    string
+	workDir   string
+	verbose   bool
+	waitFor   time.Duration
+	maxSleep  time.Duration
 }
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "master seed driving the entire fault schedule")
-		sweep   = flag.Int("sweep", 1, "run this many consecutive seeds (all must pass)")
-		tasks   = flag.Int("tasks", 200, "tasks to submit per run")
-		execs   = flag.Int("execs", 3, "executor processes")
-		slots   = flag.Int("slots", 2, "slots per executor")
-		kills   = flag.Int("kills", 2, "scheduled dispatcher SIGKILLs per run")
-		quick   = flag.Bool("quick", false, "small fast run for CI smoke (overrides -tasks/-execs/-kills)")
-		keep    = flag.Bool("keep", false, "keep work directories (logs, journals) after a passing run")
-		verbose = flag.Bool("v", false, "stream child process logs to stderr")
-		shards  = flag.Int("shards", 0, "dispatcher scheduling shards (passed through; 0 = one per CPU)")
-		tree    = flag.Int("tree", 0, "dispatch-tree leaves: boot 1 forwarder root + N journaled leaf dispatchers, SIGKILL leaves instead of the dispatcher (0 = flat single dispatcher)")
-		binDir  = flag.String("bin", "", "directory holding the falkon binaries (empty = go build into the work area)")
-		waitFor = flag.Duration("timeout", 2*time.Minute, "per-run workload completion timeout")
+		seed     = flag.Uint64("seed", 1, "master seed driving the entire fault schedule")
+		sweep    = flag.Int("sweep", 1, "run this many consecutive seeds (all must pass)")
+		tasks    = flag.Int("tasks", 200, "tasks to submit per run")
+		execs    = flag.Int("execs", 3, "executor processes")
+		slots    = flag.Int("slots", 2, "slots per executor")
+		kills    = flag.Int("kills", 2, "scheduled dispatcher SIGKILLs per run")
+		quick    = flag.Bool("quick", false, "small fast run for CI smoke (overrides -tasks/-execs/-kills)")
+		keep     = flag.Bool("keep", false, "keep work directories (logs, journals) after a passing run")
+		verbose  = flag.Bool("v", false, "stream child process logs to stderr")
+		shards   = flag.Int("shards", 0, "dispatcher scheduling shards (passed through; 0 = one per CPU)")
+		tree     = flag.Int("tree", 0, "dispatch-tree leaves: boot 1 forwarder root + N journaled leaf dispatchers, SIGKILL leaves instead of the dispatcher (0 = flat single dispatcher)")
+		treeDeep = flag.Int("tree-depth", 2, "dispatch-tree levels with -tree: 2 = root over leaves, ≥3 adds forwarder-of-forwarders layers between them")
+		standbys = flag.Int("standbys", 0, "HA cluster: boot 1 leader + N standby dispatchers sharing an election lease, SIGKILL whoever leads (0 = no HA)")
+		binDir   = flag.String("bin", "", "directory holding the falkon binaries (empty = go build into the work area)")
+		waitFor  = flag.Duration("timeout", 2*time.Minute, "per-run workload completion timeout")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
 	c := cfg{
 		seed: *seed, tasks: *tasks, execs: *execs, slots: *slots, kills: *kills,
-		shards: *shards, tree: *tree, binDir: *binDir, verbose: *verbose, waitFor: *waitFor,
+		shards: *shards, tree: *tree, treeDepth: *treeDeep, standbys: *standbys,
+		binDir: *binDir, verbose: *verbose, waitFor: *waitFor,
 		maxSleep: 20 * time.Millisecond,
+	}
+	if c.treeDepth < 2 {
+		c.treeDepth = 2
 	}
 	if *quick {
 		c.tasks, c.execs, c.kills = 60, 2, 1
 		if c.waitFor > time.Minute {
 			c.waitFor = time.Minute
 		}
+	}
+	// The HA acceptance bar is a chain of consecutive failovers, not one:
+	// give the full (non-quick) run at least three leader kills.
+	if c.standbys > 0 && !*quick && c.kills < 3 {
+		c.kills = 3
 	}
 
 	if c.binDir == "" {
@@ -111,16 +124,19 @@ func main() {
 		run := c
 		run.seed = c.seed + uint64(i)
 		var err error
-		if run.tree > 0 {
+		switch {
+		case run.standbys > 0:
+			err = runStandbysOne(run, *keep)
+		case run.tree > 0:
 			err = runTreeOne(run, *keep)
-		} else {
+		default:
 			err = runOne(run, *keep)
 		}
 		if err != nil {
 			failed++
 			fmt.Printf("FAIL seed=%d: %v\n", run.seed, err)
-			fmt.Printf("REPRODUCE: go run ./cmd/falkon-chaos -seed %d -tasks %d -execs %d -slots %d -kills %d -tree %d\n",
-				run.seed, run.tasks, run.execs, run.slots, run.kills, run.tree)
+			fmt.Printf("REPRODUCE: go run ./cmd/falkon-chaos -seed %d -tasks %d -execs %d -slots %d -kills %d -tree %d -tree-depth %d -standbys %d\n",
+				run.seed, run.tasks, run.execs, run.slots, run.kills, run.tree, run.treeDepth, run.standbys)
 		}
 	}
 	if failed > 0 {

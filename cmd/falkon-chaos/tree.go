@@ -15,14 +15,18 @@ import (
 	"falkon/internal/task"
 )
 
-// runTreeOne executes one chaos run against a live 2-level dispatch tree:
-// one falkon-forwarder root, c.tree journaled leaf dispatchers, and
-// executors striped across the leaves. Unlike the flat run, the scheduled
-// SIGKILLs target the LEAVES (rotating), which exercises the tree's whole
-// failure story at once: the root redistributes the dead leaf's owed work
-// to live siblings, the restarted leaf replays its journal and re-runs
-// whatever it already owned, and the root's done-set drops the duplicate
-// results — so the client must still see exactly-once delivery.
+// runTreeOne executes one chaos run against a live dispatch tree:
+// a falkon-forwarder root, c.tree journaled leaf dispatchers, and
+// executors striped across the leaves. With -tree-depth ≥ 3 the root
+// forwards to intermediate forwarder layers (forwarder-of-forwarders)
+// instead of reaching the leaves directly, each layer halving the fan-in.
+// Unlike the flat run, the scheduled SIGKILLs target the LEAVES
+// (rotating), which exercises the tree's whole failure story at once: the
+// tier above redistributes the dead leaf's owed work to live siblings,
+// the restarted leaf replays its journal and re-runs whatever it already
+// owned, and the forwarders' done-sets drop the duplicate results — so
+// the client must still see exactly-once delivery no matter how many
+// levels the results bubble up through.
 func runTreeOne(c cfg, keep bool) (err error) {
 	c.workDir, err = os.MkdirTemp("", fmt.Sprintf("falkon-chaos-tree-%d-", c.seed))
 	if err != nil {
@@ -52,7 +56,7 @@ func runTreeOne(c cfg, keep bool) (err error) {
 	for i, at := range killAts {
 		targets[i] = fmt.Sprintf("leaf-%d@%v", i%c.tree, at)
 	}
-	log.Printf("seed %d tree schedule: root=%s leaves=%v kills=%v", c.seed, rootAddr, leafAddrs, targets)
+	log.Printf("seed %d tree schedule: depth=%d root=%s leaves=%v kills=%v", c.seed, c.treeDepth, rootAddr, leafAddrs, targets)
 
 	// Leaves: journaled dispatchers under supervision, each with its own
 	// derived fault spec — the same disk/latency fault family the flat run
@@ -82,6 +86,48 @@ func runTreeOne(c cfg, keep bool) (err error) {
 		}
 	}
 
+	// Intermediate forwarder layers (depth ≥ 3): each layer halves the
+	// fan-in, striping the layer below across its forwarders. Mids are
+	// never kill targets — leaf death is the failure under test — but every
+	// redistribution and dedup now happens once per level. treeRows counts
+	// every forwarder→child edge in the topology: the flattened LeafStats
+	// rows the root reports once the whole tree is connected and healthy.
+	treeRows := 0
+	childAddrs := leafAddrs
+	for level := 0; level < c.treeDepth-2; level++ {
+		treeRows += len(childAddrs)
+		nMid := (len(childAddrs) + 1) / 2
+		midAddrs := make([]string, nMid)
+		for j := range midAddrs {
+			if midAddrs[j], err = freeAddr(); err != nil {
+				return err
+			}
+		}
+		for j := 0; j < nMid; j++ {
+			j := j
+			var kids []string
+			for k := j; k < len(childAddrs); k += nMid {
+				kids = append(kids, childAddrs[k])
+			}
+			name := fmt.Sprintf("mid-%d-%d", level, j)
+			mid := newSuper(name, c, func(int) *exec.Cmd {
+				return exec.Command(filepath.Join(c.binDir, "falkon-forwarder"),
+					"-addr", midAddrs[j],
+					"-dispatchers", strings.Join(kids, ","),
+					"-bundle", "8",
+				)
+			})
+			defer mid.stop()
+		}
+		for j, a := range midAddrs {
+			if err := waitListening(a, 10*time.Second); err != nil {
+				return fmt.Errorf("mid-%d-%d never listened: %w", level, j, err)
+			}
+		}
+		childAddrs = midAddrs
+	}
+	treeRows += len(childAddrs)
+
 	// The root. Never a kill target — the harness exercises leaf death; the
 	// supervisor only matters if the root exits on its own. A small bundle
 	// keeps several bundles in flight even on the quick workload, so a kill
@@ -89,7 +135,7 @@ func runTreeOne(c cfg, keep bool) (err error) {
 	root := newSuper("root", c, func(int) *exec.Cmd {
 		return exec.Command(filepath.Join(c.binDir, "falkon-forwarder"),
 			"-addr", rootAddr,
-			"-dispatchers", strings.Join(leafAddrs, ","),
+			"-dispatchers", strings.Join(childAddrs, ","),
 			"-bundle", "8",
 		)
 	})
@@ -182,13 +228,20 @@ func runTreeOne(c cfg, keep bool) (err error) {
 	}
 
 	// Invariant 3: the tree drained AND healed. The stats RPC rides the
-	// root, which aggregates queued/outstanding across live leaves only — a
-	// dead leaf drops out of the sample — so "drained" must also require
-	// every leaf back up, or the check would pass while a restarted leaf is
-	// still replaying journaled work (which must execute and be dropped as
-	// dups at the root before the tree truly reads empty).
-	if err := awaitTreeHealed(cl, c.tree, 30*time.Second); err != nil {
+	// root, which aggregates queued/outstanding across its live children
+	// only — a dead child drops out of the sample — so "drained" must also
+	// require every node back up, or the check would pass while a
+	// restarted leaf is still replaying journaled work (which must execute
+	// and be dropped as dups on the way up before the tree truly reads
+	// empty). Forwarders flatten their children's LeafStats rows upward, so
+	// the root's row set covers every forwarder→child edge in the topology
+	// — a dead leaf under a live mid still shows up (and a dead mid hides
+	// its subtree's rows, shrinking the set below treeRows).
+	if err := awaitTreeHealed(cl, treeRows, 30*time.Second); err != nil {
 		return err
+	}
+	if st, err := cl.Stats(); err == nil && st.Depth != c.treeDepth {
+		return fmt.Errorf("root reports tree depth %d, want %d", st.Depth, c.treeDepth)
 	}
 
 	// Invariant 4: clean recovery after one more leaf death. Kill leaf 0
@@ -196,7 +249,7 @@ func runTreeOne(c cfg, keep bool) (err error) {
 	// and the root's merged metrics account for the whole workload.
 	log.Printf("seed %d: final SIGKILL leaf-0 + recovery check", c.seed)
 	leaves[0].kill()
-	if err := awaitTreeHealed(cl, c.tree, 30*time.Second); err != nil {
+	if err := awaitTreeHealed(cl, treeRows, 30*time.Second); err != nil {
 		return fmt.Errorf("after final leaf restart: %w", err)
 	}
 	ms, err := cl.Metrics()
@@ -212,16 +265,17 @@ func runTreeOne(c cfg, keep bool) (err error) {
 	for i, l := range leaves {
 		restarts[i] = fmt.Sprint(l.restarts())
 	}
-	log.Printf("seed %d PASS (tree %d leaves): %d results, client reconnects=%d resubmit-deduped=%d dup-results-dropped=%d, client faults: %s, leaf restarts=%v",
-		c.seed, c.tree, len(results), cl.Reconnects(), cl.Deduped(), cl.DuplicatesDropped(), cinj.Summary(), restarts)
+	log.Printf("seed %d PASS (tree %d leaves, depth %d): %d results, client reconnects=%d resubmit-deduped=%d dup-results-dropped=%d, client faults: %s, leaf restarts=%v",
+		c.seed, c.tree, c.treeDepth, len(results), cl.Reconnects(), cl.Deduped(), cl.DuplicatesDropped(), cinj.Summary(), restarts)
 	printFaultCounters("client", creg.Snapshot().Counters)
 	printFaultCounters("tree", ms.Counters)
 	return nil
 }
 
-// awaitTreeHealed polls the root's aggregated stats until every leaf is up
-// again and nothing is queued or outstanding anywhere in the tree.
-func awaitTreeHealed(cl *client.Client, wantLeaves int, timeout time.Duration) error {
+// awaitTreeHealed polls the root's aggregated stats until every node in the
+// tree (the root's flattened row set covers every forwarder→child edge) is
+// up again and nothing is queued or outstanding anywhere in the tree.
+func awaitTreeHealed(cl *client.Client, wantRows int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		st, err := cl.Stats()
@@ -232,7 +286,7 @@ func awaitTreeHealed(cl *client.Client, wantLeaves int, timeout time.Duration) e
 					up++
 				}
 			}
-			if up == wantLeaves {
+			if up == wantRows {
 				return nil
 			}
 		}
@@ -246,7 +300,7 @@ func awaitTreeHealed(cl *client.Client, wantLeaves int, timeout time.Duration) e
 					up++
 				}
 			}
-			return fmt.Errorf("tree not healed: queued=%d outstanding=%d leaves up %d/%d", st.Queued, st.Outstanding, up, wantLeaves)
+			return fmt.Errorf("tree not healed: queued=%d outstanding=%d nodes up %d/%d", st.Queued, st.Outstanding, up, wantRows)
 		}
 		time.Sleep(200 * time.Millisecond)
 	}

@@ -7,6 +7,16 @@
 //
 // Executors (cmd/falkon-executor) and clients (cmd/falkon-submit) connect
 // to the printed address.
+//
+// High availability (see DESIGN.md §14) comes in three shapes:
+//
+//	falkon-dispatcher -addr :7523 -journal-dir wal/ -replicate quorum
+//	    a leader that streams its journal to any standby that attaches
+//	falkon-dispatcher -standby-of host:7523 -journal-dir mirror/
+//	    a permanent standby mirroring that leader's journal
+//	falkon-dispatcher -addr :7524 -journal-dir mirror2/ -lease-file /shared/lease
+//	    an HA cluster member: follows the elected leader as a standby and
+//	    promotes itself (replaying its mirror) when it wins the lease
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"falkon/internal/dispatch"
 	"falkon/internal/faultinj"
 	"falkon/internal/obs"
+	"falkon/internal/replica"
 	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
 )
@@ -40,6 +51,14 @@ func main() {
 		journalSync   = flag.String("journal-sync", "group", "journal durability: group (fsync per commit batch), off, or a flush interval like 5ms")
 		snapEvery     = flag.Int("snapshot-every", 0, "journal records between snapshot compactions (0 = default 65536, <0 = never)")
 		faults        = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,drop@0.01,fsyncerr@0.02 (chaos testing; default $FALKON_FAULTS)")
+
+		replicate = flag.String("replicate", "", "accept standby replicas: async (acks don't wait) or quorum (client acks wait for standby acks); requires -journal-dir")
+		minAcks   = flag.Int("replica-min-acks", 0, "quorum size for -replicate quorum (0 = every attached standby)")
+		cluster   = flag.String("cluster", "", "HA cluster id stamped on instances so clients can reattach on any member (default: derived from -lease-file)")
+		standbyOf = flag.String("standby-of", "", "run as a permanent standby mirroring this leader's journal into -journal-dir (no serving)")
+		leaseFile = flag.String("lease-file", "", "HA election lease file shared by cluster members; follow the leader until this node wins it")
+		leaseTTL  = flag.Duration("lease-ttl", 3*time.Second, "election lease duration (leader renews at TTL/3)")
+		nodeID    = flag.String("node-id", "", "HA node identity in the lease file (default: -addr)")
 	)
 	flag.Parse()
 
@@ -54,6 +73,7 @@ func main() {
 		JournalDir:    *journalDir,
 		JournalSync:   syncPolicy,
 		SnapshotEvery: *snapEvery,
+		ClusterID:     *cluster,
 	}
 	if *faults != "" {
 		spec, err := faultinj.Parse(*faults)
@@ -87,40 +107,213 @@ func main() {
 		opts.PSK = key
 	}
 
+	mode, err := replica.ParseMode(*replicate)
+	if err != nil {
+		log.Fatalf("falkon-dispatcher: %v", err)
+	}
+	if *replicate != "" || *leaseFile != "" {
+		opts.Replication = &dispatch.ReplicationOptions{Mode: mode, MinAcks: *minAcks}
+	}
+
+	switch {
+	case *standbyOf != "":
+		runStandby(*standbyOf, *journalDir, *nodeID, syncPolicy, opts, *debugAddr, *statsEvery)
+	case *leaseFile != "":
+		runHANode(*leaseFile, *leaseTTL, *nodeID, *addr, *journalDir, syncPolicy, opts, *debugAddr, *statsEvery)
+	default:
+		runLeader(opts, *addr, *journalDir, syncPolicy, *debugAddr, *statsEvery)
+	}
+}
+
+// runLeader is the classic single-dispatcher path (optionally accepting
+// standby replicas when -replicate is set).
+func runLeader(opts dispatch.Options, addr, journalDir string, syncPolicy wal.SyncPolicy, debugAddr string, statsEvery time.Duration) {
+	if opts.Replication != nil {
+		opts.Replication.Term = 1
+	}
 	d := dispatch.New(opts)
 	obs.RegisterBuildInfo(d.Metrics(), "dispatcher")
-	if err := d.Listen(*addr); err != nil {
+	if err := d.Listen(addr); err != nil {
 		log.Fatalf("falkon-dispatcher: %v", err)
 	}
 	fmt.Printf("falkon-dispatcher listening on %s (security=%v)\n", d.Addr(), opts.Security)
-	if *journalDir != "" {
-		fmt.Printf("falkon-dispatcher journaling to %s (sync=%v)\n", *journalDir, syncPolicy)
+	if journalDir != "" {
+		fmt.Printf("falkon-dispatcher journaling to %s (sync=%v)\n", journalDir, syncPolicy)
 	}
+	if opts.Replication != nil {
+		fmt.Printf("falkon-dispatcher replicating (%s) to attaching standbys\n", opts.Replication.Mode)
+	}
+	closeDebug := startDebug(debugAddr, d)
+	defer closeDebug()
+	startStatsLoop(statsEvery, d)
+	awaitShutdown(d, journalDir)
+}
 
-	if *debugAddr != "" {
-		ds, err := obs.ServeDebugOpts(*debugAddr, obs.DebugOptions{
-			Snap:       d.MetricsSnapshot,
-			Tracer:     d.Tracer(),
-			SpanHeader: d.SpanHeader,
-		})
+// runStandby mirrors a fixed leader's journal forever: no serving, no
+// election — a warm spare an operator promotes by restarting it as a
+// leader over the mirror directory.
+func runStandby(leaderAddr, dir, id string, syncPolicy wal.SyncPolicy, opts dispatch.Options, debugAddr string, statsEvery time.Duration) {
+	if dir == "" {
+		log.Fatal("falkon-dispatcher: -standby-of requires -journal-dir (the mirror directory)")
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "dispatcher")
+	sb, err := replica.StartStandby(replica.StandbyOptions{
+		ID:       id,
+		Leader:   func() (string, error) { return leaderAddr, nil },
+		Dir:      dir,
+		Sync:     syncPolicy,
+		Security: opts.Security,
+		PSK:      opts.PSK,
+		Metrics:  reg,
+		Logf:     opts.Logf,
+	})
+	if err != nil {
+		log.Fatalf("falkon-dispatcher: %v", err)
+	}
+	fmt.Printf("falkon-dispatcher standby of %s, mirroring to %s\n", leaderAddr, dir)
+	if debugAddr != "" {
+		ds, err := obs.ServeDebugOpts(debugAddr, obs.DebugOptions{Snap: reg.Snapshot})
 		if err != nil {
 			log.Fatalf("falkon-dispatcher: debug server: %v", err)
 		}
 		defer ds.Close()
 		fmt.Printf("falkon-dispatcher debug endpoints on http://%s/metrics\n", ds.Addr())
 	}
-
-	if *statsEvery > 0 {
+	if statsEvery > 0 {
 		go func() {
-			for range time.Tick(*statsEvery) {
-				st := d.Stats()
-				log.Printf("stats: queued=%d outstanding=%d executors=%d (busy=%d) submitted=%d completed=%d failed=%d retried=%d",
-					st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
-					st.Submitted, st.Completed, st.Failed, st.Retried)
+			for range time.Tick(statsEvery) {
+				st := sb.Stats()
+				log.Printf("standby: term=%d mirrored=%d", st.Term, st.End)
 			}
 		}()
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	sb.Stop()
+	log.Println("falkon-dispatcher: standby stopped, mirror sealed")
+}
 
+// runHANode is one member of an elected cluster: standby while another
+// node holds the lease, leader (over its replayed mirror) once it wins.
+// A lost lease is fail-stop: exit 4 and let the supervisor restart the
+// node as a standby.
+func runHANode(leaseFile string, leaseTTL time.Duration, nodeID, addr, journalDir string, syncPolicy wal.SyncPolicy, opts dispatch.Options, debugAddr string, statsEvery time.Duration) {
+	if journalDir == "" {
+		log.Fatal("falkon-dispatcher: -lease-file requires -journal-dir (the node's journal/mirror directory)")
+	}
+	if nodeID == "" {
+		nodeID = addr
+	}
+	if opts.ClusterID == "" {
+		opts.ClusterID = "ha:" + leaseFile
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "dispatcher")
+	opts.Metrics = reg
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+		<-sig
+		log.Println("falkon-dispatcher: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+
+	var d *dispatch.Dispatcher
+	err := replica.RunNode(replica.NodeOptions{
+		ID:    nodeID,
+		Addr:  addr,
+		Lease: &replica.Lease{Path: leaseFile, TTL: leaseTTL},
+		Standby: replica.StandbyOptions{
+			ID:       nodeID,
+			Dir:      journalDir,
+			Sync:     syncPolicy,
+			Security: opts.Security,
+			PSK:      opts.PSK,
+			Logf:     opts.Logf,
+		},
+		Promote: func(term uint64) error {
+			opts.Replication.Term = term
+			d = dispatch.New(opts)
+			if err := d.Listen(addr); err != nil {
+				return err
+			}
+			fmt.Printf("falkon-dispatcher leading on %s (term=%d cluster=%s)\n", d.Addr(), term, opts.ClusterID)
+			startDebug(debugAddr, d)
+			startStatsLoop(statsEvery, d)
+			return nil
+		},
+		OnLostLease: func() {
+			// Another leader may already be serving: stop taking writes
+			// immediately; exit 4 tells the supervisor to restart us as a
+			// standby.
+			log.Println("falkon-dispatcher: lease lost, exiting (fail-stop)")
+			os.Exit(4)
+		},
+		Metrics: reg,
+		Logf:    log.Printf,
+		Stop:    stop,
+	})
+	switch {
+	case err == replica.ErrNodeStopped && d != nil:
+		awaitShutdownNow(d, journalDir)
+	case err == replica.ErrNodeStopped:
+		log.Println("falkon-dispatcher: node stopped")
+	case err != nil:
+		log.Fatalf("falkon-dispatcher: %v", err)
+	}
+}
+
+// startDebug serves /metrics, /events.json and pprof for a dispatcher.
+func startDebug(debugAddr string, d *dispatch.Dispatcher) func() {
+	if debugAddr == "" {
+		return func() {}
+	}
+	ds, err := obs.ServeDebugOpts(debugAddr, obs.DebugOptions{
+		Snap:       d.MetricsSnapshot,
+		Tracer:     d.Tracer(),
+		SpanHeader: d.SpanHeader,
+	})
+	if err != nil {
+		log.Fatalf("falkon-dispatcher: debug server: %v", err)
+	}
+	fmt.Printf("falkon-dispatcher debug endpoints on http://%s/metrics\n", ds.Addr())
+	return func() { ds.Close() }
+}
+
+// startStatsLoop logs a stats line every interval.
+func startStatsLoop(every time.Duration, d *dispatch.Dispatcher) {
+	if every <= 0 {
+		return
+	}
+	go func() {
+		for range time.Tick(every) {
+			st := d.Stats()
+			line := fmt.Sprintf("stats: queued=%d outstanding=%d executors=%d (busy=%d) submitted=%d completed=%d failed=%d retried=%d",
+				st.Queued, st.Outstanding, st.TotalExecutors, st.BusyExecutors,
+				st.Submitted, st.Completed, st.Failed, st.Retried)
+			if st.Replication != nil {
+				var worst int64
+				for _, s := range st.Replication.Standbys {
+					if s.Lag > worst {
+						worst = s.Lag
+					}
+				}
+				line += fmt.Sprintf(" repl(term=%d standbys=%d lag=%d)",
+					st.Replication.Term, len(st.Replication.Standbys), worst)
+			}
+			log.Print(line)
+		}
+	}()
+}
+
+// awaitShutdown blocks on SIGINT/SIGTERM, then drains and seals.
+func awaitShutdown(d *dispatch.Dispatcher, journalDir string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -131,13 +324,23 @@ func main() {
 		log.Println("falkon-dispatcher: second signal, exiting immediately")
 		os.Exit(1)
 	}()
+	shutdown(d, journalDir)
+}
+
+// awaitShutdownNow drains and seals without waiting for a signal (the HA
+// node path already consumed the signal to stop the election loop).
+func awaitShutdownNow(d *dispatch.Dispatcher, journalDir string) {
+	shutdown(d, journalDir)
+}
+
+func shutdown(d *dispatch.Dispatcher, journalDir string) {
 	log.Println("falkon-dispatcher: draining (up to 30s)")
 	if !d.Drain(30 * time.Second) {
 		log.Println("falkon-dispatcher: drain timed out; closing with work in flight")
 	}
 	// Close seals the journal (final flush + fsync) before exiting.
 	d.Close()
-	if *journalDir != "" {
+	if journalDir != "" {
 		log.Println("falkon-dispatcher: journal sealed")
 	}
 	log.Println("falkon-dispatcher: shutdown complete")

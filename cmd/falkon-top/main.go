@@ -125,6 +125,18 @@ func main() {
 				lines++
 			}
 		}
+		// Replication panel appears only on HA members: the leader's term,
+		// mode, and per-standby replication lag (records not yet durably
+		// mirrored), or a standby's own position.
+		if rs := st.Replication; rs != nil {
+			fmt.Printf("\033[Kreplication role=%s term=%d mode=%s stream_end=%d standbys=%d degraded=%d\n",
+				rs.Role, rs.Term, rs.Mode, rs.End, len(rs.Standbys), rs.QuorumDegraded)
+			lines++
+			for _, sb := range rs.Standbys {
+				fmt.Printf("\033[K  standby %-20s acked=%-10d lag=%d\n", sb.ID, sb.Acked, sb.Lag)
+				lines++
+			}
+		}
 		// Journal panel appears only when the dispatcher journals.
 		if st.Journal {
 			recovered := ""

@@ -49,3 +49,31 @@ func (p Policy) Delay(attempt int) time.Duration {
 	span := float64(d) * p.Jitter
 	return time.Duration(float64(d) - span + 2*span*rand.Float64())
 }
+
+// Schedule is a Policy with its attempt counter attached: Next hands out
+// the successive delays of one retry sequence and Reset — called after a
+// success — starts the sequence over from Base. It replaces the hand-rolled
+// attempt counters the reconnect loops used to carry. Not safe for
+// concurrent use; each retry loop owns its own Schedule.
+type Schedule struct {
+	p       Policy
+	attempt int
+}
+
+// NewSchedule starts a retry schedule under p (zero Policy means Default).
+func NewSchedule(p Policy) *Schedule { return &Schedule{p: p} }
+
+// Next returns the delay before the upcoming retry and advances the
+// schedule.
+func (s *Schedule) Next() time.Duration {
+	d := s.p.Delay(s.attempt)
+	s.attempt++
+	return d
+}
+
+// Attempt reports how many delays Next has handed out since the last Reset.
+func (s *Schedule) Attempt() int { return s.attempt }
+
+// Reset rewinds the schedule to the first delay. Call it after a success so
+// the next failure backs off from Base again instead of the cap.
+func (s *Schedule) Reset() { s.attempt = 0 }

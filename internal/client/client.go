@@ -80,6 +80,13 @@ type Client struct {
 	addrIdx int
 	eprIdx  int
 
+	// cluster is the HA cluster id the dispatcher reported at create time
+	// ("" for a standalone dispatcher). Within a cluster the EPR is valid
+	// on every member — standbys replay the leader's journal — so a
+	// failover to another address in the chain reattaches by EPR (scoped by
+	// the cluster id) instead of abandoning the instance.
+	cluster string
+
 	// traceBase is the random per-client base trace IDs are derived from:
 	// a task's trace is traceBase + its ID, so the mapping is stable across
 	// resubmission and unique across concurrent clients with overwhelming
@@ -159,6 +166,7 @@ func Connect(opts Options) (*Client, error) {
 	c.cli = cli
 	c.epr = reply.EPR
 	c.eprIdx = c.addrIdx
+	c.cluster = reply.Cluster
 	go c.supervise(cli)
 	if opts.Poll {
 		c.pollStop = make(chan struct{})
@@ -280,11 +288,12 @@ func (c *Client) supervise(cli *wsrpc.Client) {
 // new connection, or ok=false when the client closed or gave up.
 func (c *Client) reconnect() (*wsrpc.Client, bool) {
 	start := time.Now()
-	for attempt := 0; ; attempt++ {
+	sched := backoff.NewSchedule(c.opts.Backoff)
+	for {
 		select {
 		case <-c.closedCh:
 			return nil, false
-		case <-time.After(c.opts.Backoff.Delay(attempt)):
+		case <-time.After(sched.Next()):
 		}
 		if time.Since(start) > c.opts.ReconnectTimeout {
 			c.markDead(fmt.Errorf("reconnect timed out after %v", c.opts.ReconnectTimeout))
@@ -296,8 +305,12 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 		}
 		c.mu.Lock()
 		epr, name, poll := c.epr, c.opts.Name, c.opts.Poll
-		if c.addrIdx != c.eprIdx {
-			epr = "" // failed over: the EPR means nothing (or worse) here
+		cluster := c.cluster
+		if c.addrIdx != c.eprIdx && cluster == "" {
+			// Failed over to a standalone dispatcher: the EPR means nothing
+			// (or worse) there. Within an HA cluster the EPR stays valid on
+			// every member, so keep it and let the new leader replay it.
+			epr = ""
 		}
 		c.mu.Unlock()
 		var reply fproto.CreateInstanceReply
@@ -305,6 +318,7 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 			ClientName:        name,
 			WantNotifications: !poll,
 			EPR:               epr,
+			Cluster:           cluster,
 		}, &reply)
 		var remote *wsrpc.RemoteError
 		if errors.As(err, &remote) && epr != "" {
@@ -323,6 +337,7 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 		c.cli = cli
 		c.epr = reply.EPR
 		c.eprIdx = c.addrIdx
+		c.cluster = reply.Cluster
 		c.gen++
 		c.reconnects++
 		resubmit := make([]task.Task, 0, len(c.pending))

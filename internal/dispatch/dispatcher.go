@@ -32,11 +32,25 @@ import (
 	"falkon/internal/fproto"
 	"falkon/internal/metrics"
 	"falkon/internal/obs"
+	"falkon/internal/replica"
 	"falkon/internal/sched"
 	"falkon/internal/task"
 	"falkon/internal/wal"
 	"falkon/internal/wsrpc"
 )
+
+// ReplicationOptions configures the dispatcher's WAL replication source.
+type ReplicationOptions struct {
+	// Term is this leader incarnation's election term (1 for a leader that
+	// was never promoted).
+	Term uint64
+	// Mode selects async streaming or quorum-gated acknowledgment.
+	Mode replica.Mode
+	// MinAcks and QuorumTimeout tune the quorum barrier (see
+	// replica.SourceOptions).
+	MinAcks       int
+	QuorumTimeout time.Duration
+}
 
 // Options configures a Dispatcher.
 type Options struct {
@@ -107,6 +121,19 @@ type Options struct {
 	// longer honor its durability barrier; daemons use this hook to
 	// fail-stop and let recovery replay the intact prefix.
 	OnJournalError func(error)
+
+	// Replication, when set (requires JournalDir), streams the journal to
+	// standby dispatchers: Listen creates a replica.Source fed by the
+	// journal's Mirror hook and serves the attach/fetch replication RPCs.
+	// Under ModeQuorum the durable-acknowledgment barriers (create, submit,
+	// destroy) additionally wait for standby acks.
+	Replication *ReplicationOptions
+
+	// ClusterID names the HA cluster this dispatcher serves. Clients echo
+	// it on cross-address re-attach; a dispatcher serving a different
+	// cluster rejects the attach so an EPR never resolves against an
+	// unrelated journal. Empty means standalone.
+	ClusterID string
 
 	// Faults, when set, interposes transport fault injection on every
 	// accepted connection (chaos testing only).
@@ -327,8 +354,12 @@ type Dispatcher struct {
 	// is an exact prefix of the journal.
 	wal            *wal.Journal
 	recoveredTasks int64 // pending tasks rebuilt at the last Listen
-	snapEvery      int64
-	snapMark       atomic.Int64 // journal append count at the last snapshot
+	// replSrc is the WAL replication source (nil without
+	// Options.Replication). It is fed by the journal's Mirror hook and
+	// consulted by the quorum barriers on the acknowledgment paths.
+	replSrc   *replica.Source
+	snapEvery int64
+	snapMark  atomic.Int64 // journal append count at the last snapshot
 	// smu serializes snapshot kickoff against Close so snapWG.Add never
 	// races snapWG.Wait; snapBusy collapses concurrent kickoffs.
 	smu      sync.Mutex
@@ -553,13 +584,31 @@ func (d *Dispatcher) crossNotify(f *fx, now time.Duration) {
 // undelivered results all outlive a crash, re-partitioned onto shards by
 // the same affinity hash that placed them originally.
 func (d *Dispatcher) Listen(addr string) error {
+	if d.opts.Replication != nil && d.opts.JournalDir == "" {
+		return fmt.Errorf("dispatch: replication requires a journal (JournalDir)")
+	}
 	if d.opts.JournalDir != "" {
+		var mirror func([]byte)
+		if r := d.opts.Replication; r != nil {
+			d.replSrc = replica.NewSource(replica.SourceOptions{
+				Term:          r.Term,
+				Mode:          r.Mode,
+				MinAcks:       r.MinAcks,
+				QuorumTimeout: r.QuorumTimeout,
+				Baseline:      d.replicaBaseline,
+				Metrics:       d.reg,
+				Logf:          d.opts.Logf,
+			})
+			mirror = d.replSrc.Mirror
+			d.replSrc.Register(d.srv)
+		}
 		st, j, info, err := wal.Recover(d.opts.JournalDir, wal.Options{
 			Sync:    d.opts.JournalSync,
 			Metrics: d.reg,
 			Logf:    d.opts.Logf,
 			FS:      d.opts.JournalFS,
 			OnError: d.opts.OnJournalError,
+			Mirror:  mirror,
 		})
 		if err != nil {
 			return err
@@ -658,6 +707,42 @@ func (d *Dispatcher) captureAllLocked() *wal.State {
 	return st
 }
 
+// replicaBaseline produces a consistent cut for an attaching standby: the
+// full dispatcher state and the replication-stream position it corresponds
+// to. Rotation under every lock flushes all buffered appends through the
+// Mirror hook (still under the journal's write mutex), so after Rotate
+// returns the stream end is exactly the boundary the captured state sits
+// at — a standby that Resets to (state, pos) and applies the stream from
+// pos onward replays the same history the leader's own journal holds.
+func (d *Dispatcher) replicaBaseline() (*wal.State, int64, error) {
+	d.imu.Lock()
+	for _, s := range d.shards {
+		s.mu.Lock()
+	}
+	_, err := d.wal.Rotate()
+	var st *wal.State
+	var pos int64
+	if err == nil {
+		st = d.captureAllLocked()
+		pos = d.replSrc.End()
+	}
+	for i := len(d.shards) - 1; i >= 0; i-- {
+		d.shards[i].mu.Unlock()
+	}
+	d.imu.Unlock()
+	return st, pos, err
+}
+
+// replicaBarrier extends a durability barrier with the quorum policy: after
+// the journal handle's Wait released (the records are on local disk and,
+// via the Mirror hook, already in the replication stream), wait for the
+// standby acks the mode requires. No-op in async mode or standalone.
+func (d *Dispatcher) replicaBarrier() {
+	if d.replSrc != nil {
+		d.replSrc.WaitCommitted(d.replSrc.End())
+	}
+}
+
 // maybeSnapshot kicks an asynchronous snapshot once enough records have
 // accumulated since the last one. The fast path is three atomic reads,
 // cheap enough for the Deliver hot path; the kickoff itself serializes
@@ -739,6 +824,9 @@ func (d *Dispatcher) Close() error {
 		return nil
 	}
 	d.wakeDrainAlways() // release any Drain blocked on a dead system
+	if d.replSrc != nil {
+		d.replSrc.Close() // release blocked fetches and quorum barriers first
+	}
 	if d.sweeperStop != nil {
 		close(d.sweeperStop)
 		<-d.sweeperDone
@@ -766,6 +854,9 @@ func (d *Dispatcher) Abort() {
 		return
 	}
 	d.wakeDrainAlways()
+	if d.replSrc != nil {
+		d.replSrc.Close()
+	}
 	if d.sweeperStop != nil {
 		close(d.sweeperStop)
 		<-d.sweeperDone
@@ -903,6 +994,9 @@ func (d *Dispatcher) Stats() fproto.StatsReply {
 		st.JournalFsyncs = d.wal.Fsyncs()
 		st.RecoveredTasks = d.recoveredTasks
 	}
+	if d.replSrc != nil {
+		st.Replication = d.replSrc.Stats()
+	}
 	return st
 }
 
@@ -949,6 +1043,10 @@ func (d *Dispatcher) onDisconnect(p *wsrpc.Peer) {
 	if meta == "" {
 		// Client connections carry no meta; detach any instances bound to
 		// this peer, and forget it as a tree parent if it attached as one.
+		// Standby replication connections also land here.
+		if d.replSrc != nil {
+			d.replSrc.DropPeer(p)
+		}
 		d.parents.drop(p)
 		d.imu.RLock()
 		for _, inst := range d.instances {

@@ -81,13 +81,21 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 	if err := h.Wait(); err != nil {
 		return nil, err
 	}
-	return fproto.CreateInstanceReply{EPR: epr}, nil
+	d.replicaBarrier()
+	return fproto.CreateInstanceReply{EPR: epr, Cluster: d.opts.ClusterID}, nil
 }
 
 // reattachInstance re-binds a surviving instance (recovered from the
 // journal, or orphaned by a dropped client connection) to a new peer and
 // flushes any results buffered while detached.
 func (d *Dispatcher) reattachInstance(p *wsrpc.Peer, req *fproto.CreateInstanceRequest) (any, error) {
+	if req.Cluster != "" && req.Cluster != d.opts.ClusterID {
+		// A cluster-scoped reattach against the wrong cluster must fail even
+		// if an EPR happens to collide: this dispatcher's journal never held
+		// the instance's history. The client falls back to a fresh create.
+		return nil, fmt.Errorf("dispatch: instance %q belongs to cluster %q, this dispatcher serves %q",
+			req.EPR, req.Cluster, d.opts.ClusterID)
+	}
 	f := getFx()
 	defer putFx(f)
 	d.imu.RLock()
@@ -106,7 +114,7 @@ func (d *Dispatcher) reattachInstance(p *wsrpc.Peer, req *fproto.CreateInstanceR
 	}
 	inst.mu.Unlock()
 	d.flush(f)
-	return fproto.CreateInstanceReply{EPR: req.EPR, Recovered: true}, nil
+	return fproto.CreateInstanceReply{EPR: req.EPR, Recovered: true, Cluster: d.opts.ClusterID}, nil
 }
 
 func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) (any, error) {
@@ -141,6 +149,7 @@ func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) 
 	if err := h.Wait(); err != nil {
 		return nil, err
 	}
+	d.replicaBarrier()
 	return struct{}{}, nil
 }
 
@@ -258,6 +267,12 @@ func (d *Dispatcher) handleSubmit(p *wsrpc.Peer, body json.RawMessage) (any, err
 		if err := h.Wait(); err != nil {
 			return nil, err
 		}
+	}
+	// Quorum barrier: under -replicate quorum the acknowledgment further
+	// waits until the attached standbys have durably mirrored these records
+	// (the Mirror hook streamed them before any h.Wait released).
+	if len(handles) > 0 {
+		d.replicaBarrier()
 	}
 	if d.wal != nil {
 		d.hWALWait.Observe(time.Since(t3).Seconds())

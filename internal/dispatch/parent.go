@@ -80,7 +80,7 @@ func (d *Dispatcher) handleAttachParent(p *wsrpc.Peer, body json.RawMessage) (an
 // approximated by executors (the paper maps one executor per processor), so
 // IdleSlots is the idle executor count.
 func (d *Dispatcher) capacityHint() fproto.CapacityHint {
-	h := fproto.CapacityHint{Seq: d.parents.seq.Add(1)}
+	h := fproto.CapacityHint{Seq: d.parents.seq.Add(1), Epoch: d.epoch.UnixNano()}
 	for _, s := range d.shards {
 		s.mu.Lock()
 		q, o := s.core.QueueLen(), s.core.OutstandingLen()

@@ -308,11 +308,12 @@ func (e *Executor) supervise(cli *wsrpc.Client) {
 // executor stopped or a continuous outage outlasted ReconnectTimeout.
 func (e *Executor) reregister() (*wsrpc.Client, bool) {
 	deadline := time.Now().Add(e.opts.ReconnectTimeout)
-	for attempt := 0; ; attempt++ {
+	sched := backoff.NewSchedule(e.opts.Backoff)
+	for {
 		select {
 		case <-e.stop:
 			return nil, false
-		case <-time.After(e.opts.Backoff.Delay(attempt)):
+		case <-time.After(sched.Next()):
 		}
 		if time.Now().After(deadline) {
 			e.logf("executor %s: reconnect timed out after %v", e.opts.ID, e.opts.ReconnectTimeout)
@@ -344,7 +345,7 @@ func (e *Executor) reregister() (*wsrpc.Client, bool) {
 		e.cond.Broadcast()
 		e.mu.Unlock()
 		old.Close()
-		e.logf("executor %s: re-registered after %d attempt(s)", e.opts.ID, attempt+1)
+		e.logf("executor %s: re-registered after %d attempt(s)", e.opts.ID, sched.Attempt())
 		// Wake every slot: the recovered dispatcher may hold replayed work
 		// whose work-available push raced the reconnect.
 		for i := 0; i < e.opts.Slots; i++ {

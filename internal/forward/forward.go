@@ -82,7 +82,7 @@ type Forwarder struct {
 	// finst.mu; neither is held across a downstream call.
 	mu       sync.Mutex
 	leaves   []*leaf
-	rr       int // round-robin cursor for score ties
+	rr       int                // round-robin cursor for score ties
 	byFwd    map[string]*finst  // root EPR → instance
 	byReal   map[realKey]*finst // (leaf, downstream EPR) → instance
 	nextEPR  int64
@@ -141,6 +141,8 @@ func New(opts Options) (*Forwarder, error) {
 		f.wg.Add(1)
 		go f.superviseLeaf(l)
 	}
+	f.wg.Add(1)
+	go f.rescueStarvedLeaves()
 	f.srv = wsrpc.NewServer(wsrpc.ServerOptions{Security: opts.Security, PSK: opts.PSK, Logf: opts.Logf, Metrics: f.reg})
 	f.register()
 	f.srv.OnDisconnect(f.onUpstreamDisconnect)
@@ -660,9 +662,16 @@ func (f *Forwarder) Stats() fproto.StatsReply {
 				if d := max(st.Depth, 1); d > childDepth {
 					childDepth = d
 				}
-			} else {
-				s.row.Up = false
+				agg.Leaves = append(agg.Leaves, s.row)
+				// A forwarder child reports its own leaf rows: flatten
+				// them upward so the root sees the whole tree, not just
+				// its direct children — falkon-top's per-leaf panel and
+				// the chaos harness's healed check depend on true leaves
+				// being visible at any depth.
+				agg.Leaves = append(agg.Leaves, st.Leaves...)
+				continue
 			}
+			s.row.Up = false
 		}
 		agg.Leaves = append(agg.Leaves, s.row)
 	}

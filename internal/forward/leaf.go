@@ -32,6 +32,11 @@ type leaf struct {
 	results    int64
 	reroutes   int64
 	reconnects int64
+
+	// starved counts consecutive rescue-loop ticks this leaf spent up but
+	// executor-less while some sibling could run work (see
+	// rescueStarvedLeaves).
+	starved int
 }
 
 // score is the routing cost of sending the next bundle here: estimated
@@ -55,9 +60,14 @@ func (l *leaf) score() int {
 }
 
 // absorbHint installs a capacity report if it is fresher than the current
-// one, resetting the unreported-routing estimate. Callers hold Forwarder.mu.
+// one, resetting the unreported-routing estimate. Freshness is (Epoch, Seq)
+// lexicographic: Seq restarts from 1 when the leaf process restarts, so a
+// restarted leaf's hints must beat the dead incarnation's high-Seq
+// leftovers on epoch alone — comparing raw Seq would freeze the routing
+// table on pre-crash capacity (an idle leaf pushes nothing to correct it).
+// Callers hold Forwarder.mu.
 func (l *leaf) absorbHint(h fproto.CapacityHint) {
-	if !l.capOK || h.Seq >= l.cap.Seq {
+	if !l.capOK || h.Epoch > l.cap.Epoch || (h.Epoch == l.cap.Epoch && h.Seq >= l.cap.Seq) {
 		l.cap = h
 		l.inflight = 0
 	}
@@ -191,7 +201,12 @@ func (f *Forwarder) redialLeaf(l *leaf) bool {
 		l.up = true
 		l.gen++
 		l.capOK = capOK
-		l.cap = hint
+		// absorbHint, not assignment: recoverLeafInstances above takes long
+		// enough that a forced capacity push from the fresh incarnation (an
+		// executor re-registering, say) can land first — overwriting it with
+		// the attach-time snapshot would pin this leaf at its attach-moment
+		// population until the next push, which an idle leaf never sends.
+		l.absorbHint(hint)
 		l.inflight = 0
 		l.reconnects++
 		f.routable.Broadcast()
@@ -285,6 +300,116 @@ func (f *Forwarder) redistribute(from int) {
 		f.mu.Unlock()
 		f.logf("forward: rerouted %d tasks away from leaf %d", total, from)
 	}
+}
+
+// rescueStarvedLeaves runs until Close, watching for tasks stranded on an
+// executor-less leaf. The routing score steers new bundles away from such
+// leaves, but redistribute after a leaf death takes whatever is up — if the
+// only survivor has no executors, the dead leaf's tasks land on a queue
+// nothing drains, and no later event re-routes them (an idle executor-less
+// leaf stops changing, so it stops reporting). A leaf that stays in that
+// state for two consecutive ticks while a sibling *could* run work first
+// gets its downstream instances destroyed (which drops the queued copies —
+// each downstream instance holds only work this root routed there) and then
+// its routed tasks replayed through the normal routing path. Any stragglers
+// that raced the destroy dedupe at the root like any rerouted replay.
+func (f *Forwarder) rescueStarvedLeaves() {
+	defer f.wg.Done()
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		f.mu.Lock()
+		// A rescue only helps when some other up leaf can actually run the
+		// tasks; a legacy leaf (no capacity protocol) is assumed able.
+		runnable := false
+		for _, l := range f.leaves {
+			if l.up && (!l.capOK || l.cap.Executors > 0) {
+				runnable = true
+				break
+			}
+		}
+		var starved []int
+		for _, l := range f.leaves {
+			if !runnable || !l.up || !l.capOK || l.cap.Executors > 0 {
+				l.starved = 0
+				continue
+			}
+			l.starved++
+			if l.starved >= 2 {
+				l.starved = 0
+				starved = append(starved, l.idx)
+			}
+		}
+		f.mu.Unlock()
+		for _, idx := range starved {
+			if f.owesTasks(idx) {
+				f.logf("forward: leaf %d is executor-less but owes tasks, rescuing them", idx)
+				f.dropDownstreamInstances(idx)
+				f.redistribute(idx)
+			}
+		}
+	}
+}
+
+// dropDownstreamInstances destroys every downstream instance on leaf idx,
+// dropping whatever that dispatcher still holds queued for this root. The
+// next bundle routed there creates a fresh downstream instance.
+func (f *Forwarder) dropDownstreamInstances(idx int) {
+	type oldRoute struct {
+		epr  string
+		inst *finst
+	}
+	var olds []oldRoute
+	f.mu.Lock()
+	var cli *wsrpc.Client
+	if idx < len(f.leaves) && f.leaves[idx].up {
+		cli = f.leaves[idx].cli
+	}
+	for k, inst := range f.byReal {
+		if k.down == idx {
+			olds = append(olds, oldRoute{k.epr, inst})
+			delete(f.byReal, k)
+		}
+	}
+	f.mu.Unlock()
+	for _, o := range olds {
+		o.inst.mu.Lock()
+		if o.inst.downEPR[idx] == o.epr {
+			o.inst.downEPR[idx] = ""
+		}
+		o.inst.mu.Unlock()
+		if cli != nil {
+			var out struct{}
+			_ = cli.Call(fproto.MethodDestroyInstance, fproto.DestroyInstanceRequest{EPR: o.epr}, &out)
+		}
+	}
+}
+
+// owesTasks reports whether any instance has pending tasks routed to leaf
+// idx.
+func (f *Forwarder) owesTasks(idx int) bool {
+	f.mu.Lock()
+	insts := make([]*finst, 0, len(f.byFwd))
+	for _, inst := range f.byFwd {
+		insts = append(insts, inst)
+	}
+	f.mu.Unlock()
+	for _, inst := range insts {
+		inst.mu.Lock()
+		for _, pe := range inst.pending {
+			if pe.leaf == idx {
+				inst.mu.Unlock()
+				return true
+			}
+		}
+		inst.mu.Unlock()
+	}
+	return false
 }
 
 // pickLeaf chooses the routing target for the next bundle: the up leaf with

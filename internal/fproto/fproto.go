@@ -74,6 +74,13 @@ type CreateInstanceRequest struct {
 	// instance survives in the journal) or a dropped client connection.
 	// Unknown EPRs are an error; the client falls back to a fresh create.
 	EPR string `json:"epr,omitempty"`
+	// Cluster, when set alongside EPR, scopes the re-attach to an HA
+	// cluster: a client failing over across a leader's address chain sends
+	// the cluster id it learned at create time, and any dispatcher serving
+	// a different cluster rejects the attach (the client then falls back to
+	// a fresh create). Within the cluster the EPR is valid on every member,
+	// because standbys replay the leader's journal.
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // CreateInstanceReply carries the endpoint reference the client uses on all
@@ -83,6 +90,10 @@ type CreateInstanceReply struct {
 	// Recovered reports that this reply re-attached to a surviving
 	// instance rather than creating a fresh one.
 	Recovered bool `json:"recovered,omitempty"`
+	// Cluster is the dispatcher's HA cluster id ("" when not replicated).
+	// Clients echo it on cross-address re-attach (see
+	// CreateInstanceRequest.Cluster).
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // DestroyInstanceRequest tears an instance down; queued tasks are dropped.
@@ -135,6 +146,12 @@ type CapacityHint struct {
 	// Seq orders hints from one leaf: a push that arrives after a fresher
 	// one (piggy-backed on a submit acknowledgment, say) is discarded.
 	Seq uint64 `json:"seq,omitempty"`
+	// Epoch identifies the dispatcher incarnation that produced the hint
+	// (its boot time). Seq restarts from 1 when a leaf restarts, so
+	// freshness is (Epoch, Seq) lexicographic: without the epoch, a
+	// restarted leaf's early hints would lose to the dead incarnation's
+	// high-Seq leftovers and the parent would route on stale capacity.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // CollectRequest polls for finished results ({9,10}).
@@ -289,6 +306,41 @@ type StatsReply struct {
 	// answering endpoint is a tree root (falkon-top renders the per-leaf
 	// panel from these).
 	Leaves []LeafStats `json:"leaves,omitempty"`
+	// Replication summarizes the HA tier when the dispatcher replicates its
+	// journal (role, term, per-standby lag); absent otherwise.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats is the HA tier's row in StatsReply: the answering
+// dispatcher's role in its cluster, its election term, and how far each
+// attached standby trails the journal stream.
+type ReplicationStats struct {
+	// Role is "leader" or "standby".
+	Role string `json:"role"`
+	// Term is the election term the dispatcher is serving (monotonic across
+	// failovers; 1 for a leader that has never failed over).
+	Term uint64 `json:"term"`
+	// Mode is the replication mode: "quorum" or "async".
+	Mode string `json:"mode,omitempty"`
+	// End is the stream position (records committed this term); a standby
+	// reports the position it has mirrored durably.
+	End int64 `json:"end"`
+	// Standbys holds one row per attached standby (leader side only).
+	Standbys []StandbyStats `json:"standbys,omitempty"`
+	// QuorumDegraded counts submit barriers released without the required
+	// acks (standby slow or detached under -replicate quorum).
+	QuorumDegraded int64 `json:"quorum_degraded,omitempty"`
+	// Elections counts lease acquisitions this process won (HA node mode).
+	Elections int64 `json:"elections,omitempty"`
+}
+
+// StandbyStats is one attached standby's row in ReplicationStats.
+type StandbyStats struct {
+	ID string `json:"id"`
+	// Acked is the stream position the standby has durably mirrored; Lag is
+	// the leader's end minus Acked, in records (falkon_replica_lag_records).
+	Acked int64 `json:"acked"`
+	Lag   int64 `json:"lag"`
 }
 
 // ShardStats is one scheduling shard's row in StatsReply: queue depth and

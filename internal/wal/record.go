@@ -129,3 +129,38 @@ func nextRecord(buf []byte) (rec rawRecord, rest []byte, ok bool) {
 
 // unmarshal decodes a record body, named so replay call sites stay terse.
 func unmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// NextFrame splits the first framed record off buf without decoding its
+// body: it returns the whole frame (header + payload, CRC-verified), the
+// remaining buffer, and whether a complete valid record was present. The
+// replication source uses it to count and re-frame committed batches; the
+// returned frame aliases buf.
+func NextFrame(buf []byte) (frame, rest []byte, ok bool) {
+	if len(buf) < headerSize {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	crc := binary.LittleEndian.Uint32(buf[4:8])
+	if n == 0 || n > maxRecord || int(n) > len(buf)-headerSize {
+		return nil, nil, false
+	}
+	end := headerSize + int(n)
+	if crc32.Checksum(buf[headerSize:end], castagnoli) != crc {
+		return nil, nil, false
+	}
+	return buf[:end], buf[end:], true
+}
+
+// CountFrames reports how many complete valid records buf holds (a batch
+// handed to Options.Mirror is always whole records, so this is exact).
+func CountFrames(buf []byte) int {
+	n := 0
+	for {
+		_, rest, ok := NextFrame(buf)
+		if !ok {
+			return n
+		}
+		buf = rest
+		n++
+	}
+}

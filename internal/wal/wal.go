@@ -83,6 +83,15 @@ type Options struct {
 	// I/O error. A journal that cannot write is fail-stop: daemons use
 	// this hook to crash and let recovery replay the intact prefix.
 	OnError func(error)
+	// Mirror, when set, receives every committed batch of framed records
+	// immediately after its write (and fsync, per the sync policy) succeeds
+	// and before any AppendWait waiter is released — so a handler that
+	// passed its durability barrier can rely on the batch already being
+	// visible to the replication stream. Calls are serialized in exact file
+	// order (the committer and Rotate both invoke it under the write
+	// mutex). The batch aliases an internal buffer and is valid only for
+	// the duration of the call; implementations copy what they keep.
+	Mirror func(batch []byte)
 }
 
 // Handle represents one AppendWait's durability barrier.
@@ -423,6 +432,11 @@ func (j *Journal) commit(sync, final bool) {
 		// the wal_wait appenders observe.
 		j.hCommit.Observe(time.Since(ioStart).Seconds())
 	}
+	if wrote && err == nil && j.opts.Mirror != nil {
+		// Still under wmu: mirror calls land in exact file order, and every
+		// waiter released below observes its batch already streamed.
+		j.opts.Mirror(batch)
+	}
 	j.wmu.Unlock()
 
 	j.mu.Lock()
@@ -501,6 +515,9 @@ func (j *Journal) Rotate() (uint64, error) {
 	if err == nil && j.opts.Sync.Mode != SyncOff {
 		err = seg.Sync()
 		j.cFsyncs.Inc()
+	}
+	if err == nil && len(buf) > 0 && j.opts.Mirror != nil {
+		j.opts.Mirror(buf) // under wmu, same ordering contract as commit
 	}
 	for _, w := range ws {
 		w.err = err

@@ -24,13 +24,27 @@ THRESHOLD="${FALKON_BENCH_THRESHOLD:-0.75}"
 
 # Baseline: tasks_per_sec from the last live-throughput BENCH_live.json row
 # (JSONL, newest last; other experiments — e.g. overhead-breakdown — append
-# rows too, so filter by experiment). No jq in the base image, so carve the
-# field out with awk.
-BASELINE="$(awk -F'"tasks_per_sec":' '/"experiment":"live-throughput"/ && NF > 1 { split($2, a, /[,}]/); v = a[1] } END { print v }' BENCH_live.json)"
+# rows too, so filter by experiment). Rows without a tasks_per_sec field —
+# hand-edited or from an older schema — are skipped, not fatal; only a file
+# with NO usable row fails the gate. No jq in the base image, so carve the
+# field out with awk, and say which row won so a surprising baseline is
+# auditable from the CI log alone.
+BASELINE="$(awk -F'"tasks_per_sec":' '
+    /"experiment":"live-throughput"/ {
+        if (NF > 1) { split($2, a, /[,}]/); v = a[1]; row = NR }
+        else { skipped++ }
+    }
+    END {
+        if (skipped) printf "bench_gate: skipped %d live-throughput row(s) without tasks_per_sec\n", skipped > "/dev/stderr"
+        if (v != "") printf "%s %s\n", row, v
+    }' BENCH_live.json)"
 if [ -z "$BASELINE" ]; then
-    echo "bench_gate: no tasks_per_sec baseline found in BENCH_live.json" >&2
+    echo "bench_gate: no live-throughput row with tasks_per_sec in BENCH_live.json" >&2
     exit 1
 fi
+BASELINE_ROW="${BASELINE%% *}"
+BASELINE="${BASELINE#* }"
+echo "bench_gate: baseline from BENCH_live.json line ${BASELINE_ROW}: $(sed -n "${BASELINE_ROW}p" BENCH_live.json | cut -c1-160)"
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT

@@ -9,12 +9,15 @@
 #   ./scripts/chaos.sh 42                  # one specific seed
 #   ./scripts/chaos.sh --quick 7 3         # seeds 7..9, small runs
 #   ./scripts/chaos.sh --tree 2 --quick    # 2-level tree: SIGKILL leaves
+#   ./scripts/chaos.sh --tree 4 --tree-depth 3 --quick  # forwarder-of-forwarders
+#   ./scripts/chaos.sh --standbys 1 --quick             # HA: SIGKILL leaders
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 QUICK=()
 TREE=()
+STANDBYS=()
 SWEEP_DEFAULT=5
 while :; do
     case "${1:-}" in
@@ -24,7 +27,15 @@ while :; do
         shift
         ;;
     --tree)
-        TREE=(-tree "$2")
+        TREE+=(-tree "$2")
+        shift 2
+        ;;
+    --tree-depth)
+        TREE+=(-tree-depth "$2")
+        shift 2
+        ;;
+    --standbys)
+        STANDBYS=(-standbys "$2")
         shift 2
         ;;
     *)
@@ -40,4 +51,4 @@ trap 'rm -rf "$BIN"' EXIT
 
 go build -o "$BIN" ./cmd/falkon-dispatcher ./cmd/falkon-executor ./cmd/falkon-forwarder ./cmd/falkon-chaos
 
-"$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}" "${TREE[@]}"
+"$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}" "${TREE[@]}" "${STANDBYS[@]}"

@@ -26,7 +26,7 @@ import (
 // trajectory is tracked across PRs.
 type benchRow struct {
 	Experiment  string  `json:"experiment"`
-	TasksPerSec float64 `json:"tasks_per_sec"`
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Per-stage scheduler overhead in ns/task (overhead-breakdown only),
@@ -46,9 +46,12 @@ type benchRow struct {
 	// Per-bundle-size throughput (bundle-sweep only), keyed by the client
 	// bundle size — the paper's Figure 5 curve.
 	TasksPerSecByBundle map[string]float64 `json:"tasks_per_sec_by_bundle,omitempty"`
-	Scale               float64            `json:"scale"`
-	Date                string             `json:"date"`
-	Commit              string             `json:"commit,omitempty"`
+	// Per-tenant p99 end-to-end latency in ms (hostile-tenant only), keyed
+	// by tenant name, measured with fair-share on while the flood runs.
+	P99ByTenant map[string]float64 `json:"p99_by_tenant,omitempty"`
+	Scale       float64            `json:"scale"`
+	Date        string             `json:"date"`
+	Commit      string             `json:"commit,omitempty"`
 }
 
 func main() {
@@ -88,7 +91,8 @@ func main() {
 			fmt.Print(res.RenderPlots())
 		}
 		if *jsonOut {
-			if tput, ok := res.Values["tasks_per_sec"]; ok {
+			p99ByTenant := prefixValues(res.Values, "p99_by_tenant_")
+			if tput, ok := res.Values["tasks_per_sec"]; ok || len(p99ByTenant) > 0 {
 				if err := appendRow(*jsonFile, benchRow{
 					Experiment:          res.ID,
 					TasksPerSec:         tput,
@@ -100,6 +104,7 @@ func main() {
 					Depth:               int(res.Values["depth"]),
 					TasksPerSecByDepth:  prefixValues(res.Values, "tasks_per_sec_depth_"),
 					TasksPerSecByBundle: prefixValues(res.Values, "tasks_per_sec_bundle_"),
+					P99ByTenant:         p99ByTenant,
 					Scale:               *scale,
 					Date:                time.Now().UTC().Format(time.RFC3339),
 					Commit:              gitCommit(),

@@ -17,6 +17,14 @@
 //	falkon-dispatcher -addr :7524 -journal-dir mirror2/ -lease-file /shared/lease
 //	    an HA cluster member: follows the elected leader as a standby and
 //	    promotes itself (replaying its mirror) when it wins the lease
+//
+// Multi-tenancy (DESIGN.md §15):
+//
+//	falkon-dispatcher -addr :7523 -tenants tenants.conf -fair-share
+//	    per-tenant admission control (quotas, rate limits) from a config
+//	    file, plus weighted fair-share scheduling across tenants
+//	falkon-dispatcher -addr :7523 -tenant 'prod:weight=4' -tenant 'batch:rate=500' -fair-share
+//	    the same, declared inline
 package main
 
 import (
@@ -51,6 +59,8 @@ func main() {
 		journalSync   = flag.String("journal-sync", "group", "journal durability: group (fsync per commit batch), off, or a flush interval like 5ms")
 		snapEvery     = flag.Int("snapshot-every", 0, "journal records between snapshot compactions (0 = default 65536, <0 = never)")
 		faults        = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,drop@0.01,fsyncerr@0.02 (chaos testing; default $FALKON_FAULTS)")
+		tenantsFile   = flag.String("tenants", "", "tenant config file: one name:weight=4,quota=10000,rate=5000,burst=1000,maxq=50000 spec per line ('#' comments)")
+		fairShare     = flag.Bool("fair-share", false, "weighted fair-share scheduling across tenants (SFQ)")
 
 		replicate = flag.String("replicate", "", "accept standby replicas: async (acks don't wait) or quorum (client acks wait for standby acks); requires -journal-dir")
 		minAcks   = flag.Int("replica-min-acks", 0, "quorum size for -replicate quorum (0 = every attached standby)")
@@ -60,7 +70,14 @@ func main() {
 		leaseTTL  = flag.Duration("lease-ttl", 3*time.Second, "election lease duration (leader renews at TTL/3)")
 		nodeID    = flag.String("node-id", "", "HA node identity in the lease file (default: -addr)")
 	)
+	var tenantFlags stringList
+	flag.Var(&tenantFlags, "tenant", "one tenant spec, name or name:weight=4,quota=100,rate=50,burst=10,maxq=1000 (repeatable; merged with -tenants)")
 	flag.Parse()
+
+	tenants, err := loadTenants(*tenantsFile, tenantFlags)
+	if err != nil {
+		log.Fatalf("falkon-dispatcher: %v", err)
+	}
 
 	syncPolicy, err := wal.ParseSyncPolicy(*journalSync)
 	if err != nil {
@@ -70,6 +87,8 @@ func main() {
 		ReplayTimeout: *replayTimeout,
 		MaxRetries:    *maxRetries,
 		Shards:        *shards,
+		Tenants:       tenants,
+		FairShare:     *fairShare,
 		JournalDir:    *journalDir,
 		JournalSync:   syncPolicy,
 		SnapshotEvery: *snapEvery,
@@ -123,6 +142,46 @@ func main() {
 	default:
 		runLeader(opts, *addr, *journalDir, syncPolicy, *debugAddr, *statsEvery)
 	}
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// loadTenants merges the -tenants file with repeatable -tenant flags,
+// rejecting a tenant declared in both places.
+func loadTenants(path string, flags []string) ([]dispatch.TenantSpec, error) {
+	var tenants []dispatch.TenantSpec
+	if path != "" {
+		fileSpecs, err := dispatch.LoadTenantsFile(path)
+		if err != nil {
+			return nil, err
+		}
+		tenants = fileSpecs
+	}
+	if len(flags) == 0 {
+		return tenants, nil
+	}
+	flagSpecs, err := dispatch.ParseTenantSpecs(flags)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, len(tenants))
+	for _, t := range tenants {
+		seen[t.Name] = struct{}{}
+	}
+	for _, t := range flagSpecs {
+		if _, dup := seen[t.Name]; dup {
+			return nil, fmt.Errorf("tenant %q declared in both -tenants file and -tenant flag", t.Name)
+		}
+		tenants = append(tenants, t)
+	}
+	return tenants, nil
 }
 
 // runLeader is the classic single-dispatcher path (optionally accepting
@@ -306,6 +365,13 @@ func startStatsLoop(every time.Duration, d *dispatch.Dispatcher) {
 				}
 				line += fmt.Sprintf(" repl(term=%d standbys=%d lag=%d)",
 					st.Replication.Term, len(st.Replication.Standbys), worst)
+			}
+			if len(st.Tenants) > 0 {
+				var throttled int64
+				for _, tn := range st.Tenants {
+					throttled += tn.Throttled
+				}
+				line += fmt.Sprintf(" tenants=%d throttled=%d", len(st.Tenants), throttled)
 			}
 			log.Print(line)
 		}

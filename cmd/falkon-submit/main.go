@@ -43,6 +43,7 @@ func main() {
 		reconnect  = flag.Bool("reconnect", false, "survive dispatcher restarts: reattach, resubmit pending tasks idempotently, and dedupe redelivered results")
 		debugAddr  = flag.String("debug-addr", "", "HTTP address serving /metrics and /debug/pprof/ while the run lasts (empty = off)")
 		faults     = flag.String("faults", os.Getenv("FALKON_FAULTS"), "fault-injection spec, e.g. seed=42,latency=2ms@0.05 (chaos testing; default $FALKON_FAULTS)")
+		tenant     = flag.String("tenant", "", "tenant to submit as (empty = the default tenant)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		BundleSize:     *bundle,
 		Poll:           *poll,
 		Reconnect:      *reconnect,
+		Tenant:         *tenant,
 	}
 	if *faults != "" {
 		spec, err := faultinj.Parse(*faults)

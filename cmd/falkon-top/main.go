@@ -34,6 +34,7 @@ func main() {
 		overhead   = flag.Bool("overhead", true, "show the scheduler-overhead panel (where the dispatcher's own time goes)")
 		shards     = flag.Bool("shards", true, "show the shard-imbalance panel (hidden in single-shard mode)")
 		leaves     = flag.Bool("leaves", true, "show the per-leaf panel when polling a dispatch-tree root")
+		tenants    = flag.Bool("tenants", true, "show the per-tenant panel (hidden without tenant configuration)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	var lastCompleted int64
 	lastSteals := map[int]int64{}
 	lastBundles := map[string]int64{}
+	lastThrottled := map[string]int64{}
 	lastAt := time.Now()
 	first := true
 	lines := 0
@@ -105,6 +107,26 @@ func main() {
 				fmt.Printf("\033[K%-22s %4s %8d %12d %9d(%d) %8d %9d %10.1f %8d %7d\n",
 					lf.Leaf, up, lf.Queued, lf.Outstanding, lf.Executors, lf.Busy,
 					lf.Pending, lf.Bundles, bundleRate, lf.Reroutes, lf.Reconnects)
+				lines++
+			}
+		}
+		// Tenant panel: present only with tenant configuration. Each row is
+		// one tenant — fair-share weight, backlog, in-flight work, lifetime
+		// counters, admission-control throttles, and the throttle rate this
+		// interval.
+		if *tenants && len(st.Tenants) > 0 {
+			fmt.Printf("\033[K%-16s %7s %8s %9s %10s %10s %7s %10s %11s\n",
+				"tenant", "weight", "queued", "inflight", "submitted", "completed", "failed", "throttled", "throttled/s")
+			lines++
+			for _, tn := range st.Tenants {
+				throttleRate := 0.0
+				if prev, ok := lastThrottled[tn.Name]; ok && elapsed > 0 {
+					throttleRate = float64(tn.Throttled-prev) / elapsed
+				}
+				lastThrottled[tn.Name] = tn.Throttled
+				fmt.Printf("\033[K%-16s %7.1f %8d %9d %10d %10d %7d %10d %11.1f\n",
+					tn.Name, tn.Weight, tn.Queued, tn.InFlight, tn.Submitted,
+					tn.Completed, tn.Failed, tn.Throttled, throttleRate)
 				lines++
 			}
 		}

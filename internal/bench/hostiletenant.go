@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/core"
+	"falkon/internal/dispatch"
+	"falkon/internal/obs"
+	"falkon/internal/task"
+)
+
+func init() {
+	register("hostile-tenant", hostileTenant)
+}
+
+// hostileTenant runs the multi-tenant isolation experiment on the REAL
+// runtime: a well-behaved "victim" tenant shares the dispatcher with a
+// "flood" tenant submitting a much larger backlog. Three phases measure the
+// victim's p99 end-to-end latency from the dispatcher's per-tenant labeled
+// histograms: solo (no flood, the baseline), fair-share on, and fair-share
+// off (plain shared FIFO). The headline property: with fair-share on the
+// flood must not move the victim's p99 materially — the deterministic twin
+// of this experiment (simfalkon TestHostileTenantIsolation) pins the <2x
+// bound in CI.
+func hostileTenant(scale float64) *Result {
+	res := &Result{
+		ID:     "hostile-tenant",
+		Title:  "Hostile-tenant isolation: victim p99 vs a flooding tenant (live)",
+		Header: []string{"phase", "victim tasks", "flood tasks", "victim p99 ms", "flood p99 ms"},
+	}
+	nVictim := scaled(2000, scale, 200)
+	nFlood := scaled(20000, scale, 2000)
+
+	run := func(fair bool, flood int) (victimP99, floodP99 float64, err error) {
+		sys, err := core.Start(core.Config{
+			Executors:  8,
+			BundleSize: 50,
+			FairShare:  fair,
+			Tenant:     "victim",
+			Tenants: []dispatch.TenantSpec{
+				{Name: "victim", Weight: 4},
+				{Name: "flood", Weight: 1},
+			},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer sys.Close()
+		var fcli *client.Client
+		if flood > 0 {
+			fcli, err = client.Connect(client.Options{
+				DispatcherAddr: sys.Addr(), Tenant: "flood", BundleSize: 50,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			defer fcli.Close()
+			var fgen task.IDGen
+			if err := fcli.Submit(task.Batch(&fgen, flood, 0)); err != nil {
+				return 0, 0, err
+			}
+		}
+		var vgen task.IDGen
+		if err := sys.Submit(task.Batch(&vgen, nVictim, 0)); err != nil {
+			return 0, 0, err
+		}
+		if _, err := sys.WaitN(nVictim, 5*time.Minute); err != nil {
+			return 0, 0, err
+		}
+		if fcli != nil {
+			if _, err := fcli.WaitN(flood, 5*time.Minute); err != nil {
+				return 0, 0, err
+			}
+		}
+		ms, err := sys.Metrics()
+		if err != nil {
+			return 0, 0, err
+		}
+		v := ms.Histograms[obs.TenantKey(obs.MetricE2ESeconds, "victim")]
+		f := ms.Histograms[obs.TenantKey(obs.MetricE2ESeconds, "flood")]
+		return v.Quantile(0.99) * 1000, f.Quantile(0.99) * 1000, nil
+	}
+
+	row := func(label string, fair bool, flood int) (float64, float64) {
+		v, f, err := run(fair, flood)
+		if err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s: %v", label, err))
+			res.Rows = append(res.Rows, []string{label, fmt.Sprint(nVictim), fmt.Sprint(flood), "error", "error"})
+			return 0, 0
+		}
+		fc := "-"
+		if flood > 0 {
+			fc = f2(f)
+		}
+		res.Rows = append(res.Rows, []string{label, fmt.Sprint(nVictim), fmt.Sprint(flood), f2(v), fc})
+		return v, f
+	}
+
+	solo, _ := row("solo", true, 0)
+	fairOn, fairFlood := row("fair-share", true, nFlood)
+	fairOff, _ := row("fifo", false, nFlood)
+
+	res.Values = map[string]float64{
+		"victim_p99_solo_ms":   solo,
+		"victim_p99_fair_ms":   fairOn,
+		"victim_p99_fifo_ms":   fairOff,
+		"p99_by_tenant_victim": fairOn,
+		"p99_by_tenant_flood":  fairFlood,
+	}
+	if solo > 0 && fairOn > 0 {
+		res.Values["fair_vs_solo_ratio"] = fairOn / solo
+	}
+	if fairOn > 0 && fairOff > 0 {
+		res.Values["fifo_vs_fair_ratio"] = fairOff / fairOn
+	}
+	res.Notes = append(res.Notes,
+		"p99 by tenant comes from the dispatcher's tenant-labeled e2e histograms (/metrics)",
+		"fair-share keeps the victim near its solo latency; the shared FIFO lets the flood's backlog dominate the victim's tail")
+	return res
+}

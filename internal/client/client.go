@@ -12,11 +12,12 @@
 package client
 
 import (
-	"crypto/rand"
+	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -38,6 +39,11 @@ type Options struct {
 	DispatcherAddr string
 	// Name labels the client in dispatcher logs.
 	Name string
+	// Tenant names the tenant this client's instance belongs to ("" =
+	// the dispatcher's default tenant). Against a multi-tenant dispatcher
+	// the tenant determines fair-share weight, quota, and rate limit; a
+	// pre-tenancy dispatcher ignores the field.
+	Tenant string
 	// Security and PSK must match the dispatcher.
 	Security wsrpc.SecurityProfile
 	PSK      []byte
@@ -104,6 +110,7 @@ type Client struct {
 	deduped    int64 // resubmitted tasks the dispatcher already held
 	dupDrops   int64 // redelivered results dropped client-side
 	reconnects int64
+	throttled  int64 // bundles the dispatcher deferred with retry-after
 
 	// pending tracks acknowledged tasks still awaiting results; done holds
 	// every delivered result ID. Both exist only in Reconnect mode:
@@ -158,6 +165,7 @@ func Connect(opts Options) (*Client, error) {
 	err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
 		ClientName:        opts.Name,
 		WantNotifications: !opts.Poll,
+		Tenant:            opts.Tenant,
 	}, &reply)
 	if err != nil {
 		cli.Close()
@@ -180,7 +188,7 @@ func Connect(opts Options) (*Client, error) {
 // back to the wall clock — uniqueness degrades, tracing still works.
 func randTraceBase() uint64 {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
+	if _, err := crand.Read(b[:]); err != nil {
 		return uint64(time.Now().UnixNano())
 	}
 	return binary.LittleEndian.Uint64(b[:])
@@ -319,6 +327,7 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 			WantNotifications: !poll,
 			EPR:               epr,
 			Cluster:           cluster,
+			Tenant:            c.opts.Tenant,
 		}, &reply)
 		var remote *wsrpc.RemoteError
 		if errors.As(err, &remote) && epr != "" {
@@ -327,6 +336,7 @@ func (c *Client) reconnect() (*wsrpc.Client, bool) {
 			err = cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
 				ClientName:        name,
 				WantNotifications: !poll,
+				Tenant:            c.opts.Tenant,
 			}, &reply)
 		}
 		if err != nil {
@@ -501,9 +511,29 @@ func (c *Client) submitTasks(tasks []task.Task, resubmit bool) error {
 			}
 			// The envelope carries the bundle head's trace so transport-level
 			// tooling can follow the submission hop; per-task context rides in
-			// the task bodies.
+			// the task bodies. Reset the reply each attempt: its fields are
+			// omitempty on the wire, so a retried call must not inherit the
+			// previous attempt's throttle hint.
+			reply = fproto.SubmitReply{}
 			err = cli.CallTrace(fproto.MethodSubmit, fproto.SubmitRequest{EPR: c.EPR(), Tasks: bundle}, &reply, bundle[0].Trace, 0)
 			if err == nil {
+				if reply.RetryAfterMillis > 0 {
+					// Admission backpressure: the dispatcher deferred the whole
+					// bundle (tenant quota or rate limit). Honor the hint with
+					// jitter — throttled clients must not re-flood in lockstep —
+					// then retry the same bundle.
+					c.mu.Lock()
+					c.throttled++
+					c.mu.Unlock()
+					wait := time.Duration(reply.RetryAfterMillis) * time.Millisecond
+					wait += time.Duration(rand.Int63n(int64(wait)/4 + 1))
+					select {
+					case <-time.After(wait):
+					case <-c.closedCh:
+						return fmt.Errorf("client: closed while awaiting retry-after")
+					}
+					continue
+				}
 				break
 			}
 			var remote *wsrpc.RemoteError
@@ -574,6 +604,10 @@ func (c *Client) Submitted() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.
 
 // Reconnects counts successful reconnect+reattach cycles.
 func (c *Client) Reconnects() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.reconnects }
+
+// Throttled counts submit bundles the dispatcher deferred with a
+// retry-after hint (tenant admission control) before eventually accepting.
+func (c *Client) Throttled() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.throttled }
 
 // Deduped counts resubmitted tasks the dispatcher already held (its side
 // of the exactly-once story).

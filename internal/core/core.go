@@ -78,6 +78,12 @@ type Config struct {
 	// Shards partitions the dispatcher's scheduling state (0 = one shard
 	// per CPU, 1 = legacy single-lock core; see dispatch.Options.Shards).
 	Shards int
+	// Tenants declares per-tenant weights and admission limits; FairShare
+	// turns on weighted fair-share scheduling across them (see
+	// dispatch.Options). Tenant names the system client's own tenant.
+	Tenants   []dispatch.TenantSpec
+	FairShare bool
+	Tenant    string
 	// JournalDir enables the dispatcher's write-ahead task journal; on boot
 	// the dispatcher recovers any state the directory holds. JournalSync and
 	// SnapshotEvery tune durability and compaction (see dispatch.Options).
@@ -131,6 +137,8 @@ func Start(cfg Config) (*System, error) {
 		Policy:           cfg.Policy,
 		CacheCapacity:    cfg.CacheCapacity,
 		Shards:           cfg.Shards,
+		Tenants:          cfg.Tenants,
+		FairShare:        cfg.FairShare,
 		JournalDir:       cfg.JournalDir,
 		JournalSync:      cfg.JournalSync,
 		SnapshotEvery:    cfg.SnapshotEvery,
@@ -196,6 +204,7 @@ func Start(cfg Config) (*System, error) {
 		Security:       cfg.Security,
 		PSK:            cfg.PSK,
 		BundleSize:     cfg.BundleSize,
+		Tenant:         cfg.Tenant,
 	})
 	if err != nil {
 		s.Close()

@@ -139,6 +139,18 @@ type Options struct {
 	// accepted connection (chaos testing only).
 	Faults wsrpc.ConnFaults
 
+	// Tenants declares per-tenant fair-share weights, quotas, and rate
+	// limits (see TenantSpec). Setting any spec turns on multi-tenant
+	// accounting and submit-path admission control; tenants not listed are
+	// tracked but unlimited.
+	Tenants []TenantSpec
+
+	// FairShare switches the scheduling cores to weighted fair-share
+	// (start-time fair queuing) across tenants, using the weights from
+	// Tenants. Off, the queue is the paper's single FIFO regardless of
+	// tenancy.
+	FairShare bool
+
 	// Logf receives dispatcher logs; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -150,6 +162,19 @@ type taskRef struct {
 	epr  string
 	t    task.Task
 	inst *instance
+}
+
+// DefaultTenant is the tenant of instances created without one (including
+// every pre-tenancy client).
+const DefaultTenant = "default"
+
+// taskTenant resolves the tenant a queued task belongs to (the fair-share
+// core's tenant extractor).
+func taskTenant(tr taskRef) string {
+	if tr.inst != nil && tr.inst.tenant != "" {
+		return tr.inst.tenant
+	}
+	return DefaultTenant
 }
 
 // execRef is the transport state hung off a sched.Exec (via Ref): the
@@ -235,6 +260,14 @@ type notifyPush struct {
 	queued int
 }
 
+// stampRec is one deferred stage-latency observation: the stamps plus the
+// tenant they are attributed to ("" when multi-tenancy is off, so the
+// single-tenant flush path never looks up labeled histograms).
+type stampRec struct {
+	st     sched.Stamps
+	tenant string
+}
+
 // fx accumulates a handler's side effects — trace records, stage-latency
 // observations, work-available notifications, result pushes, and deferred
 // cross-shard requeues — gathered while holding a shard lock and applied
@@ -243,7 +276,7 @@ type notifyPush struct {
 // serializing on tracer and histogram writes.
 type fx struct {
 	events   []traceEv
-	stamps   []sched.Stamps
+	stamps   []stampRec
 	notifies []notifyPush
 	pushes   []resultPush
 	// requeues are replayed attempts owed back to their affinity shard.
@@ -274,6 +307,7 @@ func putFx(f *fx) {
 		*f = fx{}
 	} else {
 		clear(f.events)
+		clear(f.stamps)
 		clear(f.notifies)
 		clear(f.pushes)
 		clear(f.requeues)
@@ -310,6 +344,14 @@ type Dispatcher struct {
 	hSchedCore *metrics.FixedHistogram
 	hFxFlush   *metrics.FixedHistogram
 	hWALWait   *metrics.FixedHistogram
+
+	// tenants is the multi-tenant admission table (nil when multi-tenancy
+	// is off — no admission checks, no per-tenant labels on the hot path).
+	tenants *tenantTable
+	// thMu guards tHists, the per-tenant labeled latency histograms. The
+	// flush path takes the read lock only when a stamp carries a tenant.
+	thMu   sync.RWMutex
+	tHists map[string]*tenantHists
 
 	// nshards is fixed at New; shards[i].core == sharded.Shard(i).
 	nshards int
@@ -379,6 +421,13 @@ func New(opts Options) *Dispatcher {
 	if n < 1 {
 		n = 1
 	}
+	var fairShare *sched.FairShare
+	if opts.FairShare {
+		fairShare = &sched.FairShare{
+			Weights:     tenantWeights(opts.Tenants),
+			MaxQueuedBy: tenantMaxQueued(opts.Tenants),
+		}
+	}
 	d := &Dispatcher{
 		opts:    opts,
 		epoch:   time.Now(),
@@ -389,10 +438,16 @@ func New(opts Options) *Dispatcher {
 			MaxRetries:    opts.MaxRetries,
 			Dataset:       func(tr taskRef) string { return taskDataset(tr.t) },
 			TaskRetries:   func(tr taskRef) int { return tr.t.MaxRetries },
+			Tenant:        func(tr taskRef) string { return taskTenant(tr) },
+			FairShare:     fairShare,
 		}),
 		instances: make(map[string]*instance),
 		reg:       opts.Metrics,
 		tracer:    obs.NewTracer(opts.TraceCapacity),
+	}
+	if len(opts.Tenants) > 0 || opts.FairShare {
+		d.tenants = newTenantTable(opts.Tenants, d.now)
+		d.tHists = make(map[string]*tenantHists)
 	}
 	d.shards = make([]*shard, n)
 	for i := range d.shards {
@@ -464,6 +519,36 @@ func (d *Dispatcher) execShard(id string) int {
 	return sched.ExecShardString(d.nshards, id)
 }
 
+// tenantHists is one tenant's labeled dimension of the stage and e2e
+// latency histograms, cached per tenant so flush never rebuilds label keys
+// on the hot path.
+type tenantHists struct {
+	stage [sched.NStages]*metrics.FixedHistogram
+	e2e   *metrics.FixedHistogram
+}
+
+// tenantHistsFor returns tenant's labeled histogram set, creating it on
+// first observation.
+func (d *Dispatcher) tenantHistsFor(tenant string) *tenantHists {
+	d.thMu.RLock()
+	th, ok := d.tHists[tenant]
+	d.thMu.RUnlock()
+	if ok {
+		return th
+	}
+	d.thMu.Lock()
+	defer d.thMu.Unlock()
+	if th, ok = d.tHists[tenant]; ok {
+		return th
+	}
+	th = &tenantHists{e2e: d.reg.Histogram(obs.TenantKey(obs.MetricE2ESeconds, tenant))}
+	for i, stage := range obs.Stages {
+		th.stage[i] = d.reg.Histogram(obs.StageTenantKey(stage, tenant))
+	}
+	d.tHists[tenant] = th
+	return th
+}
+
 // flush applies the effects gathered under shard locks. Must be called
 // after releasing them: the tracer, histograms, and notification engine
 // all have their own synchronization, and deferred requeues take other
@@ -475,11 +560,21 @@ func (d *Dispatcher) flush(f *fx) {
 	for _, e := range f.events {
 		d.tracer.Record(e.at, e.kind, e.trace, e.id, e.epr, e.exec)
 	}
-	for _, s := range f.stamps {
-		for i, st := range s.Stages() {
-			d.hStage[i].Observe(st.Seconds())
+	for _, rec := range f.stamps {
+		var th *tenantHists
+		if rec.tenant != "" {
+			th = d.tenantHistsFor(rec.tenant)
 		}
-		d.hE2E.Observe(s.E2E().Seconds())
+		for i, st := range rec.st.Stages() {
+			d.hStage[i].Observe(st.Seconds())
+			if th != nil {
+				th.stage[i].Observe(st.Seconds())
+			}
+		}
+		d.hE2E.Observe(rec.st.E2E().Seconds())
+		if th != nil {
+			th.e2e.Observe(rec.st.E2E().Seconds())
+		}
 	}
 	for _, n := range f.notifies {
 		d.tracer.Record(n.at, obs.EvNotified, 0, 0, "", n.exec)
@@ -651,11 +746,16 @@ func (d *Dispatcher) restore(st *wal.State) {
 	// recovered totals on shard 0.
 	d.shards[0].core.Counters = st.Counters
 	for _, win := range st.Instances {
+		tenant := win.Tenant
+		if tenant == "" {
+			tenant = DefaultTenant // pre-tenancy journal
+		}
 		inst := &instance{
 			epr:       win.EPR,
 			name:      win.Name,
 			eprHash:   sched.HashString(win.EPR),
 			notify:    win.Notify,
+			tenant:    tenant,
 			submitted: win.Submitted,
 			results:   win.Results,
 			live:      make(map[task.ID]struct{}, len(win.Results)),
@@ -675,6 +775,9 @@ func (d *Dispatcher) restore(st *wal.State) {
 		s.core.Restore(now, taskRef{epr: p.EPR, t: p.Task, inst: inst}, p.Attempts)
 		inst.live[p.Task.ID] = struct{}{}
 		inst.inFlight++
+		// Re-charge per-tenant in-flight accounting (bypassing admission:
+		// the work was admitted before the crash).
+		d.tenants.restore(inst.tenant, 1)
 	}
 	for _, s := range d.shards {
 		s.syncDepth()
@@ -691,6 +794,7 @@ func (d *Dispatcher) captureAllLocked() *wal.State {
 			EPR:       epr,
 			Name:      inst.name,
 			Notify:    inst.notify,
+			Tenant:    inst.tenant,
 			Submitted: inst.submitted,
 			Results:   append([]task.Result(nil), inst.results...),
 		})
@@ -698,10 +802,10 @@ func (d *Dispatcher) captureAllLocked() *wal.State {
 	}
 	for _, s := range d.shards {
 		s.core.EachQueued(func(it sched.Item[taskRef]) {
-			st.Pending = append(st.Pending, wal.Pending{EPR: it.X.epr, Task: it.X.t, Attempts: it.Attempts})
+			st.Pending = append(st.Pending, wal.Pending{EPR: it.X.epr, Task: it.X.t, Attempts: it.Attempts, Tenant: taskTenant(it.X)})
 		})
 		s.core.EachOutstanding(func(o *sched.Outstanding[string, outKey, taskRef]) {
-			st.Pending = append(st.Pending, wal.Pending{EPR: o.Item.X.epr, Task: o.Item.X.t, Attempts: o.Item.Attempts})
+			st.Pending = append(st.Pending, wal.Pending{EPR: o.Item.X.epr, Task: o.Item.X.t, Attempts: o.Item.Attempts, Tenant: taskTenant(o.Item.X)})
 		})
 	}
 	return st
@@ -947,12 +1051,19 @@ func (d *Dispatcher) Drain(timeout time.Duration) bool {
 func (d *Dispatcher) Stats() fproto.StatsReply {
 	var st fproto.StatsReply
 	var ct sched.Counters
+	var tenantQueued map[string]int
+	if d.tenants != nil {
+		tenantQueued = make(map[string]int)
+	}
 	st.Shards = make([]fproto.ShardStats, d.nshards)
 	for i, s := range d.shards {
 		s.mu.Lock()
 		c := s.core.Counters
 		q, o := s.core.QueueLen(), s.core.OutstandingLen()
 		total, busy := s.core.ExecStats()
+		if tenantQueued != nil {
+			s.core.TenantQueueLens(tenantQueued)
+		}
 		s.mu.Unlock()
 		ct.Submitted += c.Submitted
 		ct.Completed += c.Completed
@@ -985,6 +1096,7 @@ func (d *Dispatcher) Stats() fproto.StatsReply {
 	st.CacheMisses = ct.CacheMisses
 	st.IdleExecutors = st.TotalExecutors - st.BusyExecutors
 	st.NotifyErrors = d.eng.errs.Value()
+	st.Tenants = d.tenants.snapshot(tenantQueued)
 	d.imu.RLock()
 	st.Instances = len(d.instances)
 	d.imu.RUnlock()
@@ -1129,7 +1241,10 @@ func (d *Dispatcher) assignLocked(f *fx, s *shard, ex *sched.Exec[string], max i
 			break
 		}
 		if it.X.inst == nil || it.X.inst.destroyed.Load() {
-			continue // instance destroyed while queued
+			// Instance destroyed while queued: the task is shed here and
+			// never finalizes, so retire its tenant in-flight charge now.
+			d.tenants.release(taskTenant(it.X), 1, false)
+			continue
 		}
 		s.core.Assign(now, ex, outKey{it.X.epr, it.X.t.ID}, it)
 		if s.app != nil {
@@ -1218,6 +1333,7 @@ func (d *Dispatcher) assignStolen(f *fx, s *shard, ex *sched.Exec[string], items
 	for _, st := range items {
 		it := st.it
 		if it.X.inst == nil || it.X.inst.destroyed.Load() {
+			d.tenants.release(taskTenant(it.X), 1, false)
 			d.limbo.Add(-1)
 			continue // instance destroyed while queued
 		}
@@ -1251,6 +1367,9 @@ func (d *Dispatcher) finalize(f *fx, s *shard, tr taskRef, r task.Result) {
 	} else {
 		s.core.Counters.Completed++
 	}
+	// Tenant accounting retires the task whether or not the instance is
+	// still around to receive the result.
+	d.tenants.release(taskTenant(tr), 1, r.Failed())
 	inst := tr.inst
 	if inst == nil || inst.destroyed.Load() {
 		return

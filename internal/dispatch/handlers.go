@@ -50,6 +50,10 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 	if req.EPR != "" {
 		return d.reattachInstance(p, req)
 	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant // pre-tenancy clients land here
+	}
 	d.imu.Lock()
 	d.nextEPR++
 	epr := fmt.Sprintf("falkon-instance-%d", d.nextEPR)
@@ -59,6 +63,7 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 		eprHash: sched.HashString(epr),
 		peer:    p,
 		notify:  req.WantNotifications,
+		tenant:  tenant,
 	}
 	var h wal.Handle
 	if d.wal != nil {
@@ -66,7 +71,7 @@ func (d *Dispatcher) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (
 		// Control records ride appender 0 (the journal's default), which
 		// every commit batch drains first — an instance record always lands
 		// before any accept that references it.
-		h, err = d.wal.AppendWait(wal.KindInstance, wal.InstanceRec{EPR: epr, Name: req.ClientName, Notify: req.WantNotifications})
+		h, err = d.wal.AppendWait(wal.KindInstance, wal.InstanceRec{EPR: epr, Name: req.ClientName, Notify: req.WantNotifications, Tenant: tenant})
 	}
 	if err == nil {
 		d.instances[epr] = inst
@@ -134,12 +139,15 @@ func (d *Dispatcher) handleDestroyInstance(_ *wsrpc.Peer, body json.RawMessage) 
 	// Sweep the instance's queued tasks off every shard. A submit racing
 	// the destroy may still land tasks afterwards; they are dropped at pick
 	// time by the destroyed check, and replay tombstones them the same way.
+	dropped := 0
 	for _, s := range d.shards {
 		s.mu.Lock()
-		s.core.DropQueued(func(tr taskRef) bool { return tr.epr == req.EPR })
+		dropped += s.core.DropQueued(func(tr taskRef) bool { return tr.epr == req.EPR })
 		s.syncDepth()
 		s.mu.Unlock()
 	}
+	// Dropped tasks never reach finalize; retire their tenant charge here.
+	d.tenants.release(inst.tenant, dropped, false)
 	var h wal.Handle
 	if d.wal != nil {
 		h, _ = d.wal.AppendWait(wal.KindDestroy, wal.DestroyRec{EPR: req.EPR})
@@ -173,6 +181,15 @@ func (d *Dispatcher) handleSubmit(p *wsrpc.Peer, body json.RawMessage) (any, err
 		d.limbo.Add(-1)
 		return nil, fmt.Errorf("dispatch: draining, not accepting submissions")
 	}
+	// Admission control: the tenant's quota and rate limit are checked on
+	// the whole bundle before any durable state changes. A throttled bundle
+	// is NOT an error — the typed reply tells the client when to retry.
+	// Duplicates discovered by the dedupe pass below are refunded.
+	if retryAfter, ok := d.tenants.admit(inst.tenant, len(req.Tasks)); !ok {
+		d.limbo.Add(-1)
+		d.reg.Counter(obs.TenantKey(obs.MetricTenantThrottled, inst.tenant)).Inc()
+		return fproto.SubmitReply{RetryAfterMillis: retryAfter}, nil
+	}
 	f := getFx()
 	defer putFx(f)
 	tasks, deduped := req.Tasks, 0
@@ -197,6 +214,9 @@ func (d *Dispatcher) handleSubmit(p *wsrpc.Peer, body json.RawMessage) (any, err
 	inst.submitted += int64(len(tasks))
 	inst.inFlight += len(tasks)
 	inst.mu.Unlock()
+	// Refund the deduped portion of the bundle: those tasks were charged at
+	// admission but are already in flight from an earlier submission.
+	d.tenants.unadmit(inst.tenant, deduped)
 
 	// Partition the bundle by affinity shard, preserving submit order
 	// within each shard (per-shard FIFO is the sharded ordering contract).
@@ -230,7 +250,7 @@ func (d *Dispatcher) handleSubmit(p *wsrpc.Peer, body json.RawMessage) (any, err
 			// Appended under the shard lock, before any pick can see these
 			// tasks: the accept precedes every dispatch/complete for them on
 			// this appender, so per-task journal order survives sharding.
-			h, e := s.app.AppendWait(wal.KindAccept, wal.AcceptRec{EPR: req.EPR, Tasks: group, Shard: si})
+			h, e := s.app.AppendWait(wal.KindAccept, wal.AcceptRec{EPR: req.EPR, Tasks: group, Shard: si, Tenant: inst.tenant})
 			if e != nil {
 				if werr == nil {
 					werr = e
@@ -462,7 +482,11 @@ func (d *Dispatcher) handleDeliver(_ *wsrpc.Peer, body json.RawMessage) (any, er
 		f.trace(st.Started, obs.EvStarted, r.Trace, r.ID, tr.EPR, req.ExecutorID)
 		f.trace(st.Finished, obs.EvFinished, r.Trace, r.ID, tr.EPR, req.ExecutorID)
 		f.trace(now, obs.EvDelivered, r.Trace, r.ID, tr.EPR, req.ExecutorID)
-		f.stamps = append(f.stamps, st)
+		var tenant string
+		if d.tenants != nil {
+			tenant = taskTenant(o.Item.X) // labels per-tenant histograms in flush
+		}
+		f.stamps = append(f.stamps, stampRec{st: st, tenant: tenant})
 		d.finalize(f, s, o.Item.X, r)
 	}
 	ex.Notified = false

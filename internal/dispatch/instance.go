@@ -24,6 +24,11 @@ type instance struct {
 	// once at creation/recovery, immutable after.
 	eprHash uint64
 
+	// tenant is the owning tenant (DefaultTenant unless the create request
+	// named one); immutable after creation/recovery, so the fair-share and
+	// admission paths read it without mu.
+	tenant string
+
 	// destroyed is checked lock-free on the pick and finalize hot paths:
 	// tasks of a destroyed instance are dropped wherever they surface.
 	destroyed atomic.Bool

@@ -1,0 +1,124 @@
+package dispatch_test
+
+import (
+	"testing"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/obs"
+	"falkon/internal/task"
+)
+
+// TestLiveTenantAdmissionAndStats runs the multi-tenant front door end to
+// end: two tenants share a dispatcher with fair-share on, the rate-limited
+// tenant gets throttled with retry-after replies the client honors, both
+// workloads complete exactly-once, and the per-tenant stats rows and
+// labeled histograms reflect the split.
+func TestLiveTenantAdmissionAndStats(t *testing.T) {
+	dopts := dispatch.Options{
+		FairShare: true,
+		Tenants: []dispatch.TenantSpec{
+			{Name: "fast", Weight: 4},
+			{Name: "slow", Weight: 1, Rate: 500, Burst: 10},
+		},
+	}
+	d, ca, _ := startSystem(t, dopts, client.Options{Tenant: "fast", BundleSize: 10}, 2, executor.Options{})
+	cb, err := client.Connect(client.Options{DispatcherAddr: d.Addr(), Tenant: "slow", BundleSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	var ga, gb task.IDGen
+	if err := ca.Submit(task.Batch(&ga, 40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// 40 tasks against burst 10 at 500/s: at least one bundle must see a
+	// retry-after, and the client's backoff must make all 40 land anyway.
+	if err := cb.Submit(task.Batch(&gb, 40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.WaitN(40, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.WaitN(40, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Throttled() == 0 {
+		t.Fatal("rate-limited tenant was never throttled")
+	}
+
+	st := d.Stats()
+	rows := map[string]int64{}
+	var slowThrottled int64
+	for _, ts := range st.Tenants {
+		rows[ts.Name] = ts.Completed
+		if ts.Name == "slow" {
+			slowThrottled = ts.Throttled
+		}
+		if ts.InFlight != 0 {
+			t.Fatalf("tenant %s still shows %d in flight after drain", ts.Name, ts.InFlight)
+		}
+	}
+	if rows["fast"] != 40 || rows["slow"] != 40 {
+		t.Fatalf("per-tenant completed = %v, want 40/40", rows)
+	}
+	if slowThrottled == 0 {
+		t.Fatal("dispatcher stats show no throttles for the rate-limited tenant")
+	}
+
+	// Per-tenant labeled histograms partition the aggregate e2e series.
+	ms := d.MetricsSnapshot()
+	fastE2E := ms.Histograms[obs.TenantKey(obs.MetricE2ESeconds, "fast")]
+	slowE2E := ms.Histograms[obs.TenantKey(obs.MetricE2ESeconds, "slow")]
+	if fastE2E.Count != 40 || slowE2E.Count != 40 {
+		t.Fatalf("per-tenant e2e counts = %d/%d, want 40/40", fastE2E.Count, slowE2E.Count)
+	}
+	if thr := ms.Counters[obs.TenantKey(obs.MetricTenantThrottled, "slow")]; thr == 0 {
+		t.Fatal("throttle counter metric not recorded")
+	}
+}
+
+// TestLiveTenantQuotaBackpressure: a tenant capped at a small in-flight
+// quota can still push a larger workload through — the client stalls on
+// retry-after hints while results open headroom, and every task completes.
+func TestLiveTenantQuotaBackpressure(t *testing.T) {
+	dopts := dispatch.Options{
+		Tenants: []dispatch.TenantSpec{{Name: "capped", Quota: 8}},
+	}
+	_, c, _ := startSystem(t, dopts, client.Options{Tenant: "capped", BundleSize: 4}, 2, executor.Options{})
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 64, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(64, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Throttled() == 0 {
+		t.Fatal("quota-capped workload was never throttled")
+	}
+}
+
+// TestLiveDefaultTenantInvisible: without tenant configuration the
+// dispatcher runs exactly as before — no tenant stats rows, no labeled
+// histograms, no admission checks.
+func TestLiveDefaultTenantInvisible(t *testing.T) {
+	d, c, _ := startSystem(t, dispatch.Options{}, client.Options{}, 1, executor.Options{})
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(10, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Tenants != nil {
+		t.Fatalf("single-tenant dispatcher produced tenant rows: %+v", st.Tenants)
+	}
+	ms := d.MetricsSnapshot()
+	if _, ok := ms.Histograms[obs.TenantKey(obs.MetricE2ESeconds, "default")]; ok {
+		t.Fatal("labeled tenant histogram recorded without tenancy configured")
+	}
+}

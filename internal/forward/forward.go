@@ -247,6 +247,7 @@ func (f *Forwarder) handleCreateInstance(p *wsrpc.Peer, body json.RawMessage) (a
 		return f.reattachInstance(p, &req)
 	}
 	inst := newFinst("", req.ClientName, len(f.leaves))
+	inst.tenant = req.Tenant
 	if req.WantNotifications {
 		inst.peer = p
 		inst.notify = true
@@ -395,6 +396,7 @@ func (f *Forwarder) ensureDown(inst *finst, idx int, cli *wsrpc.Client) (string,
 	err := cli.Call(fproto.MethodCreateInstance, fproto.CreateInstanceRequest{
 		ClientName:        f.name() + "/" + inst.epr,
 		WantNotifications: true,
+		Tenant:            inst.tenant,
 	}, &rep)
 	inst.mu.Lock()
 	inst.creating[idx] = nil
@@ -453,6 +455,26 @@ func (f *Forwarder) routeBundle(inst *finst, tasks []task.Task, trace uint64, av
 			// The bundle head's trace rides the downstream envelope, keeping
 			// the forwarded hop attributable across the EPR rewrite.
 			err = cli.CallTrace(fproto.MethodSubmit, fproto.SubmitRequest{EPR: epr, Tasks: tasks}, &rep, trace, 0)
+			if err == nil && rep.RetryAfterMillis > 0 {
+				// The leaf's admission control deferred the bundle (the
+				// instance's tenant is over quota or rate there). Honor the
+				// hint the way a direct client would: back off, then route
+				// again — possibly to a leaf with headroom. The wait is
+				// backpressure, not failure, so it extends the routing
+				// deadline instead of consuming it.
+				f.mu.Lock()
+				l.inflight -= len(tasks)
+				f.mu.Unlock()
+				wait := time.Duration(rep.RetryAfterMillis) * time.Millisecond
+				deadline = deadline.Add(wait)
+				select {
+				case <-f.stop:
+					f.failBundle(inst, tasks, idx)
+					return fmt.Errorf("forward: closed")
+				case <-time.After(wait):
+				}
+				continue
+			}
 			if err == nil {
 				f.mu.Lock()
 				l.bundles++
@@ -636,12 +658,26 @@ func (f *Forwarder) Stats() fproto.StatsReply {
 		inst.mu.Unlock()
 	}
 	var agg fproto.StatsReply
+	tenantAgg := make(map[string]*fproto.TenantStats)
 	childDepth := 1
 	for i := range snaps {
 		s := &snaps[i]
 		if s.up && s.cli != nil {
 			var st fproto.StatsReply
 			if err := s.cli.Call(fproto.MethodStats, nil, &st); err == nil {
+				for _, ts := range st.Tenants {
+					row := tenantAgg[ts.Name]
+					if row == nil {
+						row = &fproto.TenantStats{Name: ts.Name, Weight: ts.Weight, Quota: ts.Quota, Rate: ts.Rate}
+						tenantAgg[ts.Name] = row
+					}
+					row.Queued += ts.Queued
+					row.InFlight += ts.InFlight
+					row.Submitted += ts.Submitted
+					row.Completed += ts.Completed
+					row.Failed += ts.Failed
+					row.Throttled += ts.Throttled
+				}
 				s.row.Queued = st.Queued
 				s.row.Outstanding = st.Outstanding
 				s.row.Executors = st.TotalExecutors
@@ -677,6 +713,16 @@ func (f *Forwarder) Stats() fproto.StatsReply {
 	}
 	agg.Depth = childDepth + 1
 	agg.Instances = nInst
+	if len(tenantAgg) > 0 {
+		names := make([]string, 0, len(tenantAgg))
+		for name := range tenantAgg {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			agg.Tenants = append(agg.Tenants, *tenantAgg[name])
+		}
+	}
 	return agg
 }
 

@@ -25,6 +25,11 @@ type finst struct {
 	epr  string
 	name string
 
+	// tenant is the creating client's tenant, forwarded verbatim on every
+	// downstream instance so leaf dispatchers attribute and admit the
+	// tree's work under the right identity. Immutable after creation.
+	tenant string
+
 	destroyed atomic.Bool
 
 	mu     sync.Mutex

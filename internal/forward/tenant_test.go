@@ -1,0 +1,142 @@
+package forward_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"falkon/internal/client"
+	"falkon/internal/dispatch"
+	"falkon/internal/executor"
+	"falkon/internal/forward"
+	"falkon/internal/task"
+)
+
+// startTenantTier brings up nDisp leaf dispatchers sharing one tenant
+// config, each with nExec executors, behind a forwarder root.
+func startTenantTier(t *testing.T, nDisp, nExec int, tenants []dispatch.TenantSpec) (*forward.Forwarder, []*dispatch.Dispatcher) {
+	t.Helper()
+	var addrs []string
+	var dispatchers []*dispatch.Dispatcher
+	for i := 0; i < nDisp; i++ {
+		d := dispatch.New(dispatch.Options{Logf: t.Logf, Tenants: tenants, FairShare: true})
+		if err := d.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		for j := 0; j < nExec; j++ {
+			ex, err := executor.Start(executor.Options{
+				ID:             fmt.Sprintf("td%d-e%d", i, j),
+				DispatcherAddr: d.Addr(),
+				SleepScale:     0.001,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(ex.Stop)
+		}
+		addrs = append(addrs, d.Addr())
+		dispatchers = append(dispatchers, d)
+	}
+	f, err := forward.New(forward.Options{Dispatchers: addrs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, dispatchers
+}
+
+// TestForwarderTenantPassthrough pins tenant identity through the tree: a
+// tenant-scoped client submits via the root, the leaves attribute the work
+// to that tenant, and the root's aggregated stats carry the merged rows.
+func TestForwarderTenantPassthrough(t *testing.T) {
+	tenants := []dispatch.TenantSpec{{Name: "acme", Weight: 2}}
+	f, dispatchers := startTenantTier(t, 2, 1, tenants)
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), Tenant: "acme", BundleSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var gen task.IDGen
+	if err := c.Submit(task.Batch(&gen, 60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitN(60, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	leafTotal := int64(0)
+	for _, d := range dispatchers {
+		for _, ts := range d.Stats().Tenants {
+			if ts.Name == "acme" {
+				leafTotal += ts.Completed
+			}
+		}
+	}
+	if leafTotal != 60 {
+		t.Fatalf("leaves attribute %d completions to acme, want 60", leafTotal)
+	}
+
+	st := f.Stats()
+	found := false
+	for _, ts := range st.Tenants {
+		if ts.Name == "acme" {
+			found = true
+			if ts.Completed != 60 {
+				t.Fatalf("root aggregates %d acme completions, want 60", ts.Completed)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("root stats carry no acme row: %+v", st.Tenants)
+	}
+}
+
+// TestForwarderHonorsLeafRetryAfter: when every leaf throttles the tenant,
+// the root backs off on the retry-after hint instead of failing the bundle,
+// and the whole workload still lands exactly once.
+func TestForwarderHonorsLeafRetryAfter(t *testing.T) {
+	tenants := []dispatch.TenantSpec{{Name: "metered", Rate: 400, Burst: 8}}
+	f, dispatchers := startTenantTier(t, 2, 1, tenants)
+	c, err := client.Connect(client.Options{DispatcherAddr: f.Addr(), Tenant: "metered", BundleSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var gen task.IDGen
+	// Mega-bundles re-chunk at the root; against burst 8 at 400/s the
+	// first chunk per leaf admits by overdrawing the bucket, and every
+	// later chunk must ride a retry-after wait until the debt drains.
+	if err := c.Submit(task.Batch(&gen, 256, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.WaitN(256, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[task.ID]bool)
+	for _, r := range rs {
+		if r.Failed() {
+			t.Fatalf("task failed under throttling: %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate result %v", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != 256 {
+		t.Fatalf("unique results = %d, want 256", len(seen))
+	}
+	throttled := int64(0)
+	for _, d := range dispatchers {
+		for _, ts := range d.Stats().Tenants {
+			throttled += ts.Throttled
+		}
+	}
+	if throttled == 0 {
+		t.Fatal("no leaf ever throttled the metered tenant")
+	}
+}

@@ -81,6 +81,12 @@ type CreateInstanceRequest struct {
 	// a fresh create). Within the cluster the EPR is valid on every member,
 	// because standbys replay the leader's journal.
 	Cluster string `json:"cluster,omitempty"`
+	// Tenant names the tenant this instance submits under — the unit of
+	// fair-share weighting, quota, and rate limiting. "" maps to the
+	// "default" tenant, which keeps the wire compatible both ways: old
+	// clients never send the field and land in "default"; old dispatchers
+	// ignore it (unknown JSON fields drop) and schedule as before.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CreateInstanceReply carries the endpoint reference the client uses on all
@@ -121,6 +127,13 @@ type SubmitReply struct {
 	// the root's routing view. Absent for ordinary clients (and from
 	// dispatchers predating the tree, which old parents tolerate).
 	Capacity *CapacityHint `json:"capacity,omitempty"`
+	// RetryAfterMillis, when positive, means the bundle was NOT accepted:
+	// admission control (tenant quota or rate limit) shed it, and the
+	// client should resubmit after roughly this many milliseconds plus
+	// jitter. Typed backpressure instead of an error keeps throttling
+	// distinguishable from failures — old clients that predate the field
+	// see Accepted == 0 and fail loudly rather than silently losing work.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
 }
 
 // AttachParentRequest registers the calling connection as a tree parent.
@@ -309,6 +322,32 @@ type StatsReply struct {
 	// Replication summarizes the HA tier when the dispatcher replicates its
 	// journal (role, term, per-standby lag); absent otherwise.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Tenants holds one row per tenant that has submitted (or is
+	// configured) when the dispatcher runs the multi-tenant front door;
+	// absent on single-tenant dispatchers and those predating tenancy.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's row in StatsReply: its fair-share weight
+// and limits, current backlog, and admission-control outcomes.
+type TenantStats struct {
+	Name string `json:"name"`
+	// Weight is the fair-share weight in effect (1 when unconfigured).
+	Weight float64 `json:"weight,omitempty"`
+	// Queued counts tasks waiting in the per-tenant rings (only populated
+	// under fair-share, where the queue is tenant-partitioned); InFlight
+	// counts admitted tasks not yet finalized (queued + outstanding).
+	Queued   int   `json:"queued,omitempty"`
+	InFlight int64 `json:"in_flight"`
+	// Submitted counts tasks admitted; Completed and Failed count
+	// finalizations; Throttled counts bundles shed with retry-after.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed,omitempty"`
+	Throttled int64 `json:"throttled,omitempty"`
+	// Quota and Rate echo the configured limits (0 = unlimited).
+	Quota int     `json:"quota,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
 }
 
 // ReplicationStats is the HA tier's row in StatsReply: the answering

@@ -199,6 +199,21 @@ const (
 // StageKey returns the registry key of one stage's latency histogram.
 func StageKey(stage string) string { return Labeled(MetricStageSeconds, "stage", stage) }
 
+// TenantKey returns the per-tenant labeled dimension of a metric. The
+// unlabeled aggregate series stays unchanged; tenant rows are additive,
+// recorded only when the dispatcher runs multi-tenant.
+func TenantKey(name, tenant string) string { return Labeled(name, "tenant", tenant) }
+
+// StageTenantKey returns the registry key of one stage's per-tenant
+// latency histogram.
+func StageTenantKey(stage, tenant string) string {
+	return Labeled(MetricStageSeconds, "stage", stage, "tenant", tenant)
+}
+
+// MetricTenantThrottled counts submit bundles rejected with a retry-after
+// hint by per-tenant admission control (labeled tenant=<name>).
+const MetricTenantThrottled = "falkon_tenant_throttled_total"
+
 // Scheduler-overhead stage names: where the dispatcher's own time goes on
 // the task hot path, as opposed to the task-lifecycle stages above (which
 // measure the task's wait, not the scheduler's work). Per-RPC observations:

@@ -118,6 +118,12 @@ type Options[T any] struct {
 	// TaskRetries extracts a per-task retry bound overriding MaxRetries
 	// (0 = no override); nil disables overrides.
 	TaskRetries func(T) int
+	// Tenant extracts the tenant a task was submitted under ("" = the
+	// default tenant); nil treats all work as one tenant.
+	Tenant func(T) string
+	// FairShare enables the weighted fair-share tenant layer (see the
+	// FairShare type); nil keeps the single global FIFO.
+	FairShare *FairShare
 }
 
 // Core is the scheduling state machine: pending queue, executor table
@@ -130,6 +136,9 @@ type Options[T any] struct {
 type Core[E comparable, K comparable, T any] struct {
 	opts  Options[T]
 	queue Ring[Item[T]]
+	// fair replaces queue when the fair-share tenant layer is on; exactly
+	// one of the two holds the pending work. nil = original FIFO path.
+	fair  *fairQueue[T]
 	execs map[E]*Exec[E]
 	idle  []*Exec[E] // LIFO stack; nil slots are tombstones
 	dead  int        // tombstone count in idle
@@ -151,12 +160,45 @@ func NewCore[E comparable, K comparable, T any](opts Options[T]) *Core[E, K, T] 
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 3
 	}
-	return &Core[E, K, T]{
+	c := &Core[E, K, T]{
 		opts:  opts,
 		execs: make(map[E]*Exec[E]),
 		out:   make(map[K]*Outstanding[E, K, T]),
 	}
+	if opts.FairShare != nil {
+		c.fair = newFairQueue(*opts.FairShare, opts.Tenant)
+	}
+	return c
 }
+
+// SetFairShare reconfigures the fair-share tenant layer (nil = off),
+// migrating any queued work between the global FIFO and the per-tenant
+// rings. The simulator folds its public knobs through here; live callers
+// configure at construction.
+func (c *Core[E, K, T]) SetFairShare(fs *FairShare) {
+	if fs == nil {
+		if c.fair != nil {
+			for it, ok := c.fair.pop(); ok; it, ok = c.fair.pop() {
+				c.queue.Push(it)
+			}
+			c.fair = nil
+		}
+		c.opts.FairShare = nil
+		return
+	}
+	old := c.fair
+	c.opts.FairShare = fs
+	c.fair = newFairQueue(*fs, c.opts.Tenant)
+	if old != nil {
+		old.each(func(it Item[T]) { c.fair.push(it) })
+	}
+	for it, ok := c.queue.Pop(); ok; it, ok = c.queue.Pop() {
+		c.fair.push(it)
+	}
+}
+
+// FairShareEnabled reports whether the fair-share tenant layer is active.
+func (c *Core[E, K, T]) FairShareEnabled() bool { return c.fair != nil }
 
 // SetPolicy switches the pick policy and cache sizing (capacity <= 0
 // keeps the current value). Executors added afterwards get caches per the
@@ -179,31 +221,76 @@ func (c *Core[E, K, T]) SetMaxRetries(n int) {
 func (c *Core[E, K, T]) Policy() Policy { return c.opts.Policy }
 
 // QueueLen returns queued (not yet dispatched) tasks.
-func (c *Core[E, K, T]) QueueLen() int { return c.queue.Len() }
+func (c *Core[E, K, T]) QueueLen() int {
+	if c.fair != nil {
+		return c.fair.total
+	}
+	return c.queue.Len()
+}
+
+// TenantQueueLens accumulates per-tenant queued counts into dst (sharded
+// callers pass one map across shards). Only meaningful under fair-share;
+// without it the queue is tenant-blind and nothing is reported.
+func (c *Core[E, K, T]) TenantQueueLens(dst map[string]int) {
+	if c.fair != nil {
+		c.fair.lens(dst)
+	}
+}
 
 // OutstandingLen returns dispatched, unacknowledged tasks.
 func (c *Core[E, K, T]) OutstandingLen() int { return len(c.out) }
 
 // Empty reports that nothing is queued or outstanding (drain condition).
-func (c *Core[E, K, T]) Empty() bool { return c.queue.Len() == 0 && len(c.out) == 0 }
+func (c *Core[E, K, T]) Empty() bool { return c.QueueLen() == 0 && len(c.out) == 0 }
 
 // Enqueue admits a new task at now. Requeues go through Requeue instead so
 // Submitted counts tasks, not attempts.
 func (c *Core[E, K, T]) Enqueue(now time.Duration, x T) {
-	c.queue.Push(Item[T]{X: x, QueuedAt: now})
+	if c.fair != nil {
+		c.fair.push(Item[T]{X: x, QueuedAt: now})
+	} else {
+		c.queue.Push(Item[T]{X: x, QueuedAt: now})
+	}
 	c.Counters.Submitted++
+}
+
+// TryEnqueue is Enqueue honoring the tenant's queue bound: under
+// fair-share with MaxQueued set, a tenant at its bound is rejected
+// (reported false, not counted Submitted) so the caller can shed with
+// backpressure instead of growing the ring without limit. Without
+// fair-share it always admits.
+func (c *Core[E, K, T]) TryEnqueue(now time.Duration, x T) bool {
+	if c.fair != nil {
+		if !c.fair.tryPush(Item[T]{X: x, QueuedAt: now}) {
+			return false
+		}
+		c.Counters.Submitted++
+		return true
+	}
+	c.Enqueue(now, x)
+	return true
 }
 
 // Restore re-admits a recovered task with its prior attempt count, without
 // counting it as a new submission — journal recovery restores Counters
-// wholesale and must not double-count.
+// wholesale and must not double-count. Bounds never apply: the task was
+// already admitted in a previous incarnation.
 func (c *Core[E, K, T]) Restore(now time.Duration, x T, attempts int) {
+	if c.fair != nil {
+		c.fair.push(Item[T]{X: x, QueuedAt: now, Attempts: attempts})
+		return
+	}
 	c.queue.Push(Item[T]{X: x, QueuedAt: now, Attempts: attempts})
 }
 
-// EachQueued visits every queued item in FIFO order (snapshot capture).
-// The callback must not mutate the core.
+// EachQueued visits every queued item (snapshot capture): FIFO order, or
+// under fair-share tenants in name order with FIFO within each. The
+// callback must not mutate the core.
 func (c *Core[E, K, T]) EachQueued(fn func(Item[T])) {
+	if c.fair != nil {
+		c.fair.each(fn)
+		return
+	}
 	for _, it := range c.queue.Window(c.queue.Len()) {
 		fn(it)
 	}
@@ -219,6 +306,9 @@ func (c *Core[E, K, T]) EachOutstanding(fn func(*Outstanding[E, K, T])) {
 
 // DropQueued removes every queued task matching the predicate.
 func (c *Core[E, K, T]) DropQueued(match func(T) bool) int {
+	if c.fair != nil {
+		return c.fair.dropWhere(func(it Item[T]) bool { return match(it.X) })
+	}
 	return c.queue.DropWhere(func(it Item[T]) bool { return match(it.X) })
 }
 
@@ -333,8 +423,34 @@ func (c *Core[E, K, T]) RemoveIdle(x *Exec[E]) {
 // matching task forward from within the window.
 func (c *Core[E, K, T]) Pick(x *Exec[E]) (it Item[T], hit, ok bool) {
 	if c.opts.Policy != PolicyDataAware || x.Cache == nil || c.opts.Dataset == nil {
+		if c.fair != nil {
+			it, ok = c.fair.pop()
+			return it, false, ok
+		}
 		it, ok = c.queue.Pop()
 		return it, false, ok
+	}
+	if c.fair != nil {
+		// Fairness first, locality second: SFQ selects the tenant, then
+		// the data-aware window scan runs within that tenant's ring. A
+		// cache hit never lets one tenant jump another's turn.
+		tq, start, ok := c.fair.peek()
+		if !ok {
+			return it, false, false
+		}
+		live := tq.ring.Window(c.opts.Window)
+		for i := range live {
+			if ds := c.opts.Dataset(live[i].X); ds != "" && x.Cache.Has(ds) {
+				it = c.fair.take(tq, start, i)
+				c.Counters.CacheHits++
+				return it, true, true
+			}
+		}
+		it = c.fair.take(tq, start, 0)
+		if c.opts.Dataset(it.X) != "" {
+			c.Counters.CacheMisses++
+		}
+		return it, false, true
 	}
 	live := c.queue.Window(c.opts.Window)
 	for i := range live {
@@ -352,11 +468,17 @@ func (c *Core[E, K, T]) Pick(x *Exec[E]) (it Item[T], hit, ok bool) {
 	return it, false, ok
 }
 
-// PickAny pops the queue head regardless of policy. The work-stealing
-// path uses it: a thief takes FIFO from the victim shard's queue without
+// PickAny pops the next task regardless of pick policy. The work-stealing
+// path uses it: a thief takes from the victim shard's queue without
 // consulting any executor's dataset cache, so no executor-owned state is
-// ever read under a foreign shard's lock.
+// ever read under a foreign shard's lock. Under fair-share the pop runs
+// the victim's SFQ arbitration, so steals drain the victim shard in the
+// same weighted order its own executors would — stealing preserves
+// fairness within the victim.
 func (c *Core[E, K, T]) PickAny() (it Item[T], ok bool) {
+	if c.fair != nil {
+		return c.fair.pop()
+	}
 	return c.queue.Pop()
 }
 
@@ -442,7 +564,12 @@ func (c *Core[E, K, T]) Requeue(it Item[T]) bool {
 		return false
 	}
 	c.Counters.Retried++
-	c.queue.Push(it)
+	if c.fair != nil {
+		// Bounds never apply to requeues: the task was already admitted.
+		c.fair.push(it)
+	} else {
+		c.queue.Push(it)
+	}
 	return true
 }
 
@@ -451,7 +578,7 @@ func (c *Core[E, K, T]) Requeue(it Item[T]) bool {
 // notified and stamping LastNotifyAt = now, and returns the pushes the
 // caller owes. Each executor gets at most one outstanding notification.
 func (c *Core[E, K, T]) Notifications(now time.Duration) []Notification[E] {
-	return c.NotifyIdle(now, c.queue.Len())
+	return c.NotifyIdle(now, c.QueueLen())
 }
 
 // IdleLen returns live (non-tombstoned) entries on the idle stack.

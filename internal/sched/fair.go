@@ -1,0 +1,200 @@
+package sched
+
+import "sort"
+
+// Fair-share tenant layer: when enabled, the pending FIFO becomes one
+// bounded Ring per tenant arbitrated by start-time fair queuing (SFQ).
+// Every pop charges the picked tenant virtual time inversely proportional
+// to its weight, so over any busy interval tenants receive service in
+// weight ratio regardless of how many tasks each has backlogged — one
+// flooding tenant cannot push another tenant's work arbitrarily far back.
+// The layer is pluggable exactly like the pick policies: a Core built
+// without it runs the original single-Ring code path untouched.
+
+// FairShare configures the weighted fair-share tenant layer of a Core.
+type FairShare struct {
+	// Weights maps tenant name → relative weight; unlisted tenants get
+	// DefaultWeight. A tenant with weight 2 receives twice the service of
+	// a weight-1 tenant while both are backlogged.
+	Weights map[string]float64
+	// DefaultWeight applies to tenants absent from Weights (default 1).
+	DefaultWeight float64
+	// MaxQueued bounds each tenant's queued (not yet dispatched) tasks;
+	// 0 = unbounded. TryEnqueue reports rejection; Requeue and Restore
+	// bypass the bound — work already admitted is never dropped.
+	MaxQueued int
+	// MaxQueuedBy overrides MaxQueued per tenant (0 entries fall back).
+	MaxQueuedBy map[string]int
+}
+
+// weightFor resolves the effective weight of a tenant.
+func (f *FairShare) weightFor(name string) float64 {
+	if w, ok := f.Weights[name]; ok && w > 0 {
+		return w
+	}
+	if f.DefaultWeight > 0 {
+		return f.DefaultWeight
+	}
+	return 1
+}
+
+// maxQueuedFor resolves the effective queue bound of a tenant.
+func (f *FairShare) maxQueuedFor(name string) int {
+	if n, ok := f.MaxQueuedBy[name]; ok && n > 0 {
+		return n
+	}
+	return f.MaxQueued
+}
+
+// tenantQ is one tenant's pending FIFO plus its SFQ service tag.
+type tenantQ[T any] struct {
+	name      string
+	weight    float64
+	maxQueued int
+	ring      Ring[Item[T]]
+	// finish is the virtual finish tag of this tenant's last pop; the
+	// next pop starts at max(finish, global virtual time), which lets an
+	// idle tenant re-enter at the current clock instead of burning saved
+	// credit or owing debt for time it had nothing queued.
+	finish float64
+}
+
+// fairQueue multiplexes per-tenant rings under SFQ. All operations are
+// deterministic: tenants are scanned in name-sorted order, so ties in
+// virtual start time always resolve the same way — both runtimes (live
+// and simulated) replay identically from the same inputs.
+type fairQueue[T any] struct {
+	cfg    FairShare
+	tenant func(T) string
+	byName map[string]*tenantQ[T]
+	order  []*tenantQ[T] // name-sorted, for deterministic scans
+	vt     float64       // global virtual time (start tag of last pop)
+	total  int
+}
+
+func newFairQueue[T any](cfg FairShare, tenant func(T) string) *fairQueue[T] {
+	return &fairQueue[T]{
+		cfg:    cfg,
+		tenant: tenant,
+		byName: make(map[string]*tenantQ[T]),
+	}
+}
+
+// get returns name's queue, creating and order-inserting it on first use.
+func (q *fairQueue[T]) get(name string) *tenantQ[T] {
+	if tq, ok := q.byName[name]; ok {
+		return tq
+	}
+	tq := &tenantQ[T]{
+		name:      name,
+		weight:    q.cfg.weightFor(name),
+		maxQueued: q.cfg.maxQueuedFor(name),
+		// A new tenant starts at the current virtual time: it competes
+		// from now on, with no claim on service that predates it.
+		finish: q.vt,
+	}
+	q.byName[name] = tq
+	i := sort.Search(len(q.order), func(i int) bool { return q.order[i].name >= name })
+	q.order = append(q.order, nil)
+	copy(q.order[i+1:], q.order[i:])
+	q.order[i] = tq
+	return tq
+}
+
+// nameOf extracts the tenant of a payload (nil extractor = one tenant).
+func (q *fairQueue[T]) nameOf(x T) string {
+	if q.tenant == nil {
+		return ""
+	}
+	return q.tenant(x)
+}
+
+// push appends unconditionally (requeues, restores).
+func (q *fairQueue[T]) push(it Item[T]) {
+	q.get(q.nameOf(it.X)).ring.Push(it)
+	q.total++
+}
+
+// tryPush appends unless the tenant's bound is hit.
+func (q *fairQueue[T]) tryPush(it Item[T]) bool {
+	tq := q.get(q.nameOf(it.X))
+	if tq.maxQueued > 0 && tq.ring.Len() >= tq.maxQueued {
+		return false
+	}
+	tq.ring.Push(it)
+	q.total++
+	return true
+}
+
+// peek returns the SFQ-minimal backlogged tenant and its virtual start
+// time without dequeuing. Ties resolve to the name-sorted earliest.
+func (q *fairQueue[T]) peek() (tq *tenantQ[T], start float64, ok bool) {
+	for _, cand := range q.order {
+		if cand.ring.Len() == 0 {
+			continue
+		}
+		s := cand.finish
+		if s < q.vt {
+			s = q.vt
+		}
+		if tq == nil || s < start {
+			tq, start = cand, s
+		}
+	}
+	return tq, start, tq != nil
+}
+
+// take removes offset i (into tq's ring head window) from the tenant
+// peek selected, charging it 1/weight of virtual service. i > 0 is the
+// data-aware path pulling a cache hit forward within the tenant's window.
+func (q *fairQueue[T]) take(tq *tenantQ[T], start float64, i int) Item[T] {
+	var it Item[T]
+	if i == 0 {
+		it, _ = tq.ring.Pop()
+	} else {
+		it = tq.ring.Window(i + 1)[i]
+		tq.ring.RemoveAt(i)
+	}
+	tq.finish = start + 1/tq.weight
+	q.vt = start
+	q.total--
+	return it
+}
+
+// pop removes the next item under SFQ arbitration.
+func (q *fairQueue[T]) pop() (Item[T], bool) {
+	tq, start, ok := q.peek()
+	if !ok {
+		return Item[T]{}, false
+	}
+	return q.take(tq, start, 0), true
+}
+
+// each visits every queued item, tenants in name order, FIFO within each.
+func (q *fairQueue[T]) each(fn func(Item[T])) {
+	for _, tq := range q.order {
+		for _, it := range tq.ring.Window(tq.ring.Len()) {
+			fn(it)
+		}
+	}
+}
+
+// dropWhere removes every queued item matching the predicate.
+func (q *fairQueue[T]) dropWhere(match func(Item[T]) bool) int {
+	dropped := 0
+	for _, tq := range q.order {
+		dropped += tq.ring.DropWhere(match)
+	}
+	q.total -= dropped
+	return dropped
+}
+
+// lens accumulates per-tenant queue lengths into dst (sharded callers sum
+// across shards).
+func (q *fairQueue[T]) lens(dst map[string]int) {
+	for _, tq := range q.order {
+		if n := tq.ring.Len(); n > 0 {
+			dst[tq.name] += n
+		}
+	}
+}

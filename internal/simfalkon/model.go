@@ -25,6 +25,9 @@ type Spec struct {
 	// the volume and the number of concurrent stagings (shared-bandwidth
 	// contention, Figure 4).
 	StageBytes int64
+	// Tenant names the submitting tenant ("" = the default tenant). Only
+	// meaningful with Model.FairShare set.
+	Tenant string
 }
 
 // Rec is the per-task outcome record (timestamps on the virtual clock).
@@ -42,6 +45,8 @@ type Rec struct {
 	// tasks that exhausted their retries.
 	Attempts int
 	Failed   bool
+	// Tenant is the submitting tenant ("" = the default tenant).
+	Tenant string
 }
 
 // QueueTime returns dispatch wait (Table 3's queue time).
@@ -71,6 +76,7 @@ type mtask struct {
 	dataset    string
 	stageIn    time.Duration
 	stageBytes int64
+	tenant     string
 }
 
 // Exec is one modeled executor. It moves idle -> notified (earmarked for a
@@ -184,6 +190,17 @@ type Model struct {
 	DataAware     bool
 	CacheCapacity int
 
+	// FairShare, when set, runs the cores' weighted fair-share tenant
+	// layer — the same SFQ arbiter the live dispatcher uses — so
+	// multi-tenant isolation is testable deterministically. Set after New,
+	// before any task arrives. Nil (the default) leaves the single-FIFO
+	// model bit-for-bit unchanged.
+	FairShare *sched.FairShare
+
+	// Rejected counts tasks refused at enqueue by a tenant's MaxQueued
+	// bound (fair-share only; such tasks never run and produce no Rec).
+	Rejected int
+
 	// Stager prices dynamic data staging: given a task's StageBytes and the
 	// number of concurrent stagings (including this one), it returns the
 	// staging duration. Models shared-bandwidth contention (Figure 4).
@@ -200,6 +217,7 @@ func New(e *sim.Engine, p Profile) *Model {
 	opts := sched.Options[mtask]{
 		MaxRetries: p.MaxRetries,
 		Dataset:    func(t mtask) string { return t.dataset },
+		Tenant:     func(t mtask) string { return t.tenant },
 	}
 	return &Model{
 		E: e, P: p,
@@ -222,6 +240,9 @@ func (m *Model) syncCore() {
 		c := m.sh.Shard(i)
 		if m.DataAware && c.Policy() != sched.PolicyDataAware {
 			c.SetPolicy(sched.PolicyDataAware, m.CacheCapacity)
+		}
+		if m.FairShare != nil && !c.FairShareEnabled() {
+			c.SetFairShare(m.FairShare)
 		}
 		c.SetMaxRetries(m.P.MaxRetries)
 	}
@@ -455,8 +476,8 @@ func (m *Model) Submit(specs []Spec, bundle int) {
 			now := m.E.Now()
 			for _, s := range batch {
 				m.nextTask++
-				t := mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes}
-				m.affinity(t).Enqueue(now, t)
+				t := mtask{id: m.nextTask, dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes, tenant: s.Tenant}
+				m.enqueue(now, t)
 			}
 			if share := m.P.SubmitShare; share > 0 {
 				m.dispSubmit(time.Duration(share*float64(cost)), m.kick)
@@ -486,8 +507,8 @@ func (m *Model) InjectBundle(ids []int, specs []Spec, onAccepted func()) {
 	m.subSubmit(cost, func() {
 		now := m.E.Now()
 		for i, s := range specs {
-			t := mtask{id: ids[i], dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes}
-			m.affinity(t).Enqueue(now, t)
+			t := mtask{id: ids[i], dur: s.Dur, stage: s.Stage, tag: s.Tag, dataset: s.Dataset, stageIn: s.StageIn, stageBytes: s.StageBytes, tenant: s.Tenant}
+			m.enqueue(now, t)
 		}
 		if share := m.P.SubmitShare; share > 0 {
 			m.dispSubmit(time.Duration(share*float64(cost)), m.kick)
@@ -498,6 +519,20 @@ func (m *Model) InjectBundle(ids []int, specs []Spec, onAccepted func()) {
 			onAccepted()
 		}
 	})
+}
+
+// enqueue routes t to its affinity shard, honoring the tenant's MaxQueued
+// bound when the fair-share layer is on (rejected tasks are counted and
+// dropped — the virtual analogue of the live dispatcher refusing admission).
+func (m *Model) enqueue(now time.Duration, t mtask) {
+	c := m.affinity(t)
+	if m.FairShare != nil {
+		if !c.TryEnqueue(now, t) {
+			m.Rejected++
+		}
+		return
+	}
+	c.Enqueue(now, t)
 }
 
 // PreloadQueue stuffs n tasks of duration dur directly into the dispatch
@@ -719,6 +754,7 @@ func (m *Model) finish(x *Exec, o *sched.Outstanding[int, int, mtask], startedAt
 		Tag:        t.tag,
 		Attempts:   o.Item.Attempts,
 		Failed:     taskFailed,
+		Tenant:     t.tenant,
 	}
 	if m.KeepRecords {
 		m.Records = append(m.Records, rec)

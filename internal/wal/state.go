@@ -16,6 +16,9 @@ type InstanceRec struct {
 	EPR    string `json:"epr"`
 	Name   string `json:"name,omitempty"`
 	Notify bool   `json:"notify,omitempty"`
+	// Tenant is the owning tenant ("" in pre-tenancy journals, which
+	// recovery maps to the default tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DestroyRec records an instance destruction.
@@ -31,6 +34,9 @@ type AcceptRec struct {
 	EPR   string      `json:"epr"`
 	Tasks []task.Task `json:"tasks"`
 	Shard int         `json:"shard,omitempty"`
+	// Tenant is the submitting instance's tenant (informational — replay
+	// derives it from the instance when absent, as in old journals).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DispatchRec records one task assignment. Shard is the task's affinity
@@ -55,6 +61,7 @@ type Instance struct {
 	EPR       string `json:"epr"`
 	Name      string `json:"name,omitempty"`
 	Notify    bool   `json:"notify,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
 	Submitted int64  `json:"submitted,omitempty"`
 	// Results are finalized results not yet known to be collected; recovery
 	// redelivers them (clients dedupe by task ID). Together with Pending
@@ -69,6 +76,7 @@ type Pending struct {
 	EPR      string    `json:"epr"`
 	Task     task.Task `json:"task"`
 	Attempts int       `json:"attempts,omitempty"`
+	Tenant   string    `json:"tenant,omitempty"`
 }
 
 // State is the dispatcher state a snapshot captures and recovery rebuilds.
@@ -148,7 +156,7 @@ func (r *replayer) apply(rec rawRecord) {
 		if _, ok := r.instances[in.EPR]; ok {
 			return
 		}
-		r.instances[in.EPR] = &Instance{EPR: in.EPR, Name: in.Name, Notify: in.Notify}
+		r.instances[in.EPR] = &Instance{EPR: in.EPR, Name: in.Name, Notify: in.Notify, Tenant: in.Tenant}
 		r.order = append(r.order, in.EPR)
 	case KindDestroy:
 		var de DestroyRec
@@ -180,6 +188,10 @@ func (r *replayer) apply(rec rawRecord) {
 		if !ok {
 			return
 		}
+		tenant := ac.Tenant
+		if tenant == "" {
+			tenant = in.Tenant
+		}
 		for _, t := range ac.Tasks {
 			// The dispatcher only journals tasks it admitted, so a replayed
 			// accept for an ID already pending can only be a duplicated
@@ -192,7 +204,7 @@ func (r *replayer) apply(rec rawRecord) {
 			in.Submitted++
 			r.counters.Submitted++
 			r.pendIdx[pendKey{ac.EPR, t.ID}] = len(r.pending)
-			r.pending = append(r.pending, Pending{EPR: ac.EPR, Task: t})
+			r.pending = append(r.pending, Pending{EPR: ac.EPR, Task: t, Tenant: tenant})
 		}
 	case KindDispatch:
 		var dr DispatchRec

@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"testing"
+
+	"falkon/internal/task"
+)
+
+// TestRecoverTenantPropagation: tenant identity journaled at instance
+// creation and on accept records survives crash recovery — both on the
+// recovered instances and on every pending task — so the restarted
+// dispatcher re-charges per-tenant accounting correctly.
+func TestRecoverTenantPropagation(t *testing.T) {
+	dir := t.TempDir()
+	_, j, _ := mustRecover(t, dir, testOpts())
+	j.Append(KindInstance, InstanceRec{EPR: "falkon-instance-1", Name: "c1", Tenant: "analytics"})
+	j.Append(KindInstance, InstanceRec{EPR: "falkon-instance-2", Name: "c2", Tenant: "batch"})
+	j.Append(KindAccept, AcceptRec{EPR: "falkon-instance-1", Tenant: "analytics", Tasks: []task.Task{{ID: 1}, {ID: 2}}})
+	// An accept without the tenant field (as an old journal would hold)
+	// inherits the instance's tenant on replay.
+	j.Append(KindAccept, AcceptRec{EPR: "falkon-instance-2", Tasks: []task.Task{{ID: 3}}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, j2, _ := mustRecover(t, dir, testOpts())
+	defer j2.Close()
+	if len(st.Instances) != 2 {
+		t.Fatalf("instances = %d, want 2", len(st.Instances))
+	}
+	if st.Instances[0].Tenant != "analytics" || st.Instances[1].Tenant != "batch" {
+		t.Fatalf("instance tenants = %q, %q", st.Instances[0].Tenant, st.Instances[1].Tenant)
+	}
+	if len(st.Pending) != 3 {
+		t.Fatalf("pending = %d, want 3", len(st.Pending))
+	}
+	for _, p := range st.Pending[:2] {
+		if p.Tenant != "analytics" {
+			t.Fatalf("pending task %d tenant = %q, want analytics", p.Task.ID, p.Tenant)
+		}
+	}
+	if st.Pending[2].Tenant != "batch" {
+		t.Fatalf("tenantless accept record did not inherit instance tenant: %q", st.Pending[2].Tenant)
+	}
+}
+
+// TestRecoverPreTenancyJournal: records without any tenant fields (the
+// pre-tenancy journal format) replay with empty tenants — the dispatcher
+// maps those to "default" — and nothing else changes.
+func TestRecoverPreTenancyJournal(t *testing.T) {
+	dir := t.TempDir()
+	_, j, _ := mustRecover(t, dir, testOpts())
+	j.Append(KindInstance, InstanceRec{EPR: "falkon-instance-1", Name: "old"})
+	j.Append(KindAccept, AcceptRec{EPR: "falkon-instance-1", Tasks: []task.Task{{ID: 7}}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, j2, _ := mustRecover(t, dir, testOpts())
+	defer j2.Close()
+	if len(st.Instances) != 1 || st.Instances[0].Tenant != "" {
+		t.Fatalf("pre-tenancy instance decoded wrong: %+v", st.Instances)
+	}
+	if len(st.Pending) != 1 || st.Pending[0].Tenant != "" {
+		t.Fatalf("pre-tenancy pending decoded wrong: %+v", st.Pending)
+	}
+}

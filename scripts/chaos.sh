@@ -47,8 +47,23 @@ SEED="${1:-1}"
 SWEEP="${2:-$SWEEP_DEFAULT}"
 
 BIN="$(mktemp -d)"
-trap 'rm -rf "$BIN"' EXIT
+BEFORE="$(mktemp)"
+trap 'rm -rf "$BIN" "$BEFORE"' EXIT
+
+# Snapshot the falkon-chaos-* dirs that already exist so a passing run can
+# sweep up only what IT created: the harness removes its own work dirs on a
+# pass, but a crashed or interrupted child (log.Fatalf skips defers) leaves
+# droppings behind. Pre-existing dirs are never touched, and a failing run
+# keeps everything — those dirs hold the logs and journals for the postmortem.
+TMP="${TMPDIR:-/tmp}"
+ls -d "$TMP"/falkon-chaos-* 2>/dev/null | sort >"$BEFORE" || true
 
 go build -o "$BIN" ./cmd/falkon-dispatcher ./cmd/falkon-executor ./cmd/falkon-forwarder ./cmd/falkon-chaos
 
-"$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}" "${TREE[@]}" "${STANDBYS[@]}"
+if "$BIN/falkon-chaos" -bin "$BIN" -seed "$SEED" -sweep "$SWEEP" "${QUICK[@]}" "${TREE[@]}" "${STANDBYS[@]}"; then
+    comm -13 "$BEFORE" <(ls -d "$TMP"/falkon-chaos-* 2>/dev/null | sort) | xargs -r rm -rf --
+else
+    status=$?
+    echo "chaos.sh: FAILED (exit $status); work dirs kept under $TMP/falkon-chaos-*" >&2
+    exit "$status"
+fi
